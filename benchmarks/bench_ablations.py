@@ -1,0 +1,219 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not paper figures — these probe *why* the reproduction behaves as it does:
+
+- flush-refill latency is the dominant term in UIPI's receiver cost;
+- the notification (UPID) stall is what separates tracked IPIs (231 cy)
+  from timer/device delivery (105 cy);
+- safepoint gating adds delivery *latency* (waiting for the next safepoint)
+  but not throughput overhead;
+- the NIC re-arm cost controls how much of the idle fraction xUI returns;
+- work stealing is what makes multi-worker runtimes robust to imbalance.
+"""
+
+import dataclasses
+
+from repro.analysis.tables import format_table
+from repro.apps import microbench as mb
+from repro.cpu.config import SystemConfig, TimingParams
+from repro.cpu.delivery import FlushStrategy, TrackedStrategy
+from repro.experiments import cycletier
+
+
+def test_ablation_flush_refill_latency(once):
+    """Receiver cost vs. the flush-refill penalty (the §3.4 dominant term)."""
+
+    def sweep():
+        rows = []
+        for refill in (80, 200, 330, 450):
+            timing = TimingParams(flush_refill_latency=refill)
+            config = SystemConfig(timing=timing)
+            workload = mb.make_count_loop(12_000)
+            base = cycletier.run_baseline(workload, config=config)
+            loaded = cycletier.run_with_uipi_timer(
+                mb.make_count_loop(12_000),
+                FlushStrategy(),
+                config=config,
+                expected_cycles=base.cycles,
+            )
+            rows.append([refill, cycletier.per_event_overhead(base.cycles, loaded)])
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(
+        format_table(
+            ["flush_refill_latency", "uipi cy/event"],
+            rows,
+            title="Ablation: flush-refill penalty vs. UIPI receiver cost",
+        )
+    )
+    costs = [row[1] for row in rows]
+    assert costs == sorted(costs)  # monotone in the refill penalty
+
+
+def test_ablation_notification_stall_separates_ipi_from_timer(once):
+    """Zeroing the UPID-path stall collapses tracked IPIs toward the
+    timer-delivery cost — the 231-vs-105 split is the routing cost (§4.2)."""
+
+    def sweep():
+        rows = []
+        for stall in (0, 55, 110):
+            timing = TimingParams(notif_latch_stall=stall)
+            config = SystemConfig(timing=timing)
+            base = cycletier.run_baseline(mb.make_count_loop(12_000), config=config)
+            tracked = cycletier.run_with_uipi_timer(
+                mb.make_count_loop(12_000),
+                TrackedStrategy(),
+                config=config,
+                expected_cycles=base.cycles,
+            )
+            kb = cycletier.run_with_kb_timer(mb.make_count_loop(12_000), config=config)
+            rows.append(
+                [
+                    stall,
+                    cycletier.per_event_overhead(base.cycles, tracked),
+                    cycletier.per_event_overhead(base.cycles, kb),
+                ]
+            )
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(
+        format_table(
+            ["notif stall", "tracked IPI cy/event", "KB timer cy/event"],
+            rows,
+            title="Ablation: the UPID routing stall is the IPI-vs-timer gap",
+        )
+    )
+    # The KB-timer path never touches the UPID: its cost is stall-invariant.
+    kb_costs = [row[2] for row in rows]
+    assert max(kb_costs) - min(kb_costs) <= 0.25 * max(kb_costs)
+    # The tracked-IPI path shrinks toward it as the stall goes to zero.
+    assert rows[0][1] < rows[-1][1]
+
+
+def test_ablation_safepoint_gating_latency(once):
+    """Safepoint mode trades delivery latency (wait for the next safepoint)
+    for precision; with dense safepoints the wait is small."""
+
+    def measure(sparse: bool):
+        from repro.cpu import isa
+        from repro.cpu.multicore import MultiCoreSystem
+        from repro.cpu.program import ProgramBuilder
+
+        builder = ProgramBuilder("gate")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 30))
+        builder.label("outer")
+        builder.emit(isa.movi(3, 0))
+        builder.label("inner")
+        builder.emit(isa.addi(3, 3, 1))
+        inner_branch = isa.blti(3, 1500, "inner")
+        builder.emit(inner_branch if sparse else inner_branch.with_safepoint())
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "outer").with_safepoint())
+        builder.emit(isa.halt())
+        builder.emit_default_handler()
+        system = MultiCoreSystem([builder.build()], [TrackedStrategy()], trace=True)
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.safepoint_mode = True
+        core.uintr.kb_timer.arm_periodic(3000, now=0)
+        system.run(3_000_000, until_halted=[0])
+        fires = [e.time for e in system.trace.of_kind("kb_timer_fire")]
+        injects = [e.time for e in system.trace.of_kind("inject")]
+        waits = []
+        inject_iter = iter(injects)
+        inject = next(inject_iter, None)
+        for fire in fires:
+            while inject is not None and inject < fire:
+                inject = next(inject_iter, None)
+            if inject is None:
+                break
+            waits.append(inject - fire)
+        return sum(waits) / len(waits) if waits else float("nan")
+
+    sparse_wait = once(lambda: (measure(sparse=True), measure(sparse=False)))
+    sparse, dense = sparse_wait
+    print()
+    print(
+        format_table(
+            ["safepoint density", "mean fire->inject wait (cy)"],
+            [["sparse (outer loop only)", sparse], ["dense (every back-edge)", dense]],
+            title="Ablation: safepoint density vs. delivery wait",
+        )
+    )
+    assert sparse > dense
+
+
+def test_ablation_nic_rearm_cost(once):
+    """The per-burst re-arm (MMIO) cost eats into xUI's free cycles."""
+    from repro.common.rng import RngStreams
+    from repro.net.l3fwd import L3Forwarder, L3fwdConfig
+    from repro.net.nic import NIC
+    from repro.net.pktgen import PacketGenerator
+    from repro.notify.mechanisms import Mechanism
+    from repro.sim.simulator import Simulator
+
+    def run_rearm(rearm_cost):
+        sim = Simulator()
+        config = L3fwdConfig(mechanism=Mechanism.XUI_DEVICE, num_nics=1, rearm_cost=rearm_cost)
+        nics = [NIC(0)]
+        forwarder = L3Forwarder(sim, nics, config, rng=RngStreams(1))
+        rate = 0.4 * 2e9 / config.per_packet_cost
+        generator = PacketGenerator(sim, nics, rate, rng=RngStreams(1))
+        generator.start()
+        sim.run(until=0.008 * 2e9)
+        return forwarder.free_fraction()
+
+    rows = once(lambda: [[cost, run_rearm(cost)] for cost in (0, 150, 300, 600)])
+    print()
+    print(
+        format_table(
+            ["rearm cost (cy)", "free fraction @40% load"],
+            rows,
+            title="Ablation: NIC re-arm cost vs. xUI free cycles",
+            precision=3,
+        )
+    )
+    frees = [row[1] for row in rows]
+    assert frees == sorted(frees, reverse=True)
+
+
+def test_ablation_work_stealing(once):
+    """Stealing rescues an imbalanced spawn; without it one core drowns."""
+    from repro.notify.mechanisms import Mechanism
+    from repro.runtime.aspen import AspenRuntime, RuntimeConfig
+    from repro.runtime.uthread import UThread
+    from repro.sim.simulator import Simulator
+
+    def run_stealing(enabled):
+        sim = Simulator()
+        config = RuntimeConfig(
+            num_workers=4,
+            quantum=10_000.0,
+            mechanism=Mechanism.XUI_KB_TIMER,
+            work_stealing=enabled,
+        )
+        runtime = AspenRuntime(sim, config)
+        threads = [UThread(service_cycles=100_000.0) for _ in range(12)]
+        for thread in threads:  # all pile onto worker 0
+            runtime.workers[0].enqueue(thread)
+        sim.run(until=3_000_000.0)
+        done = [t for t in threads if t.finished]
+        makespan = max(t.completion_time for t in done) if len(done) == 12 else float("inf")
+        return makespan
+
+    rows = once(lambda: [[label, run_stealing(flag)] for label, flag in (("stealing", True), ("no stealing", False))])
+    print()
+    print(
+        format_table(
+            ["policy", "makespan (cy)"],
+            rows,
+            title="Ablation: work stealing under an imbalanced spawn",
+        )
+    )
+    stealing, no_stealing = rows[0][1], rows[1][1]
+    assert stealing < no_stealing

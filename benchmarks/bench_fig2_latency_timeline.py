@@ -1,0 +1,37 @@
+"""Figure 2: the UIPI latency timeline.
+
+Paper:  senduipi -> receiver interrupted at ~380 cy; ~424 cy to the first
+        observable notification event; notification+delivery >= 262 cy;
+        uiret ~10 cy.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.characterize import run_fig2_timeline
+
+PAPER_SEGMENTS = {
+    "send_to_interrupt": 380.0,
+    "interrupt_to_first_notif_event": 424.0,
+    "notification_and_delivery": 262.0,
+    "uiret": 10.0,
+    "end_to_end": 1360.0,
+}
+
+
+def test_fig2_latency_timeline(once):
+    timeline = once(run_fig2_timeline)
+    print()
+    rows = [
+        [segment, PAPER_SEGMENTS[segment], timeline[segment]]
+        for segment in PAPER_SEGMENTS
+    ]
+    print(
+        format_table(
+            ["timeline segment", "paper (cy)", "measured (cy)"],
+            rows,
+            title="Figure 2: UIPI latency timeline",
+        )
+    )
+    # Ordering invariants of the timeline.
+    assert timeline["icr_write_offset"] < timeline["send_to_interrupt"]
+    assert timeline["send_to_interrupt"] < timeline["end_to_end"]
+    assert timeline["uiret"] < 40

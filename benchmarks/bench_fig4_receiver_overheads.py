@@ -1,0 +1,118 @@
+"""Figure 4: receiver-side overheads of periodic interrupts (5 us interval).
+
+Paper: per-event cost 645 cy (UIPI SW timer) -> 231 (xUI SW timer+tracking)
+-> 105 (xUI KB timer+tracking); total overhead drops ~6.9x.
+"""
+
+from repro.analysis.tables import format_series, format_table
+from repro.apps import microbench as mb
+from repro.experiments.fig4_overheads import (
+    CONFIGURATIONS,
+    PAPER_PER_EVENT,
+    run_fig4,
+    run_interval_sweep,
+    summarize_per_event,
+)
+
+
+def _benchmarks():
+    return {
+        "fib": lambda: mb.make_fib(n=17),
+        "linpack": lambda: mb.make_linpack(iterations=20_000),
+        "memops": lambda: mb.make_memops(iterations=20_000),
+    }
+
+
+def test_fig4_receiver_overheads(once):
+    results = once(run_fig4, benchmarks=_benchmarks())
+    print()
+    rows = []
+    for bench, cells in results.items():
+        for configuration in CONFIGURATIONS:
+            cell = cells[configuration]
+            rows.append(
+                [
+                    bench,
+                    configuration,
+                    cell["per_event_cycles"],
+                    cell["overhead_percent"],
+                    PAPER_PER_EVENT[configuration],
+                ]
+            )
+    print(
+        format_table(
+            ["benchmark", "configuration", "cy/event", "overhead %", "paper cy/event"],
+            rows,
+            title="Figure 4: receiver overheads at a 5 us interrupt interval",
+        )
+    )
+    summary = summarize_per_event(results)
+    print()
+    print(
+        format_table(
+            ["configuration", "mean cy/event", "paper"],
+            [[c, summary[c], PAPER_PER_EVENT[c]] for c in CONFIGURATIONS],
+            title="Figure 4 summary (mean across benchmarks)",
+        )
+    )
+    assert (
+        summary["uipi_sw_timer"]
+        > summary["xui_sw_timer_tracking"]
+        > summary["xui_kb_timer_tracking"]
+    )
+    ratio = summary["uipi_sw_timer"] / summary["xui_kb_timer_tracking"]
+    print(f"\noverall reduction: {ratio:.1f}x (paper: ~6.9x)")
+    assert ratio > 3.0
+
+
+def test_fig4_extended_benchmark_set(once):
+    """Beyond the paper's three benchmarks: the xUI ordering holds across
+    workload classes (branchy sort, serial hash chain)."""
+    benchmarks = {
+        "quicksort": lambda: mb.make_quicksort(n=1500, seed=2),
+        "fnv_hash": lambda: mb.make_fnv_hash(iterations=25_000),
+    }
+    results = once(run_fig4, benchmarks=benchmarks)
+    print()
+    rows = [
+        [bench, configuration, cells[configuration]["per_event_cycles"], cells[configuration]["overhead_percent"]]
+        for bench, cells in results.items()
+        for configuration in CONFIGURATIONS
+    ]
+    print(
+        format_table(
+            ["benchmark", "configuration", "cy/event", "overhead %"],
+            rows,
+            title="Figure 4 (extended set): the ordering holds off the paper's suite",
+        )
+    )
+    for bench, cells in results.items():
+        assert (
+            cells["uipi_sw_timer"]["per_event_cycles"]
+            > cells["xui_sw_timer_tracking"]["per_event_cycles"]
+            > cells["xui_kb_timer_tracking"]["per_event_cycles"]
+        ), bench
+
+
+def test_fig4_interval_sweep(once):
+    """Total overhead vs. delivery interval (the curve's x-axis)."""
+    sweep = once(
+        run_interval_sweep,
+        lambda: mb.make_count_loop(60_000),
+        intervals=[5_000, 10_000, 20_000, 40_000],
+    )
+    print()
+    print(
+        format_series(
+            sweep,
+            x_label="interval (cy)",
+            y_label="overhead %",
+            title="Figure 4 sweep: overhead vs. interrupt interval (counting loop)",
+        )
+    )
+    for configuration, by_interval in sweep.items():
+        values = [by_interval[i] for i in sorted(by_interval)]
+        # Overhead falls as interrupts get rarer.
+        assert values[0] > values[-1]
+    # At the 5 us point, the UIPI-vs-KB-timer gap is the paper's headline.
+    assert sweep["uipi_sw_timer"][10_000] > 2.5 * sweep["xui_kb_timer_tracking"][10_000]

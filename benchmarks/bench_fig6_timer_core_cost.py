@@ -1,0 +1,49 @@
+"""Figure 6: the cost of a timer core.
+
+Paper: OS timer interfaces consume an increasing share of a core as rates
+rise; senduipi fan-out grows with receiver count (a spin core caps at ~22
+workers at 5 us); xUI needs no timer core at all.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig6_timer_cost import (
+    INTERFACES,
+    kb_timer_core_savings,
+    run_fig6,
+)
+
+
+def test_fig6_timer_core_cost(once):
+    core_counts = [1, 4, 8, 16, 22]
+    intervals = [10_000.0, 100_000.0, 2_000_000.0]  # 5us / 50us / 1ms
+    results = once(run_fig6, core_counts=core_counts, intervals=intervals)
+    print()
+    for interval in intervals:
+        rows = []
+        for interface in INTERFACES:
+            rows.append(
+                [interface] + [results[interface][interval][n] for n in core_counts]
+            )
+        print(
+            format_table(
+                ["interface"] + [f"{n} cores" for n in core_counts],
+                rows,
+                title=f"Figure 6: timer-core utilization at {interval / 2000:.0f} us interval",
+                precision=3,
+            )
+        )
+        print()
+    # Shapes: xUI is free; setitimer saturates at fine intervals; fan-out
+    # grows with receiver count.
+    fine = results["setitimer"][10_000.0]
+    assert all(results["xui_kb_timer"][i][n] == 0.0 for i in intervals for n in core_counts)
+    assert fine[22] == 1.0
+    coarse = results["setitimer"][2_000_000.0]
+    assert coarse[1] < 0.01
+    savings = kb_timer_core_savings(22, 10_000.0)
+    print(
+        f"capacity: {savings['workers_per_timer_core']:.0f} workers per spin "
+        f"timer core at 5 us (paper: ~22); saving 1 core in 22 = "
+        f"{100 * savings['throughput_gain_fraction']:.1f}% (paper: 4.5%)"
+    )
+    assert savings["workers_per_timer_core"] == 22

@@ -1,0 +1,42 @@
+"""§3.5: the two experiments that fingerprint the flush strategy.
+
+1. End-to-end UIPI latency vs. pointer-chase footprint: flat under flush,
+   growing under drain (the paper used this to show Sapphire Rapids flushes).
+2. Flushed micro-ops grow exactly linearly with interrupts received.
+"""
+
+from repro.analysis.tables import format_series, format_table
+from repro.experiments.characterize import run_flush_vs_drain, run_flushed_uops_linearity
+
+
+def test_sec35_flush_vs_drain_latency(once):
+    results = once(run_flush_vs_drain, footprints_kb=[16, 64, 256], samples=4)
+    print()
+    print(
+        format_series(
+            results,
+            x_label="footprint_kb",
+            y_label="delivery latency cy",
+            title="§3.5 exp 1: latency vs. in-flight memory work",
+        )
+    )
+    flush = results["flush"]
+    drain = results["drain"]
+    spread = max(flush.values()) - min(flush.values())
+    assert spread <= 0.3 * max(flush.values())  # flush: flat
+    assert drain[256] > drain[16]  # drain: grows
+
+
+def test_sec35_flushed_uops_linearity(once):
+    results = once(run_flushed_uops_linearity, interrupt_counts=[2, 4, 8])
+    print()
+    rows = [[count, squashed, squashed / count] for count, squashed in sorted(results.items())]
+    print(
+        format_table(
+            ["interrupts", "flushed uops", "uops/interrupt"],
+            rows,
+            title="§3.5 exp 2: flushed micro-ops scale linearly",
+        )
+    )
+    per = [squashed / count for count, squashed in results.items()]
+    assert max(per) - min(per) <= 0.25 * max(per)

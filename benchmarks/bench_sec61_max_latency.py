@@ -1,0 +1,31 @@
+"""§6.1: maximum interrupt latency — the pathological stack-pointer chain.
+
+Paper: with 50+ long-latency loads feeding the stack pointer, tracked
+delivery can take ~7000 cycles worst case; Intel's flush strategy is an
+order of magnitude lower (it squashes the chain).
+"""
+
+from repro.analysis.tables import format_series
+from repro.experiments.characterize import run_max_latency
+
+
+def test_sec61_max_latency(once):
+    results = once(run_max_latency, chain_lengths=[10, 50])
+    print()
+    print(
+        format_series(
+            results,
+            x_label="chain length (missing loads)",
+            y_label="worst-case delivery cy",
+            title="§6.1: worst-case interrupt latency, SP-dependent miss chain",
+        )
+    )
+    tracked_50 = results["tracked"][50]
+    flush_50 = results["flush"][50]
+    print(
+        f"\ntracked worst case at chain 50: {tracked_50:,.0f} cy (paper: ~7000); "
+        f"flush: {flush_50:,.0f} cy (paper: ~10x lower)"
+    )
+    assert tracked_50 > 4000
+    assert flush_50 * 5 < tracked_50
+    assert results["tracked"][50] > results["tracked"][10]

@@ -1,0 +1,18 @@
+"""Table 2: key performance metrics of UIPIs.
+
+Paper row:      e2e 1360 cy | receiver 720 cy | senduipi 383 | clui 2 | stui 32
+Reproduction:   measured on the cycle tier (flush-based UIPI receive).
+"""
+
+from repro.analysis.tables import format_paper_comparison
+from repro.experiments.characterize import run_table2
+
+
+def test_table2_uipi_metrics(once):
+    rows = once(run_table2, quick=True)
+    print()
+    print(format_paper_comparison(rows, title="Table 2: UIPI key metrics (cycles @2GHz)"))
+    # The reproduction bands (±50% here; tighter bands live in the tests).
+    assert 0.4 <= rows["senduipi"]["measured"] / rows["senduipi"]["paper"] <= 1.6
+    assert rows["clui"]["measured"] < rows["stui"]["measured"]
+    assert rows["uipi_receive_flush"]["measured"] > 300

@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+experiment runners are deterministic and long-running, so every benchmark
+executes exactly once (``rounds=1``) and prints its table — run with ``-s``
+(or read the captured output) to see the paper-shaped results.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

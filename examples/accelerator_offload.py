@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Streaming-accelerator offload: how should the CPU wait for completions?
+
+A closed-loop client offloads DSA-style copies (2 us and 20 us classes,
+§5.4) and receives completions three ways: busy-spinning on the completion
+ring, polling on the OS interval timer, or an xUI forwarded device interrupt
+per completion.  The sweep variable is the noise on the device's response
+time — the thing that breaks periodic polling (§6.2.3).
+
+Run:  python examples/accelerator_offload.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig9_dsa import run_point
+
+DURATION_S = 0.008
+
+
+def main() -> None:
+    for request_us in (2.0, 20.0):
+        rows = []
+        for mechanism in ("busy_spin", "periodic_poll", "xui"):
+            for noise in (0.0, 0.5, 1.0):
+                point = run_point(mechanism, request_us, noise, duration_seconds=DURATION_S)
+                rows.append(
+                    [
+                        mechanism,
+                        f"±{noise:.0%}",
+                        point.mean_notification_lag_us,
+                        f"{point.free_fraction:.0%}",
+                        point.ipos,
+                    ]
+                )
+        print(
+            format_table(
+                ["mechanism", "response noise", "notify lag us", "free cycles", "IOPS"],
+                rows,
+                title=f"DSA offload completions, {request_us:.0f} us request class",
+            )
+        )
+        print()
+    print(
+        "Busy spinning is instant but eats the core.  Periodic polling frees\n"
+        "cycles until the response time gets noisy — then completions sit\n"
+        "waiting for the next tick.  xUI keeps spin-level latency at every\n"
+        "noise level while leaving most of the core free (Figure 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

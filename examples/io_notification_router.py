@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""IO notification for a layer-3 router: polling vs. xUI device interrupts.
+
+DPDK's l3fwd normally busy-polls its RX rings — every cycle not spent
+forwarding is burnt polling.  With xUI interrupt forwarding (§4.5) + tracked
+interrupts, the first packet into an idle ring raises a 105-cycle user
+interrupt; the handler drains the rings (polling while work exists, exactly
+like DPDK) and re-arms before returning.  Same throughput, and the idle
+cycles come back (§6.2.2).
+
+Run:  python examples/io_notification_router.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig8_l3fwd import run_point
+from repro.notify.mechanisms import Mechanism
+
+NUM_NICS = 1
+DURATION_S = 0.01
+
+
+def main() -> None:
+    rows = []
+    for mechanism in (Mechanism.POLLING, Mechanism.XUI_DEVICE):
+        for load in (0.0, 0.2, 0.4, 0.6, 0.8):
+            point = run_point(mechanism, NUM_NICS, load, duration_seconds=DURATION_S)
+            rows.append(
+                [
+                    mechanism.value,
+                    f"{load:.0%}",
+                    point.achieved_pps,
+                    f"{point.networking_fraction:.0%}",
+                    f"{point.free_fraction:.0%}",
+                    point.p95_latency_us,
+                    point.interrupts,
+                ]
+            )
+    print(
+        format_table(
+            ["mechanism", "load", "pps", "networking", "free cycles", "p95 us", "interrupts"],
+            rows,
+            title=f"l3fwd with {NUM_NICS} NIC (LPM routing, 64B packets)",
+        )
+    )
+    print(
+        "\nPolling always burns the whole core (free cycles = 0%).  xUI matches\n"
+        "its throughput and latency while leaving the unused fraction free —\n"
+        "~45% at 40% load, 100% at idle (Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

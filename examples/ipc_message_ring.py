@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""IPC without polling: a shared message ring synced by user interrupts (§1).
+
+A producer core writes messages into a ring in shared memory and notifies
+the consumer.  Two consumer builds:
+
+- **polling**: the consumer's work loop checks the producer index every
+  iteration — the classic shared-memory arrangement, taxing every iteration;
+- **xUI**: the consumer runs its work loop untouched; a tracked user
+  interrupt fires per batch and the handler drains the ring.
+
+Both consumers do the same "other useful work" (a counting loop); the
+comparison is how much of that work survives the IPC duty.  Message
+integrity is checked with a running checksum on both sides.
+
+Run:  python examples/ipc_message_ring.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.cpu import (
+    FlushStrategy,
+    MultiCoreSystem,
+    ProgramBuilder,
+    TrackedStrategy,
+    isa,
+)
+
+RING_BASE = 0x70_0000
+RING_SLOTS = 16
+PROD_IDX = 0x70_0200  # producer's publish index
+CONS_IDX = 0x70_0208  # consumer's consume index
+CHECKSUM = 0x70_0210  # consumer-side sum of received messages
+NUM_MESSAGES = 48
+GAP = 900  # producer spacing (cycles of busy work between messages)
+
+
+def build_producer(notify: bool):
+    b = ProgramBuilder("producer")
+    b.emit(isa.movi(1, 0))  # message counter / index
+    b.emit(isa.movi(2, NUM_MESSAGES))
+    b.emit(isa.movi(3, RING_BASE))
+    b.emit(isa.movi(4, PROD_IDX))
+    b.label("produce")
+    # message value = 1000 + i ; slot = i mod RING_SLOTS
+    b.emit(isa.addi(5, 1, 1000))
+    b.emit(isa.andi(6, 1, RING_SLOTS - 1))
+    b.emit(isa.shli(6, 6, 3))
+    b.emit(isa.add(6, 3, 6))
+    b.emit(isa.store(5, 6, 0))  # data first...
+    b.emit(isa.addi(1, 1, 1))
+    b.emit(isa.store(1, 4, 0))  # ...then publish the index
+    if notify:
+        b.emit(isa.senduipi(0))
+    b.emit(isa.movi(7, 0))
+    b.label("gap")
+    b.emit(isa.addi(7, 7, 1))
+    b.emit(isa.blti(7, GAP // 2, "gap"))
+    b.emit(isa.blt(1, 2, "produce"))
+    b.emit(isa.halt())
+    return b.build()
+
+
+def emit_drain(b: ProgramBuilder, done_label: str) -> None:
+    """Drain ring entries from CONS_IDX up to PROD_IDX, checksumming."""
+    b.emit(isa.movi(8, PROD_IDX))
+    b.emit(isa.movi(9, CONS_IDX))
+    b.label(f"{done_label}_scan")
+    b.emit(isa.load(5, 8, 0))  # producer index
+    b.emit(isa.load(6, 9, 0))  # consumer index
+    b.emit(isa.bge(6, 5, done_label))  # caught up
+    b.emit(isa.andi(7, 6, RING_SLOTS - 1))
+    b.emit(isa.shli(7, 7, 3))
+    b.emit(isa.movi(4, RING_BASE))
+    b.emit(isa.add(7, 4, 7))
+    b.emit(isa.load(7, 7, 0))  # the message
+    b.emit(isa.movi(4, CHECKSUM))
+    b.emit(isa.load(3, 4, 0))
+    b.emit(isa.add(3, 3, 7))
+    b.emit(isa.store(3, 4, 0))
+    b.emit(isa.addi(6, 6, 1))
+    b.emit(isa.store(6, 9, 0))
+    b.emit(isa.jmp(f"{done_label}_scan"))
+    b.label(done_label)
+
+
+def build_polling_consumer(work_iterations: int):
+    b = ProgramBuilder("poll_consumer")
+    b.emit(isa.movi(1, 0))
+    b.emit(isa.movi(2, work_iterations))
+    b.label("work")
+    b.emit(isa.addi(1, 1, 1))  # the useful work
+    # Poll: has the producer published anything new?
+    b.emit(isa.movi(10, PROD_IDX))
+    b.emit(isa.load(11, 10, 0))
+    b.emit(isa.movi(10, CONS_IDX))
+    b.emit(isa.load(12, 10, 0))
+    b.emit(isa.blt(12, 11, "drain"))
+    b.label("resume")
+    b.emit(isa.blt(1, 2, "work"))
+    b.emit(isa.halt())
+    b.label("drain")
+    emit_drain(b, "drained")
+    b.emit(isa.jmp("resume"))
+    return b.build()
+
+
+def build_interrupt_consumer(work_iterations: int):
+    b = ProgramBuilder("ui_consumer")
+    b.emit(isa.movi(1, 0))
+    b.emit(isa.movi(2, work_iterations))
+    b.label("work")
+    b.emit(isa.addi(1, 1, 1))  # the useful work, uninstrumented
+    b.emit(isa.blt(1, 2, "work"))
+    b.emit(isa.halt())
+    b.label("handler")
+    b.handler("handler")
+    emit_drain(b, "handled")
+    b.emit(isa.uiret())
+    return b.build()
+
+
+def run(mode: str, work_iterations: int = 60_000):
+    if mode == "polling":
+        consumer = build_polling_consumer(work_iterations)
+        producer = build_producer(notify=False)
+        strategies = [FlushStrategy(), FlushStrategy()]
+    else:
+        consumer = build_interrupt_consumer(work_iterations)
+        producer = build_producer(notify=True)
+        strategies = [TrackedStrategy(), FlushStrategy()]
+    system = MultiCoreSystem([consumer, producer], strategies)
+    if mode != "polling":
+        system.connect_uipi(sender_core_id=1, receiver_core_id=0, user_vector=1)
+    system.run(8_000_000, until_halted=[0, 1])
+    system.run(30_000)
+    consumer_core = system.cores[0]
+    expected_checksum = sum(1000 + i for i in range(NUM_MESSAGES))
+    return {
+        "mode": mode,
+        "messages": system.shared.read(CONS_IDX),
+        "checksum_ok": system.shared.read(CHECKSUM) == expected_checksum,
+        "consumer_cycles": consumer_core.stats.cycles,
+        "interrupts": consumer_core.stats.interrupts_delivered,
+    }
+
+
+def main() -> None:
+    results = [run("polling"), run("xui")]
+    print(
+        format_table(
+            ["mode", "messages", "checksum ok", "consumer cycles", "interrupts"],
+            [[r["mode"], r["messages"], r["checksum_ok"], r["consumer_cycles"], r["interrupts"]] for r in results],
+            title=f"IPC ring: {NUM_MESSAGES} messages while doing 60k iterations of other work",
+        )
+    )
+    for r in results:
+        assert r["messages"] == NUM_MESSAGES and r["checksum_ok"], r
+    poll, xui = results
+    saved = 100 * (poll["consumer_cycles"] - xui["consumer_cycles"]) / poll["consumer_cycles"]
+    print(
+        f"\nSame {NUM_MESSAGES} messages, same checksum; the interrupt-driven "
+        f"consumer finished its work {saved:.1f}% sooner because its hot loop "
+        "carries no per-iteration polling (§1, §4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Preemptive user-level scheduling: RocksDB on an Aspen-like runtime (§6.2.1).
+
+A single worker core serves the paper's bimodal mix — 99.5% GET (1.2 us) and
+0.5% SCAN (580 us) — from an open-loop Poisson load generator.  Without
+preemption, one SCAN blocks every queued GET for over half a millisecond;
+with a 5 us preemption quantum the GET tail collapses.  The difference
+between UIPI and the xUI KB timer is the per-tick receiver cost (645 vs.
+105 cycles) plus the dedicated timer core UIPI needs as a time source.
+
+Run:  python examples/preemptive_scheduling.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.fig7_rocksdb import run_point
+
+LOAD_RPS = 120_000
+DURATION_S = 0.08
+
+
+def main() -> None:
+    rows = []
+    for configuration in ("no_preempt", "uipi", "xui"):
+        point = run_point(configuration, LOAD_RPS, duration_seconds=DURATION_S)
+        rows.append(
+            [
+                configuration,
+                point.achieved_rps,
+                point.get_mean_us,
+                point.get_p999_us,
+                point.scan_p999_us,
+                point.preemptions,
+                point.timer_core_busy_fraction,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "config",
+                "achieved rps",
+                "GET mean us",
+                "GET p99.9 us",
+                "SCAN p99.9 us",
+                "preempt ticks",
+                "timer core busy",
+            ],
+            rows,
+            title=f"RocksDB (99.5% GET / 0.5% SCAN) at {LOAD_RPS:,} req/s, one worker core",
+        )
+    )
+    print(
+        "\nWithout preemption the GET p99.9 sits behind 580 us SCANs.  A 5 us\n"
+        "quantum fixes that; xUI does it with ~6x less receiver overhead per\n"
+        "tick than UIPI and with no dedicated timer core (the 'timer core\n"
+        "busy' column is a whole extra core UIPI burns)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Quickstart: send user interrupts between two simulated cores.
+
+Builds the §3.2 setup from scratch — a receiver thread registers a handler
+(allocating a UPID), a sender registers a route (UITT entry), and then
+``senduipi`` fires.  We run it twice: once with the stock UIPI flush-based
+receiver, once with xUI tracked interrupts, and print the measured costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.cpu import (
+    FlushStrategy,
+    MultiCoreSystem,
+    ProgramBuilder,
+    TrackedStrategy,
+    isa,
+)
+
+COUNTER = 0x20_0000  # the handler increments this shared word
+
+
+def build_sender(num_interrupts: int) -> ProgramBuilder:
+    """Send ``num_interrupts`` UIPIs, spaced by a short busy loop."""
+    builder = ProgramBuilder("sender")
+    for index in range(num_interrupts):
+        builder.emit(isa.senduipi(0))  # UITT index 0 -> the receiver
+        builder.emit(isa.movi(6, 0))
+        builder.label(f"gap{index}")
+        builder.emit(isa.addi(6, 6, 1))
+        builder.emit(isa.blti(6, 800, f"gap{index}"))
+    builder.emit(isa.halt())
+    return builder
+
+
+def build_receiver() -> ProgramBuilder:
+    """Spin on useful work; the handler bumps a counter and returns."""
+    builder = ProgramBuilder("receiver")
+    builder.label("loop")
+    builder.emit(isa.addi(1, 1, 1))
+    builder.emit(isa.jmp("loop"))
+    builder.emit_default_handler(counter_addr=COUNTER)
+    return builder
+
+
+def run(strategy_name: str, num_interrupts: int = 5) -> dict:
+    strategy = TrackedStrategy() if strategy_name == "xui_tracked" else FlushStrategy()
+    system = MultiCoreSystem(
+        [build_sender(num_interrupts).build(), build_receiver().build()],
+        [FlushStrategy(), strategy],
+        trace=True,
+    )
+    # The §3.2 "system calls": register_handler allocates the receiver's
+    # UPID; register_sender (via connect_uipi) adds the sender's UITT entry.
+    system.connect_uipi(sender_core_id=0, receiver_core_id=1, user_vector=1)
+    system.run(300_000, until_halted=[0])
+    system.run(20_000)  # let the last interrupt land
+
+    receiver = system.cores[1]
+    sends = [e.time for e in system.trace.of_kind("senduipi_start")]
+    entries = [
+        e.time for e in system.trace.of_kind("handler_fetch") if e.detail.get("core") == 1
+    ]
+    latencies = [b - a for a, b in zip(sends, entries)]
+    return {
+        "strategy": strategy_name,
+        "delivered": receiver.stats.interrupts_delivered,
+        "handler_count": system.shared.read(COUNTER),
+        "mean_e2e_cycles": sum(latencies) / len(latencies),
+        "squashed_uops": receiver.stats.squashed_uops,
+        "pipeline_flushes": receiver.stats.interrupt_flushes,
+    }
+
+
+def main() -> None:
+    results = [run("uipi_flush"), run("xui_tracked")]
+    print(
+        format_table(
+            ["strategy", "delivered", "e2e cycles", "squashed uops", "flushes"],
+            [
+                [r["strategy"], r["delivered"], r["mean_e2e_cycles"], r["squashed_uops"], r["pipeline_flushes"]]
+                for r in results
+            ],
+            title="UIPI vs. xUI tracked interrupts (5 user interrupts)",
+        )
+    )
+    print(
+        "\nTracking delivers the same interrupts without flushing the "
+        "receiver's pipeline — the in-flight work survives (§4.2)."
+    )
+    for r in results:
+        assert r["delivered"] == r["handler_count"] == 5
+
+
+if __name__ == "__main__":
+    main()

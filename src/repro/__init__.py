@@ -1,0 +1,75 @@
+"""repro — a reproduction of "Extended User Interrupts (xUI): Fast and
+Flexible Notification without Polling" (ASPLOS 2025).
+
+Two simulation tiers back the paper's evaluation:
+
+- the **cycle tier** (:mod:`repro.cpu`, :mod:`repro.uintr`,
+  :mod:`repro.xui`): an out-of-order core model with UIPI and the xUI
+  extensions (tracked interrupts, hardware safepoints, the kernel-bypass
+  timer, interrupt forwarding) — Tables 2-3, Figures 2, 4, 5, §3.5, §6.1;
+- the **event tier** (:mod:`repro.sim`, :mod:`repro.kernel`,
+  :mod:`repro.runtime`, :mod:`repro.net`, :mod:`repro.accel`): a
+  discrete-event system simulator calibrated by the cycle tier — Figures
+  6-9.
+
+Quickstart::
+
+    from repro import quickstart_uipi_roundtrip
+    result = quickstart_uipi_roundtrip()
+    print(result["interrupts_delivered"], result["end_to_end_cycles"])
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+experiment harness (one module per paper table/figure).
+"""
+
+from repro.common.units import Frequency, cycles_to_ns, cycles_to_us, ns_to_cycles, us_to_cycles
+from repro.notify.costs import CostModel
+from repro.notify.mechanisms import Mechanism
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "Mechanism",
+    "Frequency",
+    "cycles_to_ns",
+    "cycles_to_us",
+    "ns_to_cycles",
+    "us_to_cycles",
+    "quickstart_uipi_roundtrip",
+    "__version__",
+]
+
+
+def quickstart_uipi_roundtrip(tracked: bool = False) -> dict:
+    """Send one user interrupt between two simulated cores and report costs.
+
+    A minimal end-to-end tour of the cycle tier: sets up the UIPI route
+    (UPID + UITT), sends a ``senduipi``, and measures delivery with either
+    the stock flush strategy or xUI tracking.
+    """
+    from repro.cpu import isa, ProgramBuilder, MultiCoreSystem, FlushStrategy, TrackedStrategy
+
+    sender = ProgramBuilder("sender")
+    sender.emit(isa.senduipi(0))
+    sender.emit(isa.halt())
+    receiver = ProgramBuilder("receiver")
+    receiver.label("loop")
+    receiver.emit(isa.addi(1, 1, 1))
+    receiver.emit(isa.jmp("loop"))
+    receiver.emit_default_handler(counter_addr=0x20_0000)
+    strategy = TrackedStrategy() if tracked else FlushStrategy()
+    system = MultiCoreSystem(
+        [sender.build(), receiver.build()], [FlushStrategy(), strategy], trace=True
+    )
+    system.connect_uipi(sender_core_id=0, receiver_core_id=1, user_vector=1)
+    system.run(40_000, until_halted=[0])
+    system.run(8_000)
+    send = system.trace.first("senduipi_start")
+    entry = system.trace.first("handler_fetch")
+    return {
+        "interrupts_delivered": system.cores[1].stats.interrupts_delivered,
+        "handler_counter": system.shared.read(0x20_0000),
+        "end_to_end_cycles": (entry.time - send.time) if send and entry else None,
+        "strategy": strategy.name,
+    }

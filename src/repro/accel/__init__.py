@@ -1,0 +1,19 @@
+"""Simulated on-chip streaming accelerator (DSA-like, §5.4).
+
+A PCIe-attached accelerator with an SPDK-style asynchronous submission /
+completion interface and configurable offload-latency noise; the Figure 9
+experiment compares busy-spinning, periodic polling, and xUI device
+interrupts for completion notification.
+"""
+
+from repro.accel.dsa import SimulatedDSA, OffloadRequest, DsaConfig, LatencyModel
+from repro.accel.rings import SubmissionRing, CompletionRing
+
+__all__ = [
+    "SimulatedDSA",
+    "OffloadRequest",
+    "DsaConfig",
+    "LatencyModel",
+    "SubmissionRing",
+    "CompletionRing",
+]

@@ -1,0 +1,147 @@
+"""The simulated streaming accelerator (§5.4 "On-chip accelerators").
+
+Modeled after Intel DSA: user code submits descriptors through a submission
+ring; the device completes them after a latency drawn from a configurable
+distribution and posts to a completion ring.  The paper models two request
+classes — 2 us (one 16 KB copy / a batch of 8 x 2 KB copies) and 20 us (one
+1 MB copy) — and sweeps the *magnitude of random noise* added to the
+response time (Figure 9's x-axis).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import RngStreams
+from repro.common.units import us_to_cycles
+from repro.accel.rings import CompletionRing, SubmissionRing
+from repro.sim.simulator import Simulator
+
+_request_ids = itertools.count(1)
+
+#: The paper's two request classes (mean offload latency, §5.4).
+SHORT_REQUEST_US = 2.0
+LONG_REQUEST_US = 20.0
+
+
+@dataclass
+class OffloadRequest:
+    """One offloaded operation (e.g. a buffer copy)."""
+
+    submit_time: float
+    size_bytes: int = 16 * 1024
+    rid: int = field(default_factory=lambda: next(_request_ids))
+    complete_time: Optional[float] = None
+    #: When the CPU actually observed / handled the completion.
+    handled_time: Optional[float] = None
+
+    @property
+    def device_latency(self) -> float:
+        if self.complete_time is None:
+            raise ConfigError(f"request {self.rid} has not completed")
+        return self.complete_time - self.submit_time
+
+    @property
+    def notification_lag(self) -> float:
+        """Completion-to-handling delay — Figure 9's latency criterion."""
+        if self.handled_time is None or self.complete_time is None:
+            raise ConfigError(f"request {self.rid} has not been handled")
+        return self.handled_time - self.complete_time
+
+
+class LatencyModel:
+    """Offload response time: a mean plus bounded uniform noise.
+
+    ``noise_fraction`` is the Figure 9 sweep variable: the response time is
+    ``mean * (1 + U(-noise, +noise))``, floored at 10% of the mean so it
+    stays physical.
+    """
+
+    def __init__(
+        self,
+        mean_us: float,
+        noise_fraction: float = 0.0,
+        rng: Optional[RngStreams] = None,
+    ) -> None:
+        if mean_us <= 0:
+            raise ConfigError("mean latency must be positive")
+        if noise_fraction < 0:
+            raise ConfigError("noise fraction must be non-negative")
+        self.mean_cycles = us_to_cycles(mean_us)
+        self.noise_fraction = noise_fraction
+        self.rng = rng or RngStreams(seed=0)
+
+    def sample(self) -> float:
+        if self.noise_fraction == 0.0:
+            return self.mean_cycles
+        noise = self.rng.uniform(
+            "dsa_latency", -self.noise_fraction, self.noise_fraction
+        )
+        return max(0.1 * self.mean_cycles, self.mean_cycles * (1.0 + noise))
+
+
+@dataclass(frozen=True)
+class DsaConfig:
+    """Device configuration."""
+
+    #: Cycles for the CPU to build + submit one descriptor (ENQCMD-style).
+    submit_cost: float = 150.0
+    #: PCIe/fabric delay before the device starts (and after it completes).
+    fabric_latency: float = 200.0
+    ring_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.submit_cost < 0 or self.fabric_latency < 0:
+            raise ConfigError("costs must be non-negative")
+
+
+class SimulatedDSA:
+    """The device: consumes submissions, posts completions after a delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: LatencyModel,
+        config: Optional[DsaConfig] = None,
+        on_interrupt: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency_model = latency_model
+        self.config = config or DsaConfig()
+        self.submission_ring = SubmissionRing(self.config.ring_capacity)
+        self.completion_ring = CompletionRing(self.config.ring_capacity)
+        self.on_interrupt = on_interrupt
+        self.completed_count = 0
+        self._engine_free_at = 0.0
+
+    def submit(self, request: OffloadRequest) -> bool:
+        """Submit a descriptor; completion is scheduled on acceptance.
+
+        The device has a single execution engine, so completions are in
+        submission order: a request cannot finish before its predecessor.
+        """
+        if not self.submission_ring.push(request):
+            return False
+        latency = self.config.fabric_latency + self.latency_model.sample()
+        completion_at = max(self.sim.now + latency, self._engine_free_at)
+        self._engine_free_at = completion_at
+        latency = completion_at - self.sim.now
+
+        def complete() -> None:
+            popped = self.submission_ring.pop()
+            if popped is not request:
+                # Completions are in order for this device (single engine).
+                raise SimulationError("out-of-order completion in simulated DSA")
+            request.complete_time = self.sim.now
+            self.completion_ring.push(request)
+            self.completed_count += 1
+            if self.completion_ring.interrupts_armed and len(self.completion_ring) == 1:
+                self.completion_ring.interrupts_armed = False
+                if self.on_interrupt is not None:
+                    self.on_interrupt()
+
+        self.sim.schedule(latency, complete, name=f"dsa_complete:{request.rid}")
+        return True

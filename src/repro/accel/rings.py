@@ -1,0 +1,69 @@
+"""Submission and completion rings (the SPDK-style async interface, §5.4)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+from repro.common.errors import ConfigError
+
+T = TypeVar("T")
+
+
+class _Ring(Generic[T]):
+    """A bounded FIFO ring."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ConfigError("ring capacity must be positive")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.enqueued = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> bool:
+        if self.full:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[T]:
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+
+class SubmissionRing(_Ring):
+    """Work descriptors from the CPU to the accelerator."""
+
+
+class CompletionRing(_Ring):
+    """Completion records from the accelerator back to the CPU.
+
+    With xUI interrupt forwarding, the accelerator raises a device interrupt
+    when a completion lands in an empty, armed ring (same moderation
+    protocol as the NIC model).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity)
+        self.interrupts_armed = False
+
+    def arm(self) -> bool:
+        """Re-arm completion interrupts; fails if completions are pending."""
+        if len(self) > 0:
+            return False
+        self.interrupts_armed = True
+        return True

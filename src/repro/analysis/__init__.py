@@ -1,0 +1,5 @@
+"""Result formatting: text tables and series for the benchmark reports."""
+
+from repro.analysis.tables import format_table, format_paper_comparison, format_series
+
+__all__ = ["format_table", "format_paper_comparison", "format_series"]

@@ -1,0 +1,44 @@
+"""Workloads: µ-ISA microbenchmarks, the RocksDB-like store, load generators.
+
+- :mod:`repro.apps.microbench` — the cycle-tier benchmark programs the paper
+  measures receiver overheads on (fib, linpack, memops, matmul, base64,
+  pointer chasing, polling loops).
+- :mod:`repro.apps.rocksdb` — an in-memory ordered key-value store whose
+  GET/SCAN service times follow the paper's bimodal RocksDB workload.
+- :mod:`repro.apps.loadgen` — the open-loop Poisson load generator
+  (Caladan-style) used by the Figure 7 experiment.
+"""
+
+from repro.apps.microbench import (
+    Workload,
+    make_fib,
+    make_linpack,
+    make_memops,
+    make_matmul,
+    make_base64,
+    make_count_loop,
+    make_pointer_chase,
+    make_quicksort,
+    make_fnv_hash,
+    make_sp_dependence_chain,
+    make_uipi_timer_core,
+    make_poll_timer_core,
+    make_idle,
+)
+
+__all__ = [
+    "Workload",
+    "make_fib",
+    "make_linpack",
+    "make_memops",
+    "make_matmul",
+    "make_base64",
+    "make_count_loop",
+    "make_pointer_chase",
+    "make_quicksort",
+    "make_fnv_hash",
+    "make_sp_dependence_chain",
+    "make_uipi_timer_core",
+    "make_poll_timer_core",
+    "make_idle",
+]

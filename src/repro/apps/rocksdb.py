@@ -1,0 +1,181 @@
+"""A RocksDB-like ordered key-value store and its service-time model (§5.3).
+
+Two layers:
+
+- :class:`SkipListStore` — a functional in-memory ordered store (skip list)
+  with GET/PUT/SCAN, used by the examples and tests.  This is the data
+  structure RocksDB's memtable uses.
+- :class:`BimodalServiceModel` — the Figure 7 workload's service times:
+  99.5% GET at 1.2 us and 0.5% SCAN at 580 us (cycles at 2 GHz), with a
+  small lognormal-ish spread so requests are not perfectly deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStreams
+from repro.common.units import us_to_cycles
+
+GET_MEAN_US = 1.2
+SCAN_MEAN_US = 580.0
+SCAN_FRACTION = 0.005
+
+
+class _SkipNode:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key, value, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_SkipNode"]] = [None] * level
+
+
+class SkipListStore:
+    """An ordered key-value store backed by a skip list.
+
+    Supports ``put``, ``get``, ``delete``, and ordered ``scan`` — the
+    operation mix of the Figure 7 workload.
+    """
+
+    MAX_LEVEL = 16
+    P = 0.5
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _SkipNode(None, None, self.MAX_LEVEL)
+        self._level = 1
+        self._rng = np.random.default_rng(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < self.MAX_LEVEL and self._rng.random() < self.P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key) -> List[_SkipNode]:
+        update = [self._head] * self.MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    def put(self, key, value) -> None:
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _SkipNode(key, value, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._size += 1
+
+    def get(self, key):
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def delete(self, key) -> bool:
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for lvl in range(len(node.forward)):
+            if update[lvl].forward[lvl] is node:
+                update[lvl].forward[lvl] = node.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def scan(self, start_key, count: int) -> List[Tuple[object, object]]:
+        """Return up to ``count`` (key, value) pairs with key >= start_key."""
+        if count < 0:
+            raise ConfigError("scan count must be non-negative")
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < start_key:
+                node = node.forward[lvl]
+        node = node.forward[0]
+        result: List[Tuple[object, object]] = []
+        while node is not None and len(result) < count:
+            result.append((node.key, node.value))
+            node = node.forward[0]
+        return result
+
+    def items(self) -> Iterator[Tuple[object, object]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield (node.key, node.value)
+            node = node.forward[0]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One generated request: its kind and service demand."""
+
+    kind: str  # "get" | "scan"
+    service_cycles: float
+
+
+class BimodalServiceModel:
+    """The Figure 7 request mix: 99.5% GET (1.2 us), 0.5% SCAN (580 us)."""
+
+    def __init__(
+        self,
+        rng: Optional[RngStreams] = None,
+        get_mean_us: float = GET_MEAN_US,
+        scan_mean_us: float = SCAN_MEAN_US,
+        scan_fraction: float = SCAN_FRACTION,
+        spread: float = 0.05,
+    ) -> None:
+        if not 0.0 <= scan_fraction <= 1.0:
+            raise ConfigError("scan_fraction must be in [0, 1]")
+        if spread < 0:
+            raise ConfigError("spread must be non-negative")
+        self.rng = rng or RngStreams(seed=0)
+        self.get_mean = us_to_cycles(get_mean_us)
+        self.scan_mean = us_to_cycles(scan_mean_us)
+        self.scan_fraction = scan_fraction
+        self.spread = spread
+
+    @property
+    def mean_service_cycles(self) -> float:
+        return (
+            (1.0 - self.scan_fraction) * self.get_mean
+            + self.scan_fraction * self.scan_mean
+        )
+
+    def max_throughput_rps(self) -> float:
+        """Offered load (req/s) that saturates one 2 GHz core."""
+        return 2e9 / self.mean_service_cycles
+
+    def sample(self) -> RequestSpec:
+        stream = self.rng.stream("rocksdb_mix")
+        if stream.random() < self.scan_fraction:
+            mean = self.scan_mean
+            kind = "scan"
+        else:
+            mean = self.get_mean
+            kind = "get"
+        factor = 1.0 + self.spread * float(stream.standard_normal())
+        return RequestSpec(kind=kind, service_cycles=max(mean * 0.2, mean * factor))

@@ -1,0 +1,323 @@
+"""Command-line interface: run the paper's experiments without pytest.
+
+Usage::
+
+    python -m repro list
+    python -m repro quickstart [--tracked]
+    python -m repro costs [--from-cycle-model]
+    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full]
+
+``--full`` runs closer to benchmark scale; the default is a quick variant
+(seconds to a couple of minutes per experiment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis.tables import format_paper_comparison, format_series, format_table
+
+EXPERIMENTS: Dict[str, str] = {
+    "table2": "Table 2 — key UIPI performance metrics",
+    "fig2": "Figure 2 — UIPI latency timeline",
+    "fig4": "Figure 4 — receiver-side overheads (5 us interval)",
+    "fig5": "Figure 5 — safepoints vs. polling vs. UIPI preemption",
+    "fig6": "Figure 6 — the cost of a timer core",
+    "fig7": "Figure 7 — RocksDB tail latency under preemption",
+    "fig8": "Figure 8 — l3fwd efficiency (polling vs. xUI)",
+    "fig9": "Figure 9 — DSA completion delivery",
+    "sec35": "§3.5 — flush-vs-drain fingerprints",
+    "sec61": "§6.1 — worst-case tracked-interrupt latency",
+    "sec2": "§2 — mechanism unit costs",
+}
+
+
+def _cmd_list(_args) -> int:
+    print("Available experiments:\n")
+    for name, description in EXPERIMENTS.items():
+        print(f"  {name:8s} {description}")
+    print("\nRun one with: python -m repro experiment <name>")
+    return 0
+
+
+def _cmd_quickstart(args) -> int:
+    from repro import quickstart_uipi_roundtrip
+
+    result = quickstart_uipi_roundtrip(tracked=args.tracked)
+    print(
+        format_table(
+            ["field", "value"],
+            [[key, value] for key, value in result.items()],
+            title="UIPI round trip between two simulated cores",
+        )
+    )
+    return 0
+
+
+def _cmd_costs(args) -> int:
+    from repro.notify.costs import CostModel
+
+    if args.from_cycle_model:
+        print("re-deriving interrupt costs from the cycle tier (takes ~10s)...")
+        costs = CostModel.from_cycle_model(quick=True)
+    else:
+        costs = CostModel.paper_defaults()
+    rows = [[name, value] for name, value in sorted(vars(costs).items())]
+    print(format_table(["cost (cycles @2GHz)", "value"], rows, title="CostModel"))
+    return 0
+
+
+def _run_table2(full: bool) -> None:
+    from repro.experiments.characterize import run_table2
+
+    print(format_paper_comparison(run_table2(quick=not full), title=EXPERIMENTS["table2"]))
+
+
+def _run_fig2(full: bool) -> None:
+    from repro.experiments.characterize import run_fig2_timeline
+
+    timeline = run_fig2_timeline()
+    print(
+        format_table(
+            ["segment", "cycles"],
+            [[key, value] for key, value in timeline.items()],
+            title=EXPERIMENTS["fig2"],
+        )
+    )
+
+
+def _run_fig4(full: bool) -> None:
+    from repro.apps import microbench as mb
+    from repro.experiments.fig4_overheads import CONFIGURATIONS, run_fig4
+
+    benchmarks = (
+        None
+        if full
+        else {"count_loop": lambda: mb.make_count_loop(14_000)}
+    )
+    results = run_fig4(benchmarks=benchmarks)
+    rows = [
+        [bench, configuration, cells[configuration]["per_event_cycles"], cells[configuration]["overhead_percent"]]
+        for bench, cells in results.items()
+        for configuration in CONFIGURATIONS
+    ]
+    print(
+        format_table(
+            ["benchmark", "configuration", "cy/event", "overhead %"],
+            rows,
+            title=EXPERIMENTS["fig4"],
+        )
+    )
+
+
+def _run_fig5(full: bool) -> None:
+    from repro.apps import microbench as mb
+    from repro.experiments.fig5_safepoints import run_fig5
+
+    programs = (
+        None
+        if full
+        else {
+            "base64": lambda instrument=None: mb.make_base64(
+                iterations=2500, instrument=instrument
+            )
+        }
+    )
+    results = run_fig5(quanta=[10_000] if not full else None, programs=programs)
+    rows = [
+        [program, mechanism, quantum, overhead]
+        for program, mechanisms in results.items()
+        for mechanism, by_quantum in mechanisms.items()
+        for quantum, overhead in by_quantum.items()
+    ]
+    print(
+        format_table(
+            ["program", "mechanism", "quantum (cy)", "slowdown %"],
+            rows,
+            title=EXPERIMENTS["fig5"],
+        )
+    )
+
+
+def _run_fig6(full: bool) -> None:
+    from repro.experiments.fig6_timer_cost import run_fig6
+
+    results = run_fig6(
+        core_counts=[1, 8, 22], intervals=[10_000.0, 2_000_000.0]
+    )
+    for interface, by_interval in results.items():
+        print(
+            format_series(
+                {f"{interval / 2000:.0f}us": cores for interval, cores in by_interval.items()},
+                x_label="app cores",
+                y_label="util",
+                title=f"{EXPERIMENTS['fig6']} — {interface}",
+            )
+        )
+        print()
+
+
+def _run_fig7(full: bool) -> None:
+    from repro.experiments.fig7_rocksdb import run_fig7
+
+    loads = [20_000, 100_000, 200_000] if not full else None
+    results = run_fig7(loads_rps=loads, duration_seconds=0.1 if full else 0.04)
+    rows = [
+        [config, point.offered_rps, point.achieved_rps, point.get_p999_us, point.scan_p999_us]
+        for config, points in results.items()
+        for point in points
+    ]
+    print(
+        format_table(
+            ["config", "offered rps", "achieved", "GET p99.9 us", "SCAN p99.9 us"],
+            rows,
+            title=EXPERIMENTS["fig7"],
+        )
+    )
+
+
+def _run_fig8(full: bool) -> None:
+    from repro.experiments.fig8_l3fwd import run_fig8
+
+    results = run_fig8(
+        nic_counts=[1, 4] if not full else None,
+        load_fractions=[0.0, 0.4] if not full else None,
+        duration_seconds=0.01,
+    )
+    rows = [
+        [mechanism, nics, point.offered_load, point.free_fraction, point.p95_latency_us]
+        for mechanism, by_nics in results.items()
+        for nics, points in by_nics.items()
+        for point in points
+    ]
+    print(
+        format_table(
+            ["mechanism", "nics", "load", "free frac", "p95 us"],
+            rows,
+            title=EXPERIMENTS["fig8"],
+            precision=2,
+        )
+    )
+
+
+def _run_fig9(full: bool) -> None:
+    from repro.experiments.fig9_dsa import run_fig9
+
+    results = run_fig9(
+        noise_fractions=[0.0, 1.0] if not full else None,
+        duration_seconds=0.01,
+    )
+    rows = [
+        [f"{req_us:.0f}us", mechanism, point.noise_fraction, point.mean_notification_lag_us, point.free_fraction]
+        for req_us, by_mechanism in results.items()
+        for mechanism, points in by_mechanism.items()
+        for point in points
+    ]
+    print(
+        format_table(
+            ["request", "mechanism", "noise", "lag us", "free frac"],
+            rows,
+            title=EXPERIMENTS["fig9"],
+            precision=2,
+        )
+    )
+
+
+def _run_sec35(full: bool) -> None:
+    from repro.experiments.characterize import run_flush_vs_drain, run_flushed_uops_linearity
+
+    latency = run_flush_vs_drain(footprints_kb=[16, 256], samples=3 if not full else 6)
+    print(
+        format_series(
+            latency, x_label="footprint KB", y_label="latency cy", title="§3.5 exp 1"
+        )
+    )
+    print()
+    linear = run_flushed_uops_linearity(interrupt_counts=[2, 4])
+    print(
+        format_table(
+            ["interrupts", "flushed uops"],
+            [[count, value] for count, value in sorted(linear.items())],
+            title="§3.5 exp 2",
+        )
+    )
+
+
+def _run_sec61(full: bool) -> None:
+    from repro.experiments.characterize import run_max_latency
+
+    results = run_max_latency(chain_lengths=[10, 50])
+    print(
+        format_series(
+            results, x_label="chain length", y_label="worst-case cy", title=EXPERIMENTS["sec61"]
+        )
+    )
+
+
+def _run_sec2(full: bool) -> None:
+    from repro.experiments.sec2_costs import run_mechanism_costs
+
+    print(format_paper_comparison(run_mechanism_costs(quick=not full), title=EXPERIMENTS["sec2"]))
+
+
+_RUNNERS: Dict[str, Callable[[bool], None]] = {
+    "table2": _run_table2,
+    "fig2": _run_fig2,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "sec35": _run_sec35,
+    "sec61": _run_sec61,
+    "sec2": _run_sec2,
+}
+
+
+def _cmd_experiment(args) -> int:
+    runner = _RUNNERS.get(args.name)
+    if runner is None:
+        print(f"unknown experiment {args.name!r}; try: python -m repro list", file=sys.stderr)
+        return 2
+    runner(args.full)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Extended User Interrupts (xUI)' (ASPLOS 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    quickstart = sub.add_parser("quickstart", help="send one UIPI between two cores")
+    quickstart.add_argument("--tracked", action="store_true", help="use xUI tracking")
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    costs = sub.add_parser("costs", help="print the calibrated cost model")
+    costs.add_argument(
+        "--from-cycle-model",
+        action="store_true",
+        help="re-derive interrupt costs by running the cycle tier",
+    )
+    costs.set_defaults(func=_cmd_costs)
+
+    experiment = sub.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("name", help="experiment id (see: python -m repro list)")
+    experiment.add_argument("--full", action="store_true", help="benchmark-scale run")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Shared utilities: units, RNG streams, statistics, bit fields, errors.
+
+These helpers are deliberately small and dependency-free so that every other
+subpackage (cycle tier and event tier alike) can rely on them without import
+cycles.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    ProtocolError,
+)
+from repro.common.units import Frequency, CYCLES_PER_US_2GHZ, cycles_to_ns, ns_to_cycles
+from repro.common.rng import RngStreams
+from repro.common.stats import RunningStats, Histogram, percentile, summarize
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ProtocolError",
+    "Frequency",
+    "CYCLES_PER_US_2GHZ",
+    "cycles_to_ns",
+    "ns_to_cycles",
+    "RngStreams",
+    "RunningStats",
+    "Histogram",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,71 @@
+"""Bit-field manipulation helpers.
+
+UIPI's architectural state is a collection of packed in-memory descriptors
+(the UPID of Table 1, the local APIC's 256-bit vector registers, the UIRR).
+These helpers keep those packings explicit and testable.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+def get_bits(value: int, low: int, high: int) -> int:
+    """Extract bits ``high:low`` (inclusive, Intel SDM bit-range notation)."""
+    if low < 0 or high < low:
+        raise ConfigError(f"invalid bit range {high}:{low}")
+    width = high - low + 1
+    return (value >> low) & ((1 << width) - 1)
+
+
+def set_bits(value: int, low: int, high: int, field_value: int) -> int:
+    """Return ``value`` with bits ``high:low`` replaced by ``field_value``."""
+    if low < 0 or high < low:
+        raise ConfigError(f"invalid bit range {high}:{low}")
+    width = high - low + 1
+    if field_value < 0 or field_value >= (1 << width):
+        raise ConfigError(
+            f"field value {field_value} does not fit in {width} bits ({high}:{low})"
+        )
+    mask = ((1 << width) - 1) << low
+    return (value & ~mask) | (field_value << low)
+
+
+def test_bit(value: int, index: int) -> bool:
+    if index < 0:
+        raise ConfigError(f"bit index must be non-negative, got {index}")
+    return bool((value >> index) & 1)
+
+
+def set_bit(value: int, index: int) -> int:
+    if index < 0:
+        raise ConfigError(f"bit index must be non-negative, got {index}")
+    return value | (1 << index)
+
+
+def clear_bit(value: int, index: int) -> int:
+    if index < 0:
+        raise ConfigError(f"bit index must be non-negative, got {index}")
+    return value & ~(1 << index)
+
+
+def lowest_set_bit(value: int) -> int:
+    """Index of the lowest set bit, or -1 if ``value`` is zero.
+
+    The UIPI delivery microcode scans the PIR/UIRR for the highest-priority
+    pending vector; we use lowest-first order which matches vector priority
+    for our single-vector experiments.
+    """
+    if value == 0:
+        return -1
+    return (value & -value).bit_length() - 1
+
+
+def iter_set_bits(value: int):
+    """Yield indices of set bits in ascending order."""
+    index = 0
+    while value:
+        if value & 1:
+            yield index
+        value >>= 1
+        index += 1

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent or impossible state."""
+
+
+class ProtocolError(ReproError):
+    """An architectural protocol was violated (e.g. uiret outside a handler)."""

@@ -1,0 +1,49 @@
+"""Deterministic named random-number streams.
+
+Every stochastic component (packet generator, load generator, offload-latency
+noise, work stealing victim choice, ...) draws from its own named stream so
+that adding randomness to one component never perturbs another.  Streams are
+derived from a single root seed with :func:`numpy.random.SeedSequence.spawn`
+semantics, keyed by name, so runs are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class RngStreams:
+    """A factory of independent, deterministic :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically on first use."""
+        generator = self._streams.get(name)
+        if generator is None:
+            # Key the child seed on the stream name so stream identity is
+            # stable regardless of creation order.
+            name_digest = int.from_bytes(name.encode("utf-8"), "little") % (2**63)
+            seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(name_digest,))
+            generator = np.random.default_rng(seq)
+            self._streams[name] = generator
+        return generator
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw one exponential variate with the given mean from stream ``name``."""
+        return float(self.stream(name).exponential(mean))
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        return float(self.stream(name).uniform(low, high))
+
+    def choice_index(self, name: str, length: int) -> int:
+        """Draw a uniform index in ``[0, length)`` from stream ``name``."""
+        return int(self.stream(name).integers(0, length))

@@ -1,0 +1,157 @@
+"""Small statistics helpers used by experiments and benchmarks.
+
+The experiment runners report means, percentiles (p50/p95/p99/p99.9 tail
+latency), and utilization breakdowns.  These helpers avoid per-sample numpy
+overhead during simulation (samples accumulate in plain lists / running
+moments) and only go to numpy when a summary is requested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0..100) of ``samples``.
+
+    Raises :class:`ConfigError` for an empty sample set or out-of-range ``q``
+    rather than silently returning NaN.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile must be in [0, 100], got {q}")
+    if len(samples) == 0:
+        raise ConfigError("cannot take a percentile of an empty sample set")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Return a dict of the summary statistics the paper's figures report."""
+    if len(samples) == 0:
+        raise ConfigError("cannot summarize an empty sample set")
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "p999": float(np.percentile(arr, 99.9)),
+    }
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford), O(1) memory."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self.count == 0:
+            raise ConfigError("no samples recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self.count == 0:
+            raise ConfigError("no samples recorded")
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningStats(count={self.count}, mean={self.mean:.3f})"
+
+
+@dataclass
+class Histogram:
+    """A fixed-width-bucket histogram with overflow tracking.
+
+    Used by latency recorders where full sample retention would be too large
+    (e.g. per-packet latencies at high load).
+    """
+
+    bucket_width: float
+    num_buckets: int
+    counts: List[int] = field(default_factory=list)
+    overflow: int = 0
+    total: int = 0
+    _sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bucket_width <= 0:
+            raise ConfigError("bucket_width must be positive")
+        if self.num_buckets <= 0:
+            raise ConfigError("num_buckets must be positive")
+        if not self.counts:
+            self.counts = [0] * self.num_buckets
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ConfigError(f"histogram values must be non-negative, got {value}")
+        index = int(value / self.bucket_width)
+        if index >= self.num_buckets:
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+        self._sum += value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile using bucket upper edges.
+
+        Overflowed samples are treated as the top edge of the histogram, so a
+        percentile that lands in the overflow region returns the histogram
+        range as a lower bound.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        if self.total == 0:
+            raise ConfigError("cannot take a percentile of an empty histogram")
+        target = q / 100.0 * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                return (index + 1) * self.bucket_width
+        return self.num_buckets * self.bucket_width

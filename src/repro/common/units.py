@@ -1,0 +1,85 @@
+"""Time and frequency units.
+
+The paper runs everything at 2 GHz with TurboBoost and frequency scaling
+disabled (§5.1), so 1 cycle == 0.5 ns and 1 us == 2000 cycles.  All
+cycle-denominated constants in this library assume that clock unless a
+:class:`Frequency` is passed explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Cycles per microsecond at the paper's 2 GHz experimental clock.
+CYCLES_PER_US_2GHZ = 2000
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A CPU clock frequency with cycle/time conversion helpers."""
+
+    hertz: float
+
+    def __post_init__(self) -> None:
+        if self.hertz <= 0:
+            raise ConfigError(f"frequency must be positive, got {self.hertz}")
+
+    @classmethod
+    def ghz(cls, value: float) -> "Frequency":
+        return cls(value * 1e9)
+
+    @classmethod
+    def mhz(cls, value: float) -> "Frequency":
+        return cls(value * 1e6)
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one cycle in nanoseconds."""
+        return 1e9 / self.hertz
+
+    def cycles_per_us(self) -> float:
+        return self.hertz / 1e6
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles * self.cycle_ns
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles * self.cycle_ns / 1e3
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.hertz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns / self.cycle_ns
+
+    def us_to_cycles(self, us: float) -> float:
+        return us * 1e3 / self.cycle_ns
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.hertz
+
+
+#: The clock used throughout the paper's evaluation (§5.1).
+PAPER_CLOCK = Frequency.ghz(2.0)
+
+
+def cycles_to_ns(cycles: float, frequency: Frequency = PAPER_CLOCK) -> float:
+    """Convert cycles to nanoseconds (defaults to the paper's 2 GHz clock)."""
+    return frequency.cycles_to_ns(cycles)
+
+
+def cycles_to_us(cycles: float, frequency: Frequency = PAPER_CLOCK) -> float:
+    """Convert cycles to microseconds (defaults to the paper's 2 GHz clock)."""
+    return frequency.cycles_to_us(cycles)
+
+
+def ns_to_cycles(ns: float, frequency: Frequency = PAPER_CLOCK) -> float:
+    """Convert nanoseconds to cycles (defaults to the paper's 2 GHz clock)."""
+    return frequency.ns_to_cycles(ns)
+
+
+def us_to_cycles(us: float, frequency: Frequency = PAPER_CLOCK) -> float:
+    """Convert microseconds to cycles (defaults to the paper's 2 GHz clock)."""
+    return frequency.us_to_cycles(us)

@@ -1,0 +1,191 @@
+"""A miniature structured IR lowered to the µ-ISA.
+
+The IR exists so the instrumentation passes of §6.1 can be expressed the way
+Concord expresses them — as compiler transformations over functions and
+loops — rather than by hand-editing assembly.  It is intentionally small:
+
+- :class:`Module`: named functions, one of which is the entry point.
+- :class:`Function`: a body of nodes; lowering adds the prologue/epilogue
+  (link-register save/restore) so nested calls work.
+- :class:`Block`: a straight-line sequence of nodes.
+- :class:`Loop`: a counted loop over a body (counter in a caller-chosen
+  register); the back-edge is the instrumentation site.
+- :class:`RawOp`: one µ-ISA instruction.
+- :class:`CallFn`: a call to another function in the module.
+- :class:`PollCheck` / :class:`Safepoint`: instrumentation markers inserted
+  by the passes and expanded at lowering time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import ConfigError
+from repro.cpu import isa
+from repro.cpu.isa import Instruction
+from repro.cpu.program import Program, ProgramBuilder
+from repro.compiler.instrument import POLL_FLAG_REG, POLL_SCRATCH
+
+
+@dataclass
+class RawOp:
+    """A single µ-ISA instruction."""
+
+    instruction: Instruction
+
+
+@dataclass
+class CallFn:
+    """Call another function in the module."""
+
+    name: str
+
+
+@dataclass
+class PollCheck:
+    """Concord-style preemption check (inserted by insert_polling_checks)."""
+
+    flag_addr: int
+
+
+@dataclass
+class Safepoint:
+    """Hardware safepoint marker (inserted by insert_safepoints)."""
+
+
+@dataclass
+class Block:
+    body: List["Node"] = field(default_factory=list)
+
+
+@dataclass
+class Loop:
+    """``for counter_reg in range(count): body`` with an instrumentable back-edge."""
+
+    counter_reg: int
+    count: int
+    body: List["Node"] = field(default_factory=list)
+    #: Set by insert_safepoints: fold a safepoint prefix onto the back-edge.
+    safepoint_backedge: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigError("loop count must be non-negative")
+
+
+Node = Union[RawOp, CallFn, PollCheck, Safepoint, Block, Loop]
+
+
+@dataclass
+class Function:
+    name: str
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Module:
+    functions: Dict[str, Function] = field(default_factory=dict)
+    entry: Optional[str] = None
+
+    def add(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ConfigError(f"function {function.name!r} defined twice")
+        self.functions[function.name] = function
+        if self.entry is None:
+            self.entry = function.name
+        return function
+
+
+class _Lowerer:
+    """Walks the IR emitting µ-ISA through a ProgramBuilder."""
+
+    def __init__(self, module: Module, builder: ProgramBuilder) -> None:
+        self.module = module
+        self.builder = builder
+        self._labels = itertools.count()
+        self._poll_flag_loaded = False
+
+    def _fresh(self, stem: str) -> str:
+        return f"__{stem}_{next(self._labels)}"
+
+    def lower(self) -> None:
+        module = self.module
+        if module.entry is None or module.entry not in module.functions:
+            raise ConfigError("module has no entry function")
+        b = self.builder
+        b.emit(isa.call(f"__fn_{module.entry}"))
+        b.emit(isa.halt())
+        for function in module.functions.values():
+            self._lower_function(function)
+
+    def _lower_function(self, function: Function) -> None:
+        b = self.builder
+        b.label(f"__fn_{function.name}")
+        b.emit(isa.subi(15, 15, 8))
+        b.emit(isa.store(14, 15, 0))
+        self._lower_nodes(function.body)
+        b.emit(isa.load(14, 15, 0))
+        b.emit(isa.addi(15, 15, 8))
+        b.emit(isa.ret())
+
+    def _lower_nodes(self, nodes: List[Node]) -> None:
+        for node in nodes:
+            self._lower_node(node)
+
+    def _lower_node(self, node: Node) -> None:
+        b = self.builder
+        if isinstance(node, RawOp):
+            b.emit(node.instruction)
+        elif isinstance(node, Block):
+            self._lower_nodes(node.body)
+        elif isinstance(node, CallFn):
+            if node.name not in self.module.functions:
+                raise ConfigError(f"call to undefined function {node.name!r}")
+            b.emit(isa.call(f"__fn_{node.name}"))
+        elif isinstance(node, Safepoint):
+            b.emit(isa.safepoint())
+        elif isinstance(node, PollCheck):
+            self._lower_poll_check(node)
+        elif isinstance(node, Loop):
+            self._lower_loop(node)
+        else:
+            raise ConfigError(f"unknown IR node: {node!r}")
+
+    def _lower_poll_check(self, node: PollCheck) -> None:
+        b = self.builder
+        skip = self._fresh("poll_skip")
+        b.emit(isa.movi(POLL_FLAG_REG, node.flag_addr))
+        b.emit(isa.load(POLL_SCRATCH, POLL_FLAG_REG, 0))
+        b.emit(isa.beqi(POLL_SCRATCH, 0, skip))
+        # Inline yield: clear the flag (scheduler work is the caller's
+        # concern at this level; the µ-ISA benchmarks use the richer
+        # PollingInstrumenter stub).
+        b.emit(isa.movi(POLL_SCRATCH, 0))
+        b.emit(isa.store(POLL_SCRATCH, POLL_FLAG_REG, 0))
+        b.label(skip)
+
+    def _lower_loop(self, node: Loop) -> None:
+        b = self.builder
+        head = self._fresh("loop")
+        b.emit(isa.movi(node.counter_reg, 0))
+        if node.count == 0:
+            return
+        b.label(head)
+        self._lower_nodes(node.body)
+        b.emit(isa.addi(node.counter_reg, node.counter_reg, 1))
+        # Immediate-compare back-edge: nested loops stay independent.
+        branch = isa.blti(node.counter_reg, node.count, head)
+        if node.safepoint_backedge:
+            branch = branch.with_safepoint()
+        b.emit(branch)
+
+
+def lower_module(module: Module, name: str = "") -> Program:
+    """Lower ``module`` to an executable µ-ISA program (with the default
+    interrupt handler appended)."""
+    builder = ProgramBuilder(name or (module.entry or "module"))
+    _Lowerer(module, builder).lower()
+    builder.emit_default_handler()
+    return builder.build()

@@ -1,0 +1,52 @@
+"""IR-to-IR instrumentation passes (the Concord / safepoint transformations).
+
+Both passes instrument the same sites — every function entry and every loop
+back-edge — which is the coverage guarantee compiler-based preemption needs:
+any cycle through the control-flow graph crosses one of them (§2).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List
+
+from repro.compiler.instrument import DEFAULT_POLL_FLAG_ADDR
+from repro.compiler.ir import Block, Function, Loop, Module, Node, PollCheck, Safepoint
+
+
+def _instrument_nodes(nodes: List[Node], make_marker) -> None:
+    for node in nodes:
+        if isinstance(node, Loop):
+            _instrument_nodes(node.body, make_marker)
+            marker = make_marker()
+            if isinstance(marker, Safepoint):
+                # Fold the safepoint prefix onto the back-edge branch itself
+                # (§4.4: "transforming any instruction into a hardware
+                # safepoint") — zero extra instructions.
+                node.safepoint_backedge = True
+            else:
+                node.body.append(marker)
+        elif isinstance(node, Block):
+            _instrument_nodes(node.body, make_marker)
+
+
+def _instrument_module(module: Module, make_marker) -> Module:
+    instrumented = copy.deepcopy(module)
+    for function in instrumented.functions.values():
+        function.body.insert(0, make_marker())
+        _instrument_nodes(function.body, make_marker)
+    return instrumented
+
+
+def insert_polling_checks(
+    module: Module, flag_addr: int = DEFAULT_POLL_FLAG_ADDR
+) -> Module:
+    """Insert a Concord-style poll of ``flag_addr`` at every function entry
+    and loop back-edge; returns a new module."""
+    return _instrument_module(module, lambda: PollCheck(flag_addr=flag_addr))
+
+
+def insert_safepoints(module: Module) -> Module:
+    """Insert hardware safepoints at every function entry and loop back-edge;
+    returns a new module."""
+    return _instrument_module(module, Safepoint)

@@ -1,0 +1,38 @@
+"""Cycle tier: an out-of-order x86-like core model (the gem5 substitute).
+
+This package models the microarchitecture the paper's §3-§4 results live in:
+a fetch/decode/rename/issue/execute/commit pipeline with a ROB, issue queue,
+load/store queues, branch prediction, a cache hierarchy, and an MSROM from
+which interrupt microcode is injected.  The three interrupt-delivery
+strategies the paper compares — *flush* (Sapphire Rapids / UIPI), *drain*
+(gem5's legacy model), and *tracking* (the xUI contribution) — are
+implemented in :mod:`repro.cpu.delivery`.
+"""
+
+from repro.cpu.isa import Op, Instruction, RegNames
+from repro.cpu.program import Program, ProgramBuilder
+from repro.cpu.config import CoreParams, TimingParams
+from repro.cpu.core import Core
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.delivery import (
+    DeliveryStrategy,
+    FlushStrategy,
+    DrainStrategy,
+    TrackedStrategy,
+)
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "RegNames",
+    "Program",
+    "ProgramBuilder",
+    "CoreParams",
+    "TimingParams",
+    "Core",
+    "MultiCoreSystem",
+    "DeliveryStrategy",
+    "FlushStrategy",
+    "DrainStrategy",
+    "TrackedStrategy",
+]

@@ -1,0 +1,163 @@
+"""Branch prediction: gshare direction predictor, BTB, and a return stack.
+
+Prediction quality matters to the experiments in two ways: polling-based
+notification eats a mispredict when the flag finally flips (§4.2), and
+tracked interrupts must survive misspeculation recovery (§4.2's state
+machine), which only gets exercised if branches actually mispredict.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cpu.isa import Instruction, Op
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._table: List[int] = [2] * (1 << table_bits)  # weakly taken
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = (1 << table_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def record_speculative(self, taken: bool) -> int:
+        """Shift the predicted outcome into history; return prior history for recovery."""
+        prior = self._history
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return prior
+
+    def restore_history(self, history: int) -> None:
+        self._history = history
+
+    def update(self, pc: int, history_at_predict: int, taken: bool) -> None:
+        """Train the counter indexed with the history in effect at prediction."""
+        saved = self._history
+        self._history = history_at_predict
+        index = self._index(pc)
+        self._history = saved
+        counter = self._table[index]
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+
+
+class BranchTargetBuffer:
+    """Direct-mapped PC -> target cache for taken branches."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        self._entries = entries
+        self._tags: List[Optional[int]] = [None] * entries
+        self._targets: List[int] = [0] * entries
+
+    def lookup(self, pc: int) -> Optional[int]:
+        index = pc % self._entries
+        if self._tags[index] == pc:
+            return self._targets[index]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        index = pc % self._entries
+        self._tags[index] = pc
+        self._targets[index] = target
+
+
+class ReturnAddressStack:
+    """A small RAS for CALL/RET pairs."""
+
+    def __init__(self, depth: int = 16) -> None:
+        self._depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self._depth:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        return self._stack.pop() if self._stack else None
+
+    def snapshot(self) -> List[int]:
+        return list(self._stack)
+
+    def restore(self, snapshot: List[int]) -> None:
+        self._stack = list(snapshot)
+
+
+class BranchPredictor:
+    """The front-end's combined predictor.
+
+    ``predict(pc, instruction)`` returns ``(taken, target, history_token)``;
+    ``history_token`` must be passed back to :meth:`resolve` so training and
+    history recovery use the state in effect at prediction time.
+    """
+
+    def __init__(self, table_bits: int = 12, btb_entries: int = 1024) -> None:
+        self.gshare = GsharePredictor(table_bits=table_bits)
+        self.btb = BranchTargetBuffer(entries=btb_entries)
+        self.ras = ReturnAddressStack()
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int, instruction: Instruction) -> Tuple[bool, Optional[int], int]:
+        self.predictions += 1
+        op = instruction.op
+        if op in (Op.JMP, Op.CALL):
+            # Direct unconditional: target known at decode.
+            target = instruction.target if isinstance(instruction.target, int) else None
+            if op is Op.CALL:
+                self.ras.push(pc + 1)
+            history = self.gshare.record_speculative(True)
+            return True, target, history
+        if op is Op.RET:
+            target = self.ras.pop()
+            history = self.gshare.record_speculative(True)
+            return True, target, history
+        # Conditional branch.
+        taken = self.gshare.predict(pc)
+        target: Optional[int] = None
+        if taken:
+            target = self.btb.lookup(pc)
+            if target is None and isinstance(instruction.target, int):
+                # Direct conditional branches carry their target in the
+                # encoding; the BTB only matters for the first-sight case,
+                # which we approximate as available at decode.
+                target = instruction.target
+        history = self.gshare.record_speculative(taken)
+        return taken, target, history
+
+    def resolve(
+        self,
+        pc: int,
+        instruction: Instruction,
+        history_token: int,
+        actual_taken: bool,
+        actual_target: int,
+        predicted_taken: bool,
+        predicted_target: Optional[int],
+    ) -> bool:
+        """Train on the outcome; return True if this was a misprediction."""
+        if instruction.is_cond_branch:
+            self.gshare.update(pc, history_token, actual_taken)
+        if actual_taken:
+            self.btb.update(pc, actual_target)
+        mispredicted = actual_taken != predicted_taken or (
+            actual_taken and predicted_target != actual_target
+        )
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.predictions if self.predictions else 0.0

@@ -1,0 +1,257 @@
+"""Cache hierarchy and shared-memory model for the cycle tier.
+
+Each core owns a private L1I and L1D; all cores share a :class:`SharedMemory`
+that provides value storage plus a light-weight coherence directory.  The
+directory tracks, per line, which core last wrote it; a read by a different
+core pays the ``remote_dirty_latency`` (a cross-core transfer through the
+LLC).  This is the behaviour UIPI's UPID traffic and shared-memory polling
+depend on: a remote write invalidates the local copy, so the next local read
+misses (§2, §4.2 "Cheaper than shared memory notification?").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.cpu.config import CacheParams, MemoryParams
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache tracking presence only (no data).
+
+    Data values live in :class:`SharedMemory`; the cache decides latency.
+    """
+
+    def __init__(self, params: CacheParams) -> None:
+        self.params = params
+        self._line_shift = params.line_bytes.bit_length() - 1
+        self._num_sets = params.num_sets
+        # Each set is an ordered list of tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def lookup(self, addr: int) -> bool:
+        """Check presence and update LRU; fill on miss.  True on hit."""
+        line = self.line_of(addr)
+        index = line % self._num_sets
+        tags = self._sets[index]
+        if line in tags:
+            tags.remove(line)
+            tags.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(tags) >= self.params.associativity:
+            tags.pop(0)
+        tags.append(line)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Presence check with no LRU update and no fill."""
+        line = self.line_of(addr)
+        return line in self._sets[line % self._num_sets]
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding ``addr``; True if it was present."""
+        line = self.line_of(addr)
+        tags = self._sets[line % self._num_sets]
+        if line in tags:
+            tags.remove(line)
+            return True
+        return False
+
+    def flush(self) -> None:
+        for tags in self._sets:
+            tags.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+class SharedMemory:
+    """Word-granular value store plus a line-granular coherence directory.
+
+    Values are 64-bit words keyed by byte address (addresses are expected to
+    be 8-byte aligned by convention; unaligned addresses are rounded down).
+    """
+
+    LINE_BYTES = 64
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        #: line -> core id of the last writer (None = clean/boot state)
+        self._last_writer: Dict[int, Optional[int]] = {}
+        #: observers notified on every write: callables (core_id, addr).
+        self._write_observers: List = []
+
+    @staticmethod
+    def word_addr(addr: int) -> int:
+        return addr & ~0x7
+
+    @classmethod
+    def line_of(cls, addr: int) -> int:
+        return addr // cls.LINE_BYTES
+
+    def read(self, addr: int) -> int:
+        return self._words.get(self.word_addr(addr), 0)
+
+    def write(self, addr: int, value: int, core_id: Optional[int] = None) -> None:
+        self._words[self.word_addr(addr)] = value
+        if core_id is not None:
+            self._last_writer[self.line_of(addr)] = core_id
+        for observer in self._write_observers:
+            observer(core_id, addr)
+
+    def add_write_observer(self, observer) -> None:
+        """Register ``observer(core_id, addr)`` called on every write."""
+        self._write_observers.append(observer)
+
+    def last_writer(self, addr: int) -> Optional[int]:
+        return self._last_writer.get(self.line_of(addr))
+
+    def clear_writer(self, addr: int) -> None:
+        self._last_writer.pop(self.line_of(addr), None)
+
+
+class MemoryHierarchy:
+    """One core's view of the memory system: L1D + shared levels below.
+
+    ``load``/``store`` return an access latency in cycles and perform the
+    value transfer against :class:`SharedMemory`.  Cross-core communication
+    costs arise from the directory: reading a line whose last writer is a
+    different core forces an L1 miss at ``remote_dirty_latency`` even if a
+    stale copy was cached locally.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        dcache: CacheParams,
+        memory_params: MemoryParams,
+        shared: SharedMemory,
+        l2: Optional[CacheParams] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.dcache = SetAssociativeCache(dcache)
+        self.l2cache = SetAssociativeCache(
+            l2
+            or CacheParams(
+                size_bytes=1024 * 1024,
+                associativity=16,
+                line_bytes=dcache.line_bytes,
+                hit_latency=memory_params.l2_hit_latency,
+            )
+        )
+        self.params = memory_params
+        self.shared = shared
+        self.remote_misses = 0
+
+    def _miss_latency(self, addr: int) -> int:
+        """Latency below L1 for ``addr``.
+
+        A line recently written by another core comes from that core's cache
+        via the LLC; otherwise the private L2 decides between an L2 hit and
+        a memory access (working sets past the L2 pay DRAM latency — the
+        pointer-chase experiments of §3.5/§6.1 depend on this).
+        """
+        writer = self.shared.last_writer(addr)
+        if writer is not None and writer != self.core_id:
+            self.remote_misses += 1
+            # The transfer also installs the line in our L2.
+            self.l2cache.lookup(addr)
+            return self.params.remote_dirty_latency
+        if self.l2cache.lookup(addr):
+            return self.params.l2_hit_latency
+        return self.params.dram_latency
+
+    def load(self, addr: int) -> Tuple[int, int]:
+        """Return ``(latency_cycles, value)`` for a load of ``addr``."""
+        if addr < 0:
+            # Wrong-path loads can form garbage addresses; clamp them so they
+            # behave like (cacheable) accesses to low memory.
+            addr = -addr
+        writer = self.shared.last_writer(addr)
+        remote_dirty = writer is not None and writer != self.core_id
+        if remote_dirty:
+            # Remote write invalidated our copy: force a miss, then take
+            # ownership of the clean line locally.
+            self.dcache.invalidate(addr)
+        hit = self.dcache.lookup(addr)
+        if hit and not remote_dirty:
+            latency = self.dcache.params.hit_latency
+        else:
+            latency = self.dcache.params.hit_latency + self._miss_latency(addr)
+            if remote_dirty:
+                # The transfer leaves the line shared/clean; later local
+                # reads hit until the remote core writes again.
+                self.shared.clear_writer(addr)
+        return latency, self.shared.read(addr)
+
+    def store(self, addr: int, value: int) -> int:
+        """Perform a store; return its completion latency in cycles."""
+        if addr < 0:
+            addr = -addr
+        writer = self.shared.last_writer(addr)
+        remote_dirty = writer is not None and writer != self.core_id
+        if remote_dirty:
+            self.dcache.invalidate(addr)
+        hit = self.dcache.lookup(addr)
+        if hit and not remote_dirty:
+            latency = self.dcache.params.hit_latency
+        else:
+            # Write-allocate: fetch ownership (RFO) before writing.
+            latency = self.dcache.params.hit_latency + self._miss_latency(addr)
+        self.shared.write(addr, value, core_id=self.core_id)
+        return latency
+
+    def store_probe(self, addr: int) -> int:
+        """Latency phase of a store (RFO/cache fill); the value is written at commit."""
+        if addr < 0:
+            addr = -addr
+        writer = self.shared.last_writer(addr)
+        remote_dirty = writer is not None and writer != self.core_id
+        if remote_dirty:
+            self.dcache.invalidate(addr)
+        hit = self.dcache.lookup(addr)
+        if hit and not remote_dirty:
+            return self.dcache.params.hit_latency
+        return self.dcache.params.hit_latency + self._miss_latency(addr)
+
+    def warm(self, addr: int) -> None:
+        """Pre-fill the line holding ``addr`` (test/benchmark setup)."""
+        self.dcache.lookup(addr)
+
+
+class InstructionCache:
+    """The L1I: presence-only cache with next-line prefetch.
+
+    Sequential code streams through the front-end without repeated miss
+    stalls (the prefetcher runs ahead); only redirects to cold targets pay
+    the miss.
+    """
+
+    PREFETCH_DEGREE = 2
+
+    def __init__(self, params: CacheParams, memory_params: MemoryParams) -> None:
+        self.cache = SetAssociativeCache(params)
+        self.params = memory_params
+
+    def fetch_latency(self, addr: int) -> int:
+        """Latency for a fetch block at ``addr`` (0 extra on an L1I hit)."""
+        hit = self.cache.lookup(addr)
+        line = self.cache.params.line_bytes
+        for ahead in range(1, self.PREFETCH_DEGREE + 1):
+            self.cache.lookup(addr + ahead * line)
+        return 0 if hit else self.params.l2_hit_latency
+
+    def warm_range(self, start_addr: int, end_addr: int) -> None:
+        addr = start_addr
+        while addr <= end_addr:
+            self.cache.lookup(addr)
+            addr += self.cache.params.line_bytes

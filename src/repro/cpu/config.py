@@ -1,0 +1,178 @@
+"""Core configuration (Table 3) and calibration timing parameters (§3.4/§3.5).
+
+``CoreParams.sapphire_rapids_like()`` reproduces Table 3 of the paper — the
+baseline x86 core the gem5 evaluation models.  ``TimingParams`` collects the
+constants our characterization targets (Table 2 / Figure 2): wire latencies,
+MSROM entry costs, and cache latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Structural parameters of the out-of-order core (Table 3)."""
+
+    frequency_ghz: float = 2.0
+    fetch_width: int = 6
+    decode_width: int = 6
+    issue_width: int = 10
+    retire_width: int = 10
+    squash_width: int = 10
+    rob_size: int = 384
+    iq_size: int = 168
+    #: Decode/rename pipeline depth: cycles between fetch and issue
+    #: eligibility; the redirect/refill penalty of mispredicts and flushes.
+    frontend_depth: int = 8
+    lq_size: int = 128
+    sq_size: int = 72
+    int_alu_units: int = 6
+    mul_units: int = 2
+    fp_units: int = 3
+    # Functional-unit latencies (cycles)
+    int_alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    fp_latency: int = 3
+    fp_div_latency: int = 12
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fetch_width",
+            "decode_width",
+            "issue_width",
+            "retire_width",
+            "squash_width",
+            "rob_size",
+            "iq_size",
+            "lq_size",
+            "sq_size",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @classmethod
+    def sapphire_rapids_like(cls) -> "CoreParams":
+        """The Table 3 baseline configuration."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "CoreParams":
+        """A reduced configuration for fast unit tests."""
+        return cls(
+            fetch_width=2,
+            decode_width=2,
+            issue_width=4,
+            retire_width=4,
+            squash_width=4,
+            rob_size=32,
+            iq_size=16,
+            lq_size=16,
+            sq_size=16,
+            int_alu_units=2,
+            mul_units=1,
+            fp_units=1,
+        )
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One cache level: size/associativity/line plus hit latency."""
+
+    size_bytes: int = 32 * 1024
+    associativity: int = 8
+    line_bytes: int = 64
+    hit_latency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ConfigError(
+                "cache size must be a multiple of associativity * line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Latencies of the hierarchy below L1 (cycles)."""
+
+    l2_hit_latency: int = 14
+    llc_hit_latency: int = 42
+    dram_latency: int = 200
+    #: Latency to fetch a line most recently written by another core —
+    #: a cross-core transfer through the shared LLC.  The UPID read in the
+    #: notification microcode and the polled flag line pay this.
+    remote_dirty_latency: int = 90
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Calibration constants targeted at Table 2 / Figure 2.
+
+    These are the knobs our characterization study (§3) fixes: how long the
+    APIC-to-APIC wire takes, how expensive MSROM entry and serializing
+    micro-ops are, and the shape of the ``senduipi`` microcode.  Defaults are
+    calibrated so the cycle tier reproduces the paper's measured constants at
+    the Table 3 configuration.
+    """
+
+    #: senduipi ICR write -> receiver core interrupted (Figure 2: cycle 380,
+    #: minus the sender-side microcode that precedes the ICR write).
+    ipi_wire_latency: int = 140
+    #: Extra cycles to begin fetching a microcode routine from the MSROM.
+    msrom_entry_latency: int = 14
+    #: Number of micro-ops in the senduipi MSROM routine (§3.5: 57).
+    senduipi_uop_count: int = 57
+    #: senduipi serialization stalls (§3.5: ~279 stall cycles total), split
+    #: around the ICR write so the IPI launches at the right offset
+    #: (Figure 2: receiver interrupted at ~380 while senduipi costs ~383).
+    senduipi_pre_icr_stall: int = 30
+    senduipi_icr_stall: int = 30
+    senduipi_post_icr_stall: int = 310
+    #: Cost of stui (serializing, Table 2: 32 cycles) and clui (2 cycles).
+    stui_stall: int = 28
+    #: Stall for microcode-internal UIRR updates in the delivery routine.
+    uirr_write_stall: int = 55
+    #: Stall for the UIRR latch in notification processing (the UPID-path
+    #: cost that separates tracked IPIs at 231 cycles from tracked
+    #: timer/device interrupts at 105, §4.2).
+    notif_latch_stall: int = 110
+    #: Stall for the UIF clear in the delivery microcode.
+    uif_write_stall: int = 38
+    #: MSROM sequencing rate (micro-ops fetchable per cycle from microcode).
+    msrom_fetch_width: int = 2
+    #: Pipeline-refill penalty after a full flush: cycles before the first
+    #: microcode micro-op can issue (part of Figure 2's 424-cycle gap).
+    flush_refill_latency: int = 310
+    #: gem5's legacy interrupt model adds a fixed pad after draining (§5.2).
+    gem5_drain_pad: int = 13
+
+    def __post_init__(self) -> None:
+        if self.ipi_wire_latency < 0:
+            raise ConfigError("ipi_wire_latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Bundle of all cycle-tier configuration."""
+
+    core: CoreParams = field(default_factory=CoreParams.sapphire_rapids_like)
+    icache: CacheParams = field(default_factory=CacheParams)
+    dcache: CacheParams = field(default_factory=CacheParams)
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    timing: TimingParams = field(default_factory=TimingParams)
+
+    @classmethod
+    def sapphire_rapids_like(cls) -> "SystemConfig":
+        return cls()
+
+    @classmethod
+    def small(cls) -> "SystemConfig":
+        return cls(core=CoreParams.small())

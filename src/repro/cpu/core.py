@@ -1,0 +1,937 @@
+"""The out-of-order core: fetch, rename, issue, execute, commit — per cycle.
+
+One :meth:`Core.step` call advances the core by one cycle, in back-to-front
+stage order (commit, completions, issue, fetch) so each stage works on the
+previous cycle's state.  Interrupt-delivery behaviour is delegated to a
+:class:`repro.cpu.delivery.DeliveryStrategy`, which is where flush / drain /
+tracking differ.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, ProtocolError, SimulationError
+from repro.cpu.backend import (
+    ST_DONE,
+    ST_EXECUTING,
+    ST_READY,
+    ST_WAITING,
+    FunctionalUnits,
+    LoadStoreQueues,
+    UOp,
+    squash_penalty_cycles,
+)
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.cache import InstructionCache, MemoryHierarchy, SharedMemory
+from repro.cpu.config import SystemConfig
+from repro.cpu.isa import NUM_REGS, Instruction, Op, RegNames
+from repro.cpu import microcode as mc
+from repro.cpu.microcode import MicroOp
+from repro.cpu.program import Program, instruction_address
+from repro.cpu.uintr_state import KBTimerState, UserInterruptFile
+from repro.cpu.uopcache import UopCache
+from repro.sim.trace import TraceRecorder
+from repro.uintr.apic import InterruptKind, LocalApic, PendingInterrupt
+from repro.uintr.upid import UPID
+
+MASK64 = (1 << 64) - 1
+#: Pseudo-register key for microcode chain dependences.
+CHAIN_KEY = -1
+#: Store-to-load forwarding latency.
+FORWARD_LATENCY = 5
+
+
+@dataclass
+class CoreStats:
+    """Counters the experiments read out."""
+
+    cycles: int = 0
+    committed_instructions: int = 0
+    committed_uops: int = 0
+    committed_handler_instructions: int = 0
+    squashed_uops: int = 0
+    fetched_uops: int = 0
+    interrupts_delivered: int = 0
+    interrupt_flushes: int = 0
+    branch_squashes: int = 0
+    memory_order_squashes: int = 0
+    serialize_stall_cycles: int = 0
+
+    def snapshot(self) -> "CoreStats":
+        return CoreStats(**self.__dict__)
+
+
+class Core:
+    """One out-of-order core executing a :class:`Program`."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        config: SystemConfig,
+        shared_memory: SharedMemory,
+        apic: LocalApic,
+        strategy: "DeliveryStrategy",
+        send_ipi: Optional[Callable[[int, int], None]] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.program = program
+        self.config = config
+        self.params = config.core
+        self.timing = config.timing
+        self.shared = shared_memory
+        self.apic = apic
+        self.strategy = strategy
+        self.send_ipi = send_ipi or (lambda dest, vector: None)
+        self.trace = trace or TraceRecorder(enabled=False)
+
+        self.hierarchy = MemoryHierarchy(core_id, config.dcache, config.memory, shared_memory)
+        self.icache = InstructionCache(config.icache, config.memory)
+        self.uop_cache = UopCache()
+        self.predictor = BranchPredictor()
+        self.fus = FunctionalUnits(config.core)
+        self.lsq = LoadStoreQueues(config.core)
+        self.uintr = UserInterruptFile()
+        self.uitt = None  # set by MultiCoreSystem.register_sender
+        #: The conventional local APIC timer (the kernel's timer).  Exists
+        #: so the Skyloft UINV-overload trick (§7) can be reproduced; xUI
+        #: adds the separate KB timer precisely so this one stays with the
+        #: kernel (§4.3).
+        self.apic_timer = KBTimerState()
+        self.stats = CoreStats()
+
+        self.arch_regs: List[int] = [0] * NUM_REGS
+        self.cycle = 0
+        self.halted = False
+
+        # Back-end state
+        self.rob: Deque[UOp] = deque()
+        self.reg_producer: Dict[int, UOp] = {}
+        self.ready_heap: List[Tuple[int, int, UOp]] = []
+        self.exec_heap: List[Tuple[int, int, UOp]] = []
+        self.iq_count = 0
+        self._seq = 0
+        self._serialize_until = -1
+
+        # Front-end state
+        self.fetch_pc = program.entry_index
+        self.fetch_stall_until = 0
+        self.wait_reason: Optional[str] = None  # "uiret" | "halt" | "drain"
+        self.inject_queue: List[MicroOp] = []
+        self.inject_pos = 0
+        self.macro_queue: List[MicroOp] = []
+        self.macro_pos = 0
+        self.macro_pc = -1
+        self.interrupt_path = False
+        self._last_chain_uop: Optional[UOp] = None
+        self._current_fetch_line = -1
+
+        # Interrupt delivery state (driven by the strategy)
+        self.delivery_state: Optional[str] = None  # None | "inflight"
+        self.current_interrupt: Optional[PendingInterrupt] = None
+        self.last_program_commit_cycle = 0
+        self._notif_pir = 0
+        self._trace_resume_pending = False
+        #: (pc, is_micro) of loads that have violated memory ordering:
+        #: they wait for older store addresses on later executions.
+        self._conservative_loads: set = set()
+
+        strategy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Per-cycle step
+    # ------------------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        """Advance the core by one cycle (``cycle`` is the global clock)."""
+        if self.halted:
+            return
+        self.cycle = cycle
+        self.stats.cycles += 1
+        self._check_kb_timer()
+        self.strategy.on_cycle()
+        self._commit_stage()
+        if self.halted:
+            return
+        self._complete_stage()
+        self._issue_stage()
+        self._fetch_stage()
+
+    def run(self, max_cycles: int) -> int:
+        """Single-core convenience loop (multi-core runs use MultiCoreSystem)."""
+        start = self.cycle
+        for cycle in range(self.cycle, self.cycle + max_cycles):
+            if self.halted:
+                break
+            self.step(cycle)
+        return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # KB timer (§4.3)
+    # ------------------------------------------------------------------
+
+    def _check_kb_timer(self) -> None:
+        timer = self.uintr.kb_timer
+        if timer.check_fire(self.cycle):
+            self.apic.raise_timer(timer.vector, self.cycle)
+            self.trace.record(self.cycle, "kb_timer_fire", core=self.core_id)
+        # The conventional local APIC timer delivers through the APIC's
+        # normal vector classification: a kernel interrupt — unless UINV has
+        # been overloaded onto its vector (the Skyloft trick, §7).
+        if self.apic_timer.check_fire(self.cycle):
+            self.apic.accept(self.apic_timer.vector, self.cycle, kind=None)
+            self.trace.record(self.cycle, "apic_timer_fire", core=self.core_id)
+
+    # ------------------------------------------------------------------
+    # Commit stage
+    # ------------------------------------------------------------------
+
+    def _commit_stage(self) -> None:
+        budget = self.params.retire_width
+        while budget > 0 and self.rob:
+            head = self.rob[0]
+            if head.state != ST_DONE:
+                break
+            self.rob.popleft()
+            budget -= 1
+            self._commit_uop(head)
+            if self.halted:
+                return
+
+    def _commit_uop(self, uop: UOp) -> None:
+        self.stats.committed_uops += 1
+        op = uop.op
+        if op in (Op.LOAD, Op.STORE):
+            self.lsq.remove(uop)
+        # Architectural register update.
+        if uop.dest is not None:
+            self.arch_regs[uop.dest] = uop.result & MASK64
+            if self.reg_producer.get(uop.dest) is uop:
+                del self.reg_producer[uop.dest]
+        # Memory write.
+        if op is Op.STORE and uop.addr is not None and not uop.semantic:
+            self.shared.write(uop.addr, uop.store_value & MASK64, core_id=self.core_id)
+        # Microcode / special semantics.
+        if uop.semantic:
+            self._apply_semantic(uop)
+        if op is Op.CLUI:
+            self.uintr.uif = False
+        elif op is Op.STUI:
+            self.uintr.uif = True
+        elif op is Op.SETTIMER:
+            self._apply_set_timer(uop)
+        elif op is Op.CLRTIMER:
+            self.uintr.kb_timer.disarm()
+        elif op is Op.UIRET:
+            self._commit_uiret(uop)
+        elif op is Op.HALT:
+            self.halted = True
+        # Instruction accounting.
+        if uop.macro_last and not uop.is_micro:
+            if uop.from_interrupt:
+                self.stats.committed_handler_instructions += 1
+            else:
+                self.stats.committed_instructions += 1
+                self.last_program_commit_cycle = self.cycle
+        self.strategy.on_commit(uop)
+
+    def _apply_set_timer(self, uop: UOp) -> None:
+        cycles_value = uop.source_value(uop.src_regs[0], self.arch_regs)
+        mode_value = uop.source_value(uop.src_regs[1], self.arch_regs)
+        if mode_value:
+            self.uintr.kb_timer.arm_periodic(cycles_value, now=self.cycle)
+        else:
+            self.uintr.kb_timer.arm_oneshot(cycles_value)
+
+    def _commit_uiret(self, uop: UOp) -> None:
+        self.uintr.uif = True
+        self.uintr.in_handler = False
+        self.delivery_state = None
+        self.current_interrupt = None
+        self.stats.interrupts_delivered += 1
+        self.trace.record(self.cycle, "uiret_commit", core=self.core_id)
+
+    # -- microcode commit semantics ------------------------------------
+
+    def _apply_semantic(self, uop: UOp) -> None:
+        semantic = uop.semantic
+        if semantic == mc.SEM_UPID_SET_PIR:
+            entry_upid, entry_vector = self._uitt_entry(uop.uitt_index)
+            upid = UPID(self.shared, entry_upid)
+            upid.post_vector(entry_vector, core_id=self.core_id)
+            self.trace.record(self.cycle, "upid_posted", core=self.core_id, vector=entry_vector)
+        elif semantic == mc.SEM_ICR_WRITE:
+            entry_upid, _ = self._uitt_entry(uop.uitt_index)
+            upid = UPID(self.shared, entry_upid)
+            if not upid.suppressed:
+                self.trace.record(self.cycle, "icr_write", core=self.core_id)
+                self.send_ipi(upid.notification_destination, upid.notification_vector)
+        elif semantic == mc.SEM_NOTIF_LATCH_UIRR:
+            self.uintr.latch_uirr(self._notif_pir)
+            self._notif_pir = 0
+        elif semantic == mc.SEM_NOTIF_CLEAR_ON:
+            if self.uintr.upid_addr is not None:
+                upid = UPID(self.shared, self.uintr.upid_addr)
+                self._notif_pir = upid.take_pir(core_id=self.core_id)
+                upid.set_outstanding(False, core_id=self.core_id)
+            self.trace.record(self.cycle, "notif_clear_on", core=self.core_id)
+        elif semantic == mc.SEM_DEL_PUSH_SP and uop.addr is not None:
+            self.shared.write(uop.addr, uop.store_value & MASK64, core_id=self.core_id)
+        elif semantic == mc.SEM_DEL_PUSH_PC and uop.addr is not None:
+            value = self.uintr.ui_return_pc if self.uintr.ui_return_pc is not None else 0
+            self.shared.write(uop.addr, value, core_id=self.core_id)
+        elif semantic == mc.SEM_DEL_PUSH_VEC and uop.addr is not None:
+            vector = self.current_interrupt.vector if self.current_interrupt else 0
+            self.shared.write(uop.addr, vector, core_id=self.core_id)
+        elif semantic == mc.SEM_DEL_CLEAR_UIF:
+            self.uintr.uif = False
+            self.uintr.in_handler = True
+            self.trace.record(self.cycle, "uif_clear", core=self.core_id)
+        elif semantic == mc.SEM_DEL_UPDATE_UIRR:
+            self.uintr.take_uirr_vector()
+            self.trace.record(self.cycle, "delivery_done", core=self.core_id)
+
+    def _uitt_entry(self, index: int) -> Tuple[int, int]:
+        if self.uintr.uitt_base is None:
+            raise ProtocolError("senduipi without a registered UITT")
+        addr = self.uintr.uitt_base + 16 * index
+        return self.shared.read(addr), self.shared.read(addr + 8)
+
+    # ------------------------------------------------------------------
+    # Completion stage
+    # ------------------------------------------------------------------
+
+    def _complete_stage(self) -> None:
+        while self.exec_heap and self.exec_heap[0][0] <= self.cycle:
+            _, _, uop = heapq.heappop(self.exec_heap)
+            if uop.squashed:
+                continue
+            uop.state = ST_DONE
+            if uop.is_serializing:
+                self._serialize_until = -1
+            for dependent in uop.dependents:
+                if dependent.squashed or dependent.state != ST_WAITING:
+                    continue
+                dependent.wait_count -= 1
+                if dependent.wait_count == 0:
+                    self._mark_ready(dependent, max(self.cycle, dependent.frontend_ready))
+            if uop.is_branch:
+                self._resolve_branch(uop)
+            elif uop.op is Op.UIRET:
+                self._uiret_redirect(uop)
+
+    def _mark_ready(self, uop: UOp, at_cycle: int) -> None:
+        uop.state = ST_READY
+        heapq.heappush(self.ready_heap, (at_cycle, uop.seq, uop))
+
+    # -- branch resolution ----------------------------------------------
+
+    def _resolve_branch(self, uop: UOp) -> None:
+        actual_taken = uop.actual_taken
+        actual_target = uop.actual_target if uop.actual_target is not None else uop.pc + 1
+        mispredicted = self.predictor.resolve(
+            uop.pc,
+            uop.instr if uop.instr is not None else Instruction(uop.op),
+            uop.history_token,
+            actual_taken,
+            actual_target,
+            uop.pred_taken,
+            uop.pred_target,
+        )
+        if not mispredicted:
+            return
+        self.stats.branch_squashes += 1
+        # Recover predictor history to the state at this branch, then shift
+        # the actual outcome in.
+        self.predictor.gshare.restore_history(uop.history_token)
+        self.predictor.gshare.record_speculative(actual_taken)
+        if uop.ras_snapshot is not None:
+            self.predictor.ras.restore(uop.ras_snapshot)
+            if uop.op is Op.CALL:
+                self.predictor.ras.push(uop.pc + 1)
+        new_pc = actual_target if actual_taken else uop.pc + 1
+        self._squash_younger_than(uop, new_pc)
+
+    def _uiret_redirect(self, uop: UOp) -> None:
+        if self.uintr.ui_return_pc is None:
+            raise ProtocolError("uiret executed with no saved return state")
+        self.fetch_pc = self.uintr.ui_return_pc
+        self.wait_reason = None
+        self.interrupt_path = False
+        self._current_fetch_line = -1
+        self._trace_resume_pending = self.trace.enabled
+        self.trace.record(self.cycle, "uiret_exec", core=self.core_id)
+
+    # -- squash ----------------------------------------------------------
+
+    def _squash_younger_than(self, trigger: UOp, new_fetch_pc: int) -> None:
+        """Squash every µop younger than ``trigger`` and redirect fetch."""
+        self._squash_after_seq(trigger.seq, new_fetch_pc, trigger.from_interrupt)
+
+    def _squash_after_seq(
+        self, keep_upto_seq: int, new_fetch_pc: int, trigger_from_interrupt: bool
+    ) -> None:
+        seq = keep_upto_seq
+        survivors: Deque[UOp] = deque()
+        squashed = 0
+        squashed_interrupt_path = False
+        for uop in self.rob:
+            if uop.seq <= seq:
+                survivors.append(uop)
+            else:
+                uop.squashed = True
+                if uop.from_interrupt:
+                    squashed_interrupt_path = True
+                if uop.state in (ST_WAITING, ST_READY):
+                    self.iq_count -= 1
+                if uop.is_serializing and uop.state == ST_EXECUTING:
+                    self._serialize_until = -1
+                squashed += 1
+        self.rob = survivors
+        self.stats.squashed_uops += squashed
+        self.lsq.drop_squashed()
+        self._rebuild_rename()
+        # Un-fetched remainders of macros/injections are younger than the
+        # squash point by construction; drop them.
+        self.macro_queue = []
+        self.macro_pos = 0
+        self.macro_pc = -1
+        if self.inject_pos < len(self.inject_queue):
+            squashed_interrupt_path = True
+        self.inject_queue = []
+        self.inject_pos = 0
+        self._last_chain_uop = None
+        # A squash triggered from within the interrupt path (a handler
+        # branch) stays on the interrupt path; a program-path squash
+        # removes the whole injected stream.
+        self.interrupt_path = trigger_from_interrupt
+        self.wait_reason = None
+        self.fetch_pc = new_fetch_pc
+        self._current_fetch_line = -1
+        penalty = squash_penalty_cycles(squashed, self.params.squash_width)
+        self.fetch_stall_until = max(self.fetch_stall_until, self.cycle + penalty)
+        # Only a program-path trigger can have squashed the *whole* injected
+        # stream; a handler-internal mispredict leaves the microcode (older
+        # than the branch) intact and uses normal recovery (§4.2).
+        self.strategy.on_squash(
+            new_fetch_pc, squashed_interrupt_path and not trigger_from_interrupt
+        )
+
+    def flush_all(self) -> Tuple[int, int]:
+        """Interrupt-style full flush; returns (resume_pc, num_squashed).
+
+        The resume PC is the oldest uncommitted program instruction (or the
+        current fetch PC if the ROB is empty).
+        """
+        resume_pc = self.rob[0].pc if self.rob else self.fetch_pc
+        num = len(self.rob)
+        for uop in self.rob:
+            uop.squashed = True
+            if uop.state in (ST_WAITING, ST_READY):
+                self.iq_count -= 1
+        self.rob.clear()
+        self._serialize_until = -1
+        self.stats.squashed_uops += num
+        self.lsq.drop_squashed()
+        self.reg_producer.clear()
+        self.macro_queue = []
+        self.macro_pos = 0
+        self.macro_pc = -1
+        self.inject_queue = []
+        self.inject_pos = 0
+        self._last_chain_uop = None
+        self.interrupt_path = False
+        self.wait_reason = None
+        self._current_fetch_line = -1
+        return resume_pc, num
+
+    def _rebuild_rename(self) -> None:
+        self.reg_producer.clear()
+        for uop in self.rob:
+            if uop.dest is not None and uop.state != ST_DONE:
+                self.reg_producer[uop.dest] = uop
+            elif uop.dest is not None:
+                # Done-but-uncommitted producers still hold the latest value.
+                self.reg_producer[uop.dest] = uop
+
+    # ------------------------------------------------------------------
+    # Issue stage
+    # ------------------------------------------------------------------
+
+    def _issue_stage(self) -> None:
+        if self._serialize_until >= 0:
+            self.stats.serialize_stall_cycles += 1
+            return
+        budget = self.params.issue_width
+        deferred: List[Tuple[int, int, UOp]] = []
+        while budget > 0 and self.ready_heap and self.ready_heap[0][0] <= self.cycle:
+            _, seq, uop = heapq.heappop(self.ready_heap)
+            if uop.squashed or uop.state != ST_READY:
+                continue
+            if uop.is_serializing and (not self.rob or self.rob[0] is not uop):
+                deferred.append((self.cycle + 1, seq, uop))
+                continue
+            if (
+                uop.op is Op.LOAD
+                and (uop.pc, uop.is_micro) in self._conservative_loads
+                and self.lsq.has_unresolved_older_store(uop)
+            ):
+                # A load that has violated memory ordering before waits for
+                # older store addresses (store-set-style dependence predictor).
+                deferred.append((self.cycle + 1, seq, uop))
+                continue
+            if not self.fus.try_acquire(uop.op, self.cycle):
+                deferred.append((self.cycle + 1, seq, uop))
+                continue
+            self._start_execute(uop)
+            budget -= 1
+            if uop.is_serializing:
+                break
+        for item in deferred:
+            heapq.heappush(self.ready_heap, item)
+
+    def _start_execute(self, uop: UOp) -> None:
+        uop.state = ST_EXECUTING
+        self.iq_count -= 1
+        latency = self.fus.latency(uop.op) + uop.extra_latency
+        op = uop.op
+        if op is Op.LOAD:
+            latency = self._execute_load(uop)
+        elif op is Op.STORE:
+            latency = self._execute_store(uop) + uop.extra_latency
+        else:
+            self._compute_result(uop)
+        if uop.is_serializing:
+            self._serialize_until = self.cycle + latency
+        if uop.is_branch:
+            self._compute_branch_outcome(uop)
+        if uop.semantic == "senduipi_entry":
+            self.trace.record(self.cycle, "senduipi_start", core=self.core_id)
+        uop.complete_cycle = self.cycle + max(1, latency)
+        heapq.heappush(self.exec_heap, (uop.complete_cycle, uop.seq, uop))
+
+    def _resolve_mem_addr(self, uop: UOp) -> int:
+        if uop.semantic in mc.ARCH_ADDR_SEMANTICS:
+            return self._arch_addr(uop)
+        if not uop.src_regs:
+            return uop.imm
+        base = uop.source_value(uop.src_regs[0], self.arch_regs)
+        return (base + uop.imm) & MASK64
+
+    def _arch_addr(self, uop: UOp) -> int:
+        semantic = uop.semantic
+        if semantic == mc.SEM_UITT_LOAD:
+            if self.uintr.uitt_base is None:
+                raise ProtocolError("senduipi without a registered UITT")
+            return self.uintr.uitt_base + 16 * uop.uitt_index
+        if semantic in (mc.SEM_UPID_SET_PIR, mc.SEM_UPID_READ_NDST):
+            entry_upid, _ = self._uitt_entry(uop.uitt_index)
+            offset = 8 if semantic == mc.SEM_UPID_SET_PIR else 0
+            return entry_upid + offset
+        if semantic == mc.SEM_NOTIF_READ_PIR:
+            if self.uintr.upid_addr is None:
+                raise ProtocolError("notification processing without a UPID")
+            return self.uintr.upid_addr + 8
+        if semantic == mc.SEM_NOTIF_CLEAR_ON:
+            return self.uintr.upid_addr if self.uintr.upid_addr is not None else 0
+        raise SimulationError(f"no architectural address for semantic {semantic!r}")
+
+    def _execute_load(self, uop: UOp) -> int:
+        uop.addr = self._resolve_mem_addr(uop)
+        forwarded = self.lsq.forward_value(uop)
+        if forwarded is not None:
+            uop.result = forwarded
+            return FORWARD_LATENCY
+        latency, value = self.hierarchy.load(uop.addr)
+        uop.result = value
+        return latency
+
+    def _execute_store(self, uop: UOp) -> int:
+        uop.addr = self._resolve_mem_addr(uop)
+        self._check_memory_order_violation(uop)
+        if uop.semantic:
+            # Microcode stores: the commit handler supplies the real value.
+            uop.store_value = (
+                uop.source_value(uop.src_regs[0], self.arch_regs) if uop.src_regs else 0
+            )
+        else:
+            uop.store_value = uop.source_value(uop.src_regs[1], self.arch_regs)
+        return self.hierarchy.store_probe(uop.addr)
+
+    def _check_memory_order_violation(self, store: UOp) -> None:
+        """Optimistic loads may have run ahead of this store to the same
+        word: squash from the oldest violator and train the predictor so its
+        next execution waits (memory-order replay)."""
+        word = store.addr & ~0x7
+        violator: Optional[UOp] = None
+        for load in self.lsq.loads:
+            if (
+                load.seq > store.seq
+                and not load.squashed
+                and load.state in (ST_EXECUTING, ST_DONE)
+                and load.addr is not None
+                and (load.addr & ~0x7) == word
+            ):
+                if violator is None or load.seq < violator.seq:
+                    violator = load
+        if violator is None:
+            return
+        self._conservative_loads.add((violator.pc, violator.is_micro))
+        self.stats.memory_order_squashes += 1
+        if violator.is_micro:
+            # Microcode loads cannot be refetched by PC; their values only
+            # affect timing (the commit handlers re-read architectural
+            # state), so train the predictor and let this one stand.
+            return
+        self._squash_after_seq(violator.seq - 1, violator.pc, violator.from_interrupt)
+
+    def _compute_branch_outcome(self, uop: UOp) -> None:
+        op = uop.op
+        if op in (Op.JMP, Op.CALL):
+            uop.actual_taken = True
+            uop.actual_target = uop.target
+            if op is Op.CALL:
+                uop.result = uop.pc + 1  # link register value
+            return
+        if op is Op.RET:
+            uop.actual_taken = True
+            uop.actual_target = uop.source_value(RegNames.LR, self.arch_regs) & MASK64
+            return
+        lhs = uop.source_value(uop.src_regs[0], self.arch_regs)
+        rhs = uop.source_value(uop.src_regs[1], self.arch_regs) if len(uop.src_regs) > 1 else uop.imm
+        if op is Op.BEQ:
+            taken = lhs == rhs
+        elif op is Op.BNE:
+            taken = lhs != rhs
+        elif op is Op.BLT:
+            taken = _signed(lhs) < _signed(rhs)
+        else:  # BGE
+            taken = _signed(lhs) >= _signed(rhs)
+        uop.actual_taken = taken
+        uop.actual_target = uop.target
+
+    def _compute_result(self, uop: UOp) -> None:
+        op = uop.op
+        regs = self.arch_regs
+        if op in (Op.ADD, Op.FADD):
+            a = uop.source_value(uop.src_regs[0], regs) if uop.src_regs else 0
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = (a + b) & MASK64
+        elif op is Op.SUB:
+            a = uop.source_value(uop.src_regs[0], regs) if uop.src_regs else 0
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = (a - b) & MASK64
+        elif op in (Op.MUL, Op.FMUL):
+            a = uop.source_value(uop.src_regs[0], regs)
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = (a * b) & MASK64
+        elif op in (Op.DIV, Op.FDIV):
+            a = uop.source_value(uop.src_regs[0], regs)
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = (a // b) & MASK64 if b else 0
+        elif op is Op.AND:
+            a = uop.source_value(uop.src_regs[0], regs)
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = a & b
+        elif op is Op.OR:
+            a = uop.source_value(uop.src_regs[0], regs)
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = a | b
+        elif op is Op.XOR:
+            a = uop.source_value(uop.src_regs[0], regs)
+            b = uop.source_value(uop.src_regs[1], regs) if len(uop.src_regs) > 1 else uop.imm
+            uop.result = (a ^ b) & MASK64
+        elif op is Op.SHL:
+            a = uop.source_value(uop.src_regs[0], regs)
+            uop.result = (a << (uop.imm & 63)) & MASK64
+        elif op is Op.SHR:
+            a = uop.source_value(uop.src_regs[0], regs)
+            uop.result = (a & MASK64) >> (uop.imm & 63)
+        elif op is Op.MOV:
+            uop.result = uop.source_value(uop.src_regs[0], regs)
+        elif op is Op.MOVI:
+            uop.result = uop.imm & MASK64
+        elif op is Op.RDTSC:
+            uop.result = self.cycle
+        elif op is Op.TESTUI:
+            uop.result = int(self.uintr.uif)
+        elif op is Op.UIRET:
+            # Restores the pre-delivery stack pointer.
+            uop.result = (uop.source_value(RegNames.SP, regs) + 24) & MASK64
+        else:
+            uop.result = 0
+
+    # ------------------------------------------------------------------
+    # Fetch / dispatch stage
+    # ------------------------------------------------------------------
+
+    def _fetch_stage(self) -> None:
+        if self.wait_reason is not None:
+            if self.wait_reason == "drain":
+                self.strategy.on_drain_wait()
+            return
+        if self.cycle < self.fetch_stall_until:
+            return
+        budget = self.params.fetch_width
+        micro_budget = self.timing.msrom_fetch_width
+        while budget > 0:
+            if not self._backend_has_room():
+                break
+            if self.inject_pos < len(self.inject_queue):
+                if micro_budget <= 0:
+                    break
+                self._dispatch_microop(self.inject_queue[self.inject_pos], from_interrupt=True)
+                self.inject_pos += 1
+                micro_budget -= 1
+                budget -= 1
+                if self.inject_pos >= len(self.inject_queue):
+                    # Microcode done: control transfers to the user handler.
+                    self.inject_queue = []
+                    self.inject_pos = 0
+                    self._last_chain_uop = None
+                    handler = self.uintr.handler_index
+                    if handler is None:
+                        raise ProtocolError("interrupt delivery with no registered handler")
+                    self.fetch_pc = handler
+                    self._current_fetch_line = -1
+                    self.trace.record(self.cycle, "handler_fetch", core=self.core_id)
+                continue
+            if self.macro_pos < len(self.macro_queue):
+                if micro_budget <= 0:
+                    break
+                is_last = self.macro_pos == len(self.macro_queue) - 1
+                self._dispatch_microop(
+                    self.macro_queue[self.macro_pos],
+                    from_interrupt=self.interrupt_path,
+                    macro_pc=self.macro_pc,
+                    macro_first=self.macro_pos == 0,
+                    macro_last=is_last,
+                )
+                self.macro_pos += 1
+                micro_budget -= 1
+                budget -= 1
+                if self.macro_pos >= len(self.macro_queue):
+                    self.macro_queue = []
+                    self.macro_pos = 0
+                    self.macro_pc = -1
+                    self._last_chain_uop = None
+                continue
+            # Instruction boundary: a staged (tracked) interrupt may inject here.
+            if self.strategy.try_inject_at_boundary():
+                continue
+            if not self._fetch_program_instruction():
+                break
+            budget -= 1
+
+    def _backend_has_room(self) -> bool:
+        return (
+            len(self.rob) < self.params.rob_size
+            and self.iq_count < self.params.iq_size
+            and self.lsq.has_load_slot()
+            and self.lsq.has_store_slot()
+        )
+
+    def _fetch_program_instruction(self) -> bool:
+        """Fetch/decode one program instruction; False to stop this cycle."""
+        if self.fetch_pc >= len(self.program) or self.fetch_pc < 0:
+            return False
+        addr = instruction_address(self.fetch_pc)
+        line = addr // self.config.icache.line_bytes
+        if line != self._current_fetch_line:
+            latency = self.icache.fetch_latency(addr)
+            self._current_fetch_line = line
+            if latency > 0:
+                self.fetch_stall_until = self.cycle + latency
+                return False
+        instr = self.program.at(self.fetch_pc)
+        if self._trace_resume_pending:
+            self._trace_resume_pending = False
+            self.trace.record(self.cycle, "resume_fetch", core=self.core_id)
+        op = instr.op
+        if op is Op.SENDUIPI:
+            self.macro_queue = mc.senduipi_routine(self.timing, instr.imm)
+            self.macro_pos = 0
+            self.macro_pc = self.fetch_pc
+            self._last_chain_uop = None
+            self.fetch_pc += 1
+            return True
+        uop = self._dispatch_instruction(instr)
+        if op is Op.UIRET:
+            self.wait_reason = "uiret"
+            return False
+        if op is Op.HALT:
+            self.wait_reason = "halt"
+            return False
+        if uop.is_branch:
+            self._predict_and_redirect(uop, instr)
+            if uop.pred_taken:
+                return False  # taken branches end the fetch group
+        else:
+            self.fetch_pc += 1
+        return True
+
+    def _predict_and_redirect(self, uop: UOp, instr: Instruction) -> None:
+        if instr.op in (Op.CALL, Op.RET):
+            uop.ras_snapshot = self.predictor.ras.snapshot()
+        taken, target, history = self.predictor.predict(self.fetch_pc, instr)
+        uop.pred_taken = taken
+        uop.pred_target = target
+        uop.history_token = history
+        if taken and target is not None:
+            self.fetch_pc = target
+            self._current_fetch_line = -1
+        elif taken and target is None:
+            # Predicted taken with unknown target (cold RET): stall until
+            # the branch resolves — resolution redirects fetch.
+            self.fetch_pc = self.fetch_pc + 1
+            self.fetch_stall_until = self.cycle + self.params.frontend_depth
+        else:
+            self.fetch_pc = self.fetch_pc + 1
+
+    def _dispatch_instruction(self, instr: Instruction) -> UOp:
+        extra = 0
+        if instr.op is Op.STUI:
+            extra = self.timing.stui_stall
+        dest = instr.dest_reg()
+        src_regs = instr.source_regs()
+        if instr.op is Op.UIRET:
+            # uiret restores the pre-delivery stack pointer.
+            dest = RegNames.SP
+            src_regs = (RegNames.SP,)
+        # Micro-op cache: a hit serves the decoded form and skips the decode
+        # stages; a miss decodes and fills (carrying the safepoint bit into
+        # the cached encoding, §4.4).
+        depth = self.params.frontend_depth
+        if self.uop_cache.lookup(self.fetch_pc) is not None:
+            depth = max(1, depth - self.uop_cache.hit_depth_bonus)
+        else:
+            self.uop_cache.fill(self.fetch_pc, instr, dest, src_regs)
+        uop = UOp(
+            seq=self._next_seq(),
+            op=instr.op,
+            pc=self.fetch_pc,
+            frontend_ready=self.cycle + depth,
+            instr=instr,
+            from_interrupt=self.interrupt_path,
+            dest=dest,
+            src_regs=src_regs,
+            imm=instr.imm,
+            target=instr.target if isinstance(instr.target, int) else None,
+            safepoint=instr.safepoint,
+            extra_latency=extra,
+        )
+        self._enter_backend(uop)
+        return uop
+
+    def _dispatch_microop(
+        self,
+        micro: MicroOp,
+        from_interrupt: bool,
+        macro_pc: int = -1,
+        macro_first: bool = False,
+        macro_last: bool = False,
+    ) -> UOp:
+        src_regs = tuple(r for r in (micro.src1, micro.src2) if r is not None)
+        pc = macro_pc if macro_pc >= 0 else (
+            self.uintr.ui_return_pc if self.uintr.ui_return_pc is not None else self.fetch_pc
+        )
+        uop = UOp(
+            seq=self._next_seq(),
+            op=micro.op,
+            pc=pc,
+            frontend_ready=self.cycle + self.params.frontend_depth,
+            semantic=micro.semantic,
+            is_micro=True,
+            from_interrupt=from_interrupt,
+            macro_last=macro_last,
+            macro_first=macro_first,
+            dest=micro.dest,
+            src_regs=src_regs,
+            imm=micro.imm,
+            extra_latency=micro.extra_latency,
+            uitt_index=micro.imm,
+            chain=micro.chain,
+        )
+        self._enter_backend(uop, chain_to=self._last_chain_uop if micro.chain else None)
+        self._last_chain_uop = uop
+        return uop
+
+    def _enter_backend(self, uop: UOp, chain_to: Optional[UOp] = None) -> None:
+        self.stats.fetched_uops += 1
+        # Rename: record producers for each source register.
+        for reg in uop.src_regs:
+            producer = self.reg_producer.get(reg)
+            if producer is not None:
+                uop.producers[reg] = producer
+                if producer.state != ST_DONE:
+                    uop.wait_count += 1
+                    producer.dependents.append(uop)
+        if chain_to is not None and chain_to.state != ST_DONE and not chain_to.squashed:
+            uop.producers[CHAIN_KEY] = chain_to
+            uop.wait_count += 1
+            chain_to.dependents.append(uop)
+        if uop.dest is not None:
+            self.reg_producer[uop.dest] = uop
+        self.rob.append(uop)
+        self.iq_count += 1
+        if uop.op in (Op.LOAD, Op.STORE):
+            self.lsq.add(uop)
+        if uop.wait_count == 0:
+            self._mark_ready(uop, uop.frontend_ready)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Interrupt injection (called by delivery strategies)
+    # ------------------------------------------------------------------
+
+    def safepoint_at(self, pc: int) -> bool:
+        """Is the instruction at ``pc`` a safepoint?  Consults the micro-op
+        cache's safepoint bit first (§4.4: optimized front-end paths must
+        still recognize safepoints), falling back to the decoder view."""
+        if not 0 <= pc < len(self.program):
+            return False
+        entry = self.uop_cache.lookup(pc)
+        if entry is not None:
+            return entry.safepoint
+        return self.program.at(pc).safepoint
+
+    def inject_interrupt(
+        self,
+        pending: PendingInterrupt,
+        next_pc: int,
+        refill_stall: int = 0,
+    ) -> None:
+        """Queue the receive microcode for injection at the front-end."""
+        if self.uintr.handler_index is None:
+            raise ProtocolError("cannot deliver a user interrupt with no handler registered")
+        needs_notification = pending.kind is InterruptKind.UIPI
+        self.inject_queue = mc.receive_routine(self.timing, needs_notification)
+        self.inject_pos = 0
+        self._last_chain_uop = None
+        self.interrupt_path = True
+        self.uintr.ui_return_pc = next_pc
+        self.delivery_state = "inflight"
+        self.current_interrupt = pending
+        self.wait_reason = None
+        if refill_stall > 0:
+            self.fetch_stall_until = max(self.fetch_stall_until, self.cycle + refill_stall)
+        self.trace.record(
+            self.cycle,
+            "inject",
+            core=self.core_id,
+            intr_kind=pending.kind.value,
+            next_pc=next_pc,
+        )
+
+
+def _signed(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value

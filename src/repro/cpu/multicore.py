@@ -1,0 +1,198 @@
+"""Multi-core cycle simulation: cores in lockstep plus the APIC bus.
+
+Cores share a :class:`SharedMemory` (so UPID traffic and polled flags incur
+coherence costs) and an inter-APIC message timeline with the calibrated IPI
+wire latency.  The system also provides the kernel-ish setup the cycle-tier
+experiments need: allocating UPIDs/UITTs (``register_handler`` /
+``register_sender``, §3.2), enabling KB timers (§4.3), and registering
+device-interrupt forwarding (§4.5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.cpu.config import SystemConfig
+from repro.cpu.core import Core
+from repro.cpu.cache import SharedMemory
+from repro.cpu.delivery import DeliveryStrategy
+from repro.cpu.program import Program
+from repro.sim.trace import TraceRecorder
+from repro.uintr.apic import InterruptKind, LocalApic
+from repro.uintr.uitt import UITT
+from repro.uintr.upid import UPID, UPID_BYTES
+
+#: Memory region where the "kernel" allocates UPIDs and UITTs.
+KERNEL_STRUCTS_BASE = 0x100_0000
+#: Default stack base per core (stacks grow down, 64 KiB apart).
+STACK_BASE = 0x800_0000
+#: Conventional vector used for UIPI notifications (UINV).
+UIPI_NOTIFICATION_VECTOR = 0xEC
+
+
+class MultiCoreSystem:
+    """A set of cores stepped in lockstep on a shared global cycle."""
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        strategies: Sequence[DeliveryStrategy],
+        config: Optional[SystemConfig] = None,
+        trace: bool = False,
+    ) -> None:
+        if len(programs) != len(strategies):
+            raise ConfigError("one strategy per program/core is required")
+        if not programs:
+            raise ConfigError("at least one core is required")
+        self.config = config or SystemConfig.sapphire_rapids_like()
+        self.cycle = 0
+        self.shared = SharedMemory()
+        self.trace = TraceRecorder(enabled=trace)
+        self._timeline: List[Tuple[int, int, Callable[[], None]]] = []
+        self._timeline_seq = itertools.count()
+        self._alloc_ptr = KERNEL_STRUCTS_BASE
+
+        self.apics: List[LocalApic] = []
+        self.cores: List[Core] = []
+        for core_id, (program, strategy) in enumerate(zip(programs, strategies)):
+            apic = LocalApic(core_id, uipi_notification_vector=UIPI_NOTIFICATION_VECTOR)
+            self.apics.append(apic)
+            core = Core(
+                core_id=core_id,
+                program=program,
+                config=self.config,
+                shared_memory=self.shared,
+                apic=apic,
+                strategy=strategy,
+                send_ipi=self._send_ipi,
+                trace=self.trace,
+            )
+            core.arch_regs[15] = STACK_BASE + core_id * 0x10000  # stack pointer
+            self.cores.append(core)
+
+    # ------------------------------------------------------------------
+    # Timeline (APIC bus and device events)
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._timeline, (self.cycle + delay, next(self._timeline_seq), callback))
+
+    def _send_ipi(self, dest_apic_id: int, vector: int) -> None:
+        if not 0 <= dest_apic_id < len(self.apics):
+            raise SimulationError(f"IPI to unknown APIC {dest_apic_id}")
+        apic = self.apics[dest_apic_id]
+
+        def deliver() -> None:
+            apic.accept(vector, self.cycle, kind=None)
+            self.trace.record(self.cycle, "ipi_arrival", core=dest_apic_id, vector=vector)
+
+        self.schedule(self.config.timing.ipi_wire_latency, deliver)
+
+    def raise_device_interrupt(self, core_id: int, vector: int, delay: int = 0) -> None:
+        """A device raises ``vector`` at ``core_id`` after ``delay`` cycles."""
+        apic = self.apics[core_id]
+
+        def deliver() -> None:
+            apic.accept(vector, self.cycle, kind=InterruptKind.DEVICE)
+            self.trace.record(self.cycle, "device_intr", core=core_id, vector=vector)
+
+        self.schedule(delay, deliver)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        while self._timeline and self._timeline[0][0] <= self.cycle:
+            _, _, callback = heapq.heappop(self._timeline)
+            callback()
+        for core in self.cores:
+            core.step(self.cycle)
+        self.cycle += 1
+
+    def run(self, max_cycles: int, until_halted: Optional[Sequence[int]] = None) -> int:
+        """Step up to ``max_cycles``; stop early when the given cores halt.
+
+        Returns the number of cycles stepped.
+        """
+        watch = list(until_halted) if until_halted is not None else None
+        start = self.cycle
+        for _ in range(max_cycles):
+            if watch is not None and all(self.cores[i].halted for i in watch):
+                break
+            self.step()
+        return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # Kernel-ish setup (the §3.2 system calls)
+    # ------------------------------------------------------------------
+
+    def _allocate(self, size: int, align: int = 64) -> int:
+        self._alloc_ptr = (self._alloc_ptr + align - 1) & ~(align - 1)
+        addr = self._alloc_ptr
+        self._alloc_ptr += size
+        return addr
+
+    def register_handler(self, core_id: int, handler_label: Optional[str] = None) -> int:
+        """``register_handler(...)``: allocate a UPID for the thread on
+        ``core_id`` and point UINT_Handler at its handler.  Returns the UPID
+        address."""
+        core = self.cores[core_id]
+        program = core.program
+        if handler_label is not None:
+            handler_index = program.labels[handler_label]
+        else:
+            handler_index = program.handler_index
+        if handler_index is None:
+            raise ConfigError(f"core {core_id} program has no interrupt handler")
+        upid_addr = self._allocate(UPID_BYTES)
+        upid = UPID(self.shared, upid_addr)
+        upid.clear()
+        upid.set_notification_vector(UIPI_NOTIFICATION_VECTOR)
+        upid.set_notification_destination(core_id)
+        core.uintr.upid_addr = upid_addr
+        core.uintr.handler_index = handler_index
+        return upid_addr
+
+    def register_sender(self, sender_core_id: int, receiver_upid_addr: int, user_vector: int) -> int:
+        """``register_sender(...)``: add a UITT entry on the sender mapping a
+        ``senduipi`` index to the receiver's UPID.  Returns the UITT index."""
+        core = self.cores[sender_core_id]
+        if core.uintr.uitt_base is None:
+            core.uintr.uitt_base = self._allocate(64 * 16)
+            core.uitt = UITT(self.shared, core.uintr.uitt_base)
+        return core.uitt.append(receiver_upid_addr, user_vector)
+
+    def connect_uipi(
+        self, sender_core_id: int, receiver_core_id: int, user_vector: int = 1
+    ) -> int:
+        """Full UIPI route setup; returns the sender's UITT index."""
+        upid_addr = self.register_handler(receiver_core_id)
+        return self.register_sender(sender_core_id, upid_addr, user_vector)
+
+    def enable_kb_timer(self, core_id: int, vector: int = 2) -> None:
+        """``enable_kb_timer()``: the kernel writes kb_config_MSR (§4.3)."""
+        core = self.cores[core_id]
+        if core.uintr.handler_index is None:
+            if core.program.handler_index is None:
+                raise ConfigError(f"core {core_id} program has no interrupt handler")
+            core.uintr.handler_index = core.program.handler_index
+        core.uintr.kb_timer.enabled = True
+        core.uintr.kb_timer.vector = vector
+
+    def enable_forwarding(self, core_id: int, vector: int, user_vector: int = 3) -> None:
+        """Register device-interrupt forwarding on ``core_id`` (§4.5) with
+        the current thread active (fast path)."""
+        core = self.cores[core_id]
+        if core.uintr.handler_index is None:
+            if core.program.handler_index is None:
+                raise ConfigError(f"core {core_id} program has no interrupt handler")
+            core.uintr.handler_index = core.program.handler_index
+        apic = self.apics[core_id]
+        apic.enable_forwarding(vector, user_vector)
+        apic.set_active_vectors(apic.forwarding_enabled)

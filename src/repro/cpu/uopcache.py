@@ -1,0 +1,97 @@
+"""The decoded micro-op cache (DSB) and loop-stream path (§4.4).
+
+Modern Intel front-ends often bypass the decoders: recently decoded micro-ops
+are served from a micro-op cache (and very hot loops from the loop stream
+detector).  §4.4 calls out the interaction with hardware safepoints: "we add
+a bit to the encoding of each micro-op to indicate whether it is a
+safepoint", so safepoint-mode delivery still recognizes safepoints when
+instructions never pass through the decoders.
+
+The model: a small set-associative structure keyed by program index whose
+entries are the *decoded* form — (dest, sources, immediate, target, and the
+safepoint bit).  Hits shorten the effective front-end depth (fewer pipeline
+stages between fetch and issue); misses decode normally and fill the cache.
+The safepoint bit is stored in the entry, exercised by the safepoint tests
+regardless of which path fetched the instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.cpu.isa import Instruction
+
+
+@dataclass(frozen=True)
+class UopCacheEntry:
+    """One cached decoded micro-op (the 'encoding' of §4.4, with its
+    safepoint bit)."""
+
+    pc: int
+    dest: Optional[int]
+    src_regs: Tuple[int, ...]
+    imm: int
+    target: Optional[int]
+    safepoint: bool
+    op_name: str
+
+
+class UopCache:
+    """Set-associative cache of decoded micro-ops, indexed by program PC."""
+
+    def __init__(self, sets: int = 64, ways: int = 8, hit_depth_bonus: int = 4) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ConfigError("uop cache geometry must be positive")
+        if hit_depth_bonus < 0:
+            raise ConfigError("hit_depth_bonus must be non-negative")
+        self.num_sets = sets
+        self.ways = ways
+        #: Front-end stages skipped on a hit (decode/complex-decode stages).
+        self.hit_depth_bonus = hit_depth_bonus
+        self._sets: List[List[UopCacheEntry]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, pc: int) -> List[UopCacheEntry]:
+        return self._sets[pc % self.num_sets]
+
+    def lookup(self, pc: int) -> Optional[UopCacheEntry]:
+        """Serve the decoded form of ``pc`` if cached (LRU update)."""
+        entries = self._set_for(pc)
+        for index, entry in enumerate(entries):
+            if entry.pc == pc:
+                entries.append(entries.pop(index))
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def fill(self, pc: int, instruction: Instruction, dest, src_regs) -> UopCacheEntry:
+        """Insert the decoded form of ``instruction`` (called on the decode
+        path); carries the safepoint prefix into the cached encoding."""
+        entry = UopCacheEntry(
+            pc=pc,
+            dest=dest,
+            src_regs=tuple(src_regs),
+            imm=instruction.imm,
+            target=instruction.target if isinstance(instruction.target, int) else None,
+            safepoint=instruction.safepoint,
+            op_name=instruction.op.name,
+        )
+        entries = self._set_for(pc)
+        entries[:] = [e for e in entries if e.pc != pc]
+        if len(entries) >= self.ways:
+            entries.pop(0)
+        entries.append(entry)
+        return entry
+
+    def invalidate_all(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,17 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning plain dict/list results
+(so benchmarks, examples, and tests share one implementation) and the
+benchmarks under ``benchmarks/`` print them in the paper's shape.
+
+Index (see DESIGN.md §4 for the full mapping):
+
+- :mod:`characterize` — Table 2, Figure 2, §3.5 flush-vs-drain, §6.1 worst case
+- :mod:`fig4_overheads` — Figure 4 receiver-side overheads
+- :mod:`fig5_safepoints` — Figure 5 preemption mechanisms
+- :mod:`fig6_timer_cost` — Figure 6 timer-core cost
+- :mod:`fig7_rocksdb` — Figure 7 RocksDB tail latency/throughput
+- :mod:`fig8_l3fwd` — Figure 8 l3fwd efficiency
+- :mod:`fig9_dsa` — Figure 9 DSA response delivery
+- :mod:`sec2_costs` — §2 mechanism unit costs
+"""

@@ -1,0 +1,131 @@
+"""Shared harness for cycle-tier experiments.
+
+Builds multi-core systems around a measured workload, runs them to
+completion, and computes per-interrupt receiver overheads the way the
+paper's Figure 4 experiment does: run the benchmark with and without
+periodic interrupts and divide the extra cycles by the number delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.apps.microbench import Workload, make_uipi_timer_core
+from repro.cpu.config import SystemConfig
+from repro.cpu.delivery import DeliveryStrategy, FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+
+#: Default interrupt interval: 5 us at 2 GHz (the paper's headline quantum).
+DEFAULT_INTERVAL = 10_000
+#: Safety bound on simulated cycles.
+MAX_CYCLES = 50_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one cycle-tier run."""
+
+    cycles: int
+    interrupts_delivered: int
+    committed_instructions: int
+    system: MultiCoreSystem
+
+    @property
+    def core(self):
+        return self.system.cores[0]
+
+
+def run_baseline(
+    workload: Workload,
+    config: Optional[SystemConfig] = None,
+    max_cycles: int = MAX_CYCLES,
+) -> RunResult:
+    """Run the workload alone (no interrupts) to completion."""
+    system = MultiCoreSystem([workload.program], [FlushStrategy()], config=config)
+    workload.install(system.shared)
+    system.run(max_cycles, until_halted=[0])
+    core = system.cores[0]
+    if not core.halted:
+        raise SimulationError(
+            f"workload {workload.name!r} did not halt within {max_cycles} cycles"
+        )
+    return RunResult(
+        cycles=system.cycle,
+        interrupts_delivered=0,
+        committed_instructions=core.stats.committed_instructions,
+        system=system,
+    )
+
+
+def run_with_uipi_timer(
+    workload: Workload,
+    strategy: DeliveryStrategy,
+    interval: int = DEFAULT_INTERVAL,
+    config: Optional[SystemConfig] = None,
+    expected_cycles: Optional[int] = None,
+    max_cycles: int = MAX_CYCLES,
+    trace: bool = False,
+) -> RunResult:
+    """Run the workload on core 0 with a dedicated UIPI timer core (core 1)."""
+    baseline = expected_cycles or run_baseline(workload, config).cycles
+    count = baseline // interval + 16
+    sender = make_uipi_timer_core(interval, count)
+    system = MultiCoreSystem(
+        [workload.program, sender.program],
+        [strategy, FlushStrategy()],
+        config=config,
+        trace=trace,
+    )
+    workload.install(system.shared)
+    system.connect_uipi(sender_core_id=1, receiver_core_id=0, user_vector=1)
+    system.run(max_cycles, until_halted=[0])
+    core = system.cores[0]
+    if not core.halted:
+        raise SimulationError(f"workload {workload.name!r} wedged under interrupts")
+    return RunResult(
+        cycles=system.cycle,
+        interrupts_delivered=core.stats.interrupts_delivered,
+        committed_instructions=core.stats.committed_instructions,
+        system=system,
+    )
+
+
+def run_with_kb_timer(
+    workload: Workload,
+    interval: int = DEFAULT_INTERVAL,
+    config: Optional[SystemConfig] = None,
+    strategy_factory: Callable[[], DeliveryStrategy] = TrackedStrategy,
+    max_cycles: int = MAX_CYCLES,
+    trace: bool = False,
+) -> RunResult:
+    """Run the workload with its core's own KB timer firing each interval."""
+    system = MultiCoreSystem(
+        [workload.program], [strategy_factory()], config=config, trace=trace
+    )
+    workload.install(system.shared)
+    system.enable_kb_timer(0)
+    system.cores[0].uintr.kb_timer.arm_periodic(interval, now=0)
+    system.run(max_cycles, until_halted=[0])
+    core = system.cores[0]
+    if not core.halted:
+        raise SimulationError(f"workload {workload.name!r} wedged under KB timer")
+    return RunResult(
+        cycles=system.cycle,
+        interrupts_delivered=core.stats.interrupts_delivered,
+        committed_instructions=core.stats.committed_instructions,
+        system=system,
+    )
+
+
+def per_event_overhead(base_cycles: int, loaded: RunResult) -> float:
+    """Receiver-side cycles per interrupt (the Figure 4 metric)."""
+    if loaded.interrupts_delivered == 0:
+        raise SimulationError("no interrupts were delivered")
+    return (loaded.cycles - base_cycles) / loaded.interrupts_delivered
+
+
+def slowdown_percent(base_cycles: int, loaded_cycles: int) -> float:
+    """Runtime increase in percent."""
+    return 100.0 * (loaded_cycles - base_cycles) / base_cycles

@@ -1,0 +1,103 @@
+"""Figure 6: the cost of a timer core (§6.1).
+
+A dedicated timer core gets time from the OS (``setitimer`` signals or a
+``nanosleep`` loop) or by spinning on rdtsc, and notifies N application
+cores each preemption interval with senduipi.  We report the timer core's
+CPU utilization as N and the interval vary.
+
+Paper shape: OS interfaces cost a noticeable fraction even at low rates and
+approach 100% at fine intervals; senduipi costs grow linearly in receiver
+count (an rdtsc-spin core tops out at ~22 workers at 5 us); xUI eliminates
+the core entirely (utilization 0) because every core has its own KB timer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.kernel.timers import NanosleepTimer, OSIntervalTimer
+from repro.notify.costs import CostModel
+from repro.sim.account import CycleAccount
+from repro.sim.simulator import Simulator
+
+INTERFACES = ("setitimer", "nanosleep", "rdtsc_spin", "xui_kb_timer")
+
+
+def timer_core_utilization(
+    interface: str,
+    num_app_cores: int,
+    interval_cycles: float,
+    costs: Optional[CostModel] = None,
+    duration_cycles: float = 40_000_000.0,
+) -> float:
+    """Simulate a timer core for ``duration_cycles``; return its busy fraction."""
+    costs = costs or CostModel.paper_defaults()
+    if num_app_cores < 0:
+        raise ConfigError("num_app_cores must be non-negative")
+    if interface == "xui_kb_timer":
+        # No timer core exists: every app core has its own KB timer (§4.3).
+        return 0.0
+    sim = Simulator()
+    account = CycleAccount(name="timer_core")
+    send_cost = (costs.senduipi + costs.timer_core_loop_overhead) * num_app_cores
+
+    def notify_workers() -> None:
+        account.charge("senduipi", send_cost)
+
+    if interface == "setitimer":
+        timer = OSIntervalTimer(sim, account, interval_cycles, notify_workers, costs=costs)
+        timer.start()
+        sim.run(until=duration_cycles)
+    elif interface == "nanosleep":
+        timer = NanosleepTimer(sim, account, interval_cycles, notify_workers, costs=costs)
+        timer.start()
+        sim.run(until=duration_cycles)
+    elif interface == "rdtsc_spin":
+        # The spinning core is always busy; its *useful* capacity question is
+        # whether the senduipi work fits in the interval at all.
+        ticks = duration_cycles / interval_cycles
+        account.charge("senduipi", send_cost * ticks)
+        account.charge("spin", max(0.0, duration_cycles - send_cost * ticks))
+        sim.run(until=duration_cycles)
+    else:
+        raise ConfigError(f"unknown timer interface {interface!r}")
+    return account.busy_fraction(duration_cycles)
+
+
+def run_fig6(
+    interfaces: Optional[List[str]] = None,
+    core_counts: Optional[List[int]] = None,
+    intervals: Optional[List[float]] = None,
+    costs: Optional[CostModel] = None,
+) -> Dict[str, Dict[float, Dict[int, float]]]:
+    """interface -> interval -> num_app_cores -> timer-core utilization."""
+    interfaces = interfaces or list(INTERFACES)
+    core_counts = core_counts or [1, 2, 4, 8, 16, 22, 27]
+    intervals = intervals or [10_000.0, 50_000.0, 200_000.0, 2_000_000.0]  # 5us..1ms
+    results: Dict[str, Dict[float, Dict[int, float]]] = {}
+    for interface in interfaces:
+        results[interface] = {}
+        for interval in intervals:
+            results[interface][interval] = {}
+            for cores in core_counts:
+                results[interface][interval][cores] = timer_core_utilization(
+                    interface, cores, interval, costs=costs
+                )
+    return results
+
+
+def kb_timer_core_savings(
+    num_workers: int, interval_cycles: float, costs: Optional[CostModel] = None
+) -> Dict[str, float]:
+    """§6.1's capacity arithmetic: one spin core serves ~22 workers at 5 us,
+    so the KB timer saves 1 core per 22 (a 4.5% throughput gain at the
+    margin, or 2x with two cores)."""
+    costs = costs or CostModel.paper_defaults()
+    capacity = costs.timer_core_capacity(interval_cycles)
+    timer_cores_needed = max(1, -(-num_workers // capacity))
+    return {
+        "workers_per_timer_core": float(capacity),
+        "timer_cores_needed": float(timer_cores_needed),
+        "throughput_gain_fraction": timer_cores_needed / num_workers,
+    }

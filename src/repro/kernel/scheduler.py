@@ -1,0 +1,177 @@
+"""Per-core kernel scheduling with user-interrupt state management.
+
+:class:`CoreScheduler` models what the kernel does on each context switch —
+the part of UIPI/xUI that *must* stay in the kernel (§3.2 "the kernel sets
+the SN bit", §4.3 "it is up to the kernel to manage the timer state", §4.5
+"this vector is written to forwarded_active when a thread resumes").  The
+Figure 7 runtime pins one kernel thread per core, so this machinery is
+mostly exercised by tests and the slow-path experiments, but it is the part
+a real deployment depends on for correctness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import SimulationError
+from repro.cpu.cache import SharedMemory
+from repro.cpu.uintr_state import KBTimerState
+from repro.kernel.threads import KernelThread, ThreadState
+from repro.notify.costs import CostModel
+from repro.sim.account import CycleAccount
+from repro.uintr.apic import LocalApic
+from repro.uintr.upid import UPID
+
+
+class CoreScheduler:
+    """Round-robin kernel scheduler for one core.
+
+    The scheduler owns the core's physical KB timer (a :class:`KBTimerState`)
+    and the local APIC's forwarding registers, multiplexing both among the
+    threads it runs.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        memory: SharedMemory,
+        apic: LocalApic,
+        costs: Optional[CostModel] = None,
+        account: Optional[CycleAccount] = None,
+        eager_timer_rescheduling: bool = False,
+    ) -> None:
+        self.core_id = core_id
+        self.memory = memory
+        self.apic = apic
+        self.costs = costs or CostModel.paper_defaults()
+        self.account = account or CycleAccount(name=f"core{core_id}")
+        self.run_queue: Deque[KernelThread] = deque()
+        self.current: Optional[KernelThread] = None
+        #: The physical per-core KB timer (§4.3: one per physical core).
+        self.kb_timer = KBTimerState()
+        #: §4.3's alternative slow path: "the kernel could also continue
+        #: tracking the timer using a kernel timer while the thread is not
+        #: running, and immediately reschedule the thread when the timer
+        #: expires."  When enabled, schedule_next prefers descheduled
+        #: threads whose saved deadline has passed.
+        self.eager_timer_rescheduling = eager_timer_rescheduling
+        self.context_switches = 0
+        self.slow_path_reposts = 0
+        self.eager_wakes = 0
+
+    # ------------------------------------------------------------------
+
+    def add_thread(self, thread: KernelThread) -> None:
+        thread.state = ThreadState.READY
+        self.run_queue.append(thread)
+
+    def _upid(self, thread: KernelThread) -> Optional[UPID]:
+        if thread.upid_addr is None:
+            return None
+        return UPID(self.memory, thread.upid_addr)
+
+    # ------------------------------------------------------------------
+
+    def deschedule_current(self, now: float) -> Optional[KernelThread]:
+        """Context-switch the running thread out (kernel side)."""
+        thread = self.current
+        if thread is None:
+            return None
+        upid = self._upid(thread)
+        if upid is not None:
+            # Stop senders from IPI-ing a thread that is not running.
+            upid.set_suppressed(True)
+        # Save the KB timer by reading kb_timer_state_MSR (§4.3).
+        thread.saved_kb_timer = self.kb_timer.save()
+        self.kb_timer.enabled = False
+        self.kb_timer.disarm()
+        # The next thread's mask is written at resume; clear for now.
+        self.apic.set_active_vectors(0)
+        thread.state = ThreadState.READY
+        self.current = None
+        self.run_queue.append(thread)
+        return thread
+
+    def schedule_next(self, now: float) -> Optional[KernelThread]:
+        """Pick the next READY thread and context-switch it in.
+
+        Returns the thread now running (None if the queue is empty).  The
+        context-switch cost is charged to the core's account; slow-path
+        interrupt reposts are detected here (§3.2: "when the kernel resumes
+        the thread ... it will repost the captured UIPI as a self-UIPI").
+        """
+        if self.current is not None:
+            raise SimulationError("schedule_next with a thread still running")
+        if self.eager_timer_rescheduling:
+            due = self._pop_timer_due_thread(now)
+            if due is not None:
+                self.eager_wakes += 1
+                self._resume(due, now)
+                return due
+        while self.run_queue:
+            thread = self.run_queue.popleft()
+            if thread.state is ThreadState.FINISHED:
+                continue
+            self._resume(thread, now)
+            return thread
+        return None
+
+    def _pop_timer_due_thread(self, now: float) -> Optional[KernelThread]:
+        """The queued thread with the earliest expired saved KB-timer
+        deadline (the kernel's surrogate timer fired for it)."""
+        best: Optional[KernelThread] = None
+        for thread in self.run_queue:
+            saved = thread.saved_kb_timer
+            if (
+                thread.state is not ThreadState.FINISHED
+                and saved is not None
+                and saved.enabled
+                and saved.armed
+                and saved.deadline <= now
+            ):
+                if best is None or saved.deadline < best.saved_kb_timer.deadline:
+                    best = thread
+        if best is not None:
+            self.run_queue.remove(best)
+        return best
+
+    def _resume(self, thread: KernelThread, now: float) -> None:
+        self.context_switches += 1
+        self.account.charge("context_switch", self.costs.kthread_switch)
+        thread.state = ThreadState.RUNNING
+        self.current = thread
+        upid = self._upid(thread)
+        if upid is not None:
+            upid.set_suppressed(False)
+            # Slow path: interrupts posted while descheduled are reposted
+            # as self-interrupts through the local APIC.
+            if upid.outstanding or upid.pir:
+                pir = upid.take_pir()
+                upid.set_outstanding(False)
+                vector = upid.notification_vector
+                self.apic.accept(vector, now)
+                self.slow_path_reposts += 1
+                self.account.charge("slow_path", self.costs.uipi_receive_flush)
+        # Restore the KB timer (§4.3).
+        if thread.saved_kb_timer is not None:
+            self.kb_timer.restore(thread.saved_kb_timer)
+            thread.saved_kb_timer = None
+            # Deliver a timer that expired while the thread was out: the
+            # kernel checks the deadline on context restore (§4.3).
+            if self.kb_timer.enabled and self.kb_timer.armed and now >= self.kb_timer.deadline:
+                self.kb_timer.check_fire(now)
+                self.apic.raise_timer(self.kb_timer.vector, now)
+                self.slow_path_reposts += 1
+        # Device-interrupt forwarding: activate this thread's vectors (§4.5).
+        self.apic.set_active_vectors(thread.forwarded_vectors)
+        # Repost DUPID-captured device interrupts (§4.5 slow path).
+        for user_vector in thread.pending_slow_path:
+            self.apic.raise_timer(user_vector, now)
+            self.slow_path_reposts += 1
+        thread.pending_slow_path.clear()
+
+    def preempt(self, now: float) -> Optional[KernelThread]:
+        """Timeslice: deschedule the current thread and run the next one."""
+        self.deschedule_current(now)
+        return self.schedule_next(now)

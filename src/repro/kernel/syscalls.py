@@ -1,0 +1,135 @@
+"""The user-interrupt system-call surface (§3.2, §4.3, §4.5).
+
+:class:`KernelInterface` is the event-tier kernel façade: it allocates the
+in-memory descriptors (UPID, UITT, DUPID), grants send permissions, and
+flips the MSR-backed feature switches, mirroring the interface Intel's UIPI
+kernel patches expose plus the xUI additions:
+
+- ``register_handler(thread)`` / ``register_sender(process, thread)``
+- ``enable_kb_timer(core)`` / ``disable_kb_timer(core)``
+- ``register_forwarding(thread, vector)`` (device interrupts for threads)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.cpu.cache import SharedMemory
+from repro.kernel.scheduler import CoreScheduler
+from repro.kernel.threads import KernelThread
+from repro.notify.costs import CostModel
+from repro.uintr.apic import LocalApic
+from repro.uintr.uitt import UITT
+from repro.uintr.upid import UPID, UPID_BYTES
+
+_KERNEL_HEAP_BASE = 0x200_0000
+_DUPID_BYTES = 16
+_UITT_CAPACITY = 64
+
+
+@dataclass
+class Process:
+    """A process: a UITT shared by all of its threads (§3.1)."""
+
+    pid: int
+    uitt: Optional[UITT] = None
+    threads: List[KernelThread] = field(default_factory=list)
+
+
+class KernelInterface:
+    """Event-tier kernel syscalls for user-interrupt setup."""
+
+    def __init__(self, memory: SharedMemory, costs: Optional[CostModel] = None) -> None:
+        self.memory = memory
+        self.costs = costs or CostModel.paper_defaults()
+        self._heap = _KERNEL_HEAP_BASE
+        self._pids = itertools.count(1)
+        self.processes: Dict[int, Process] = {}
+        self.schedulers: Dict[int, CoreScheduler] = {}
+
+    # -- memory management -------------------------------------------------
+    def _allocate(self, size: int, align: int = 64) -> int:
+        self._heap = (self._heap + align - 1) & ~(align - 1)
+        addr = self._heap
+        self._heap += size
+        return addr
+
+    # -- processes / schedulers ---------------------------------------------
+    def create_process(self) -> Process:
+        process = Process(pid=next(self._pids))
+        self.processes[process.pid] = process
+        return process
+
+    def attach_scheduler(self, scheduler: CoreScheduler) -> None:
+        self.schedulers[scheduler.core_id] = scheduler
+
+    # -- UIPI registration (§3.2) --------------------------------------------
+    def register_handler(
+        self, thread: KernelThread, apic: LocalApic, notification_vector: int = 0xEC
+    ) -> int:
+        """Allocate and initialize a UPID for ``thread``; returns its address."""
+        if thread.upid_addr is not None:
+            raise ProtocolError(f"{thread.name} already registered a handler")
+        addr = self._allocate(UPID_BYTES)
+        upid = UPID(self.memory, addr)
+        upid.clear()
+        upid.set_notification_vector(notification_vector)
+        upid.set_notification_destination(apic.apic_id)
+        thread.upid_addr = addr
+        return addr
+
+    def register_sender(self, process: Process, receiver: KernelThread, user_vector: int) -> int:
+        """Grant ``process`` permission to send user vector ``user_vector``
+        to ``receiver``; returns the UITT index for senduipi."""
+        if receiver.upid_addr is None:
+            raise ProtocolError(
+                f"receiver {receiver.name} has no UPID (call register_handler first)"
+            )
+        if process.uitt is None:
+            base = self._allocate(_UITT_CAPACITY * 16)
+            process.uitt = UITT(self.memory, base, capacity=_UITT_CAPACITY)
+        return process.uitt.append(receiver.upid_addr, user_vector)
+
+    # -- KB timer (§4.3) -------------------------------------------------------
+    def enable_kb_timer(self, core_id: int, vector: int) -> None:
+        """Write kb_config_MSR on ``core_id``: enable and assign the vector."""
+        scheduler = self._scheduler(core_id)
+        scheduler.kb_timer.enabled = True
+        scheduler.kb_timer.vector = vector
+
+    def disable_kb_timer(self, core_id: int) -> None:
+        scheduler = self._scheduler(core_id)
+        scheduler.kb_timer.enabled = False
+        scheduler.kb_timer.disarm()
+
+    def _scheduler(self, core_id: int) -> CoreScheduler:
+        if core_id not in self.schedulers:
+            raise ConfigError(f"no scheduler attached for core {core_id}")
+        return self.schedulers[core_id]
+
+    # -- interrupt forwarding (§4.5) -------------------------------------------
+    def register_forwarding(
+        self, thread: KernelThread, apic: LocalApic, vector: int, user_vector: int
+    ) -> int:
+        """Route device interrupts on ``vector`` (at ``apic``) to ``thread``.
+
+        Allocates the thread's DUPID for the slow path and enables
+        forwarding in the local APIC.  Returns the DUPID address.
+        """
+        if thread.dupid_addr is None:
+            thread.dupid_addr = self._allocate(_DUPID_BYTES)
+        apic.enable_forwarding(vector, user_vector)
+        thread.forwarded_vectors |= 1 << vector
+        return thread.dupid_addr
+
+    def capture_slow_path_device(self, thread: KernelThread, user_vector: int) -> None:
+        """Kernel trap handler for a forwarded interrupt whose thread is not
+        running: record it in the DUPID for delivery at resume (§4.5)."""
+        if thread.dupid_addr is None:
+            raise ProtocolError(f"{thread.name} has no DUPID (register_forwarding first)")
+        pending = self.memory.read(thread.dupid_addr)
+        self.memory.write(thread.dupid_addr, pending | (1 << user_vector))
+        thread.pending_slow_path.append(user_vector)

@@ -1,0 +1,58 @@
+"""Kernel threads and the per-thread user-interrupt state the OS manages.
+
+On a context switch the kernel must (§3.2, §4.3, §4.5):
+
+- set the SN (suppress notification) bit in the outgoing thread's UPID so
+  senders stop sending IPIs at a descheduled thread;
+- save the outgoing thread's KB-timer state (deadline/vector/period/mode)
+  read from ``kb_timer_state_MSR`` and restore the incoming thread's;
+- write the incoming thread's 256-bit forwarded-vector mask into the local
+  APIC's ``forwarded_active`` register;
+- on resume, check for interrupts captured on the slow path (UPID PIR set
+  while descheduled, a DUPID posting, or an expired KB timer) and repost
+  them as self-interrupts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.cpu.uintr_state import KBTimerState
+
+_thread_ids = itertools.count(1)
+
+
+class ThreadState(Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+@dataclass
+class KernelThread:
+    """One kernel thread (pthread) with its user-interrupt kernel state."""
+
+    name: str = ""
+    tid: int = field(default_factory=lambda: next(_thread_ids))
+    state: ThreadState = ThreadState.READY
+    #: Address of this thread's UPID (None until register_handler).
+    upid_addr: Optional[int] = None
+    #: Address of this thread's DUPID for forwarded-device slow paths (§4.5).
+    dupid_addr: Optional[int] = None
+    #: Saved KB-timer state while descheduled (§4.3 multiplexing).
+    saved_kb_timer: Optional[KBTimerState] = None
+    #: 256-bit mask of conventional vectors forwarded to this thread (§4.5).
+    forwarded_vectors: int = 0
+    #: User vectors captured by the kernel while this thread was descheduled,
+    #: to be reposted as self-interrupts on resume (the UIPI slow path).
+    pending_slow_path: List[int] = field(default_factory=list)
+    #: True if the thread's KB timer expired while it was descheduled.
+    kb_timer_expired_while_out: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"thread-{self.tid}"

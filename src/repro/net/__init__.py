@@ -1,0 +1,23 @@
+"""DPDK-style networking substrate (§5.4): NICs, LPM routing, l3fwd.
+
+The Figure 8 experiment compares busy-polling against xUI device interrupts
+(tracked + forwarding) for a layer-3 router.  :mod:`repro.net.lpm` is a real
+longest-prefix-match table (binary trie, 16k routes); the event-tier router
+charges a calibrated per-packet cost that the LPM lookup is part of.
+"""
+
+from repro.net.packet import Packet
+from repro.net.lpm import LPMTable, RouteTableGenerator
+from repro.net.nic import NIC
+from repro.net.pktgen import PacketGenerator
+from repro.net.l3fwd import L3Forwarder, L3fwdConfig
+
+__all__ = [
+    "Packet",
+    "LPMTable",
+    "RouteTableGenerator",
+    "NIC",
+    "PacketGenerator",
+    "L3Forwarder",
+    "L3fwdConfig",
+]

@@ -1,0 +1,112 @@
+"""Longest-prefix-match routing (§5.4: LPM with a 16,000-entry table).
+
+A binary-trie LPM over IPv4 prefixes.  The l3fwd event model charges a
+calibrated per-packet cycle cost; this table provides the functional routing
+(and the brute-force cross-check used by the property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class _TrieNode:
+    __slots__ = ("children", "next_hop")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode"]] = [None, None]
+        self.next_hop: Optional[int] = None
+
+
+class LPMTable:
+    """Binary-trie longest-prefix-match over IPv4 addresses."""
+
+    def __init__(self, default_next_hop: Optional[int] = None) -> None:
+        self._root = _TrieNode()
+        self.default_next_hop = default_next_hop
+        self._routes: Dict[Tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    @staticmethod
+    def _validate(prefix: int, length: int) -> None:
+        if not 0 <= length <= 32:
+            raise ConfigError(f"prefix length must be 0..32, got {length}")
+        if not 0 <= prefix < (1 << 32):
+            raise ConfigError(f"prefix out of range: {prefix:#x}")
+        host_bits = 32 - length
+        if host_bits and prefix & ((1 << host_bits) - 1):
+            raise ConfigError(
+                f"prefix {prefix:#x}/{length} has bits set below the mask"
+            )
+
+    def add_route(self, prefix: int, length: int, next_hop: int) -> None:
+        self._validate(prefix, length)
+        node = self._root
+        for bit_index in range(length):
+            bit = (prefix >> (31 - bit_index)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.next_hop = next_hop
+        self._routes[(prefix, length)] = next_hop
+
+    def lookup(self, addr: int) -> Optional[int]:
+        """Next hop for ``addr`` under longest-prefix-match semantics."""
+        if not 0 <= addr < (1 << 32):
+            raise ConfigError(f"address out of range: {addr:#x}")
+        node = self._root
+        best = self._root.next_hop if self._root.next_hop is not None else self.default_next_hop
+        for bit_index in range(32):
+            bit = (addr >> (31 - bit_index)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+    def lookup_brute_force(self, addr: int) -> Optional[int]:
+        """Reference implementation: scan all routes (for verification)."""
+        best_len = -1
+        best_hop = self.default_next_hop
+        for (prefix, length), next_hop in self._routes.items():
+            host_bits = 32 - length
+            if (addr >> host_bits) == (prefix >> host_bits) and length > best_len:
+                best_len = length
+                best_hop = next_hop
+        return best_hop
+
+    def routes(self) -> Dict[Tuple[int, int], int]:
+        return dict(self._routes)
+
+
+class RouteTableGenerator:
+    """Generates the experiment's 16,000-entry route table (§5.4)."""
+
+    def __init__(self, seed: int = 0, num_ports: int = 8) -> None:
+        if num_ports <= 0:
+            raise ConfigError("num_ports must be positive")
+        self.rng = np.random.default_rng(seed)
+        self.num_ports = num_ports
+
+    def generate(self, num_routes: int = 16_000) -> LPMTable:
+        """A table of random /16-/28 prefixes plus a default route."""
+        table = LPMTable(default_next_hop=0)
+        added = 0
+        while added < num_routes:
+            length = int(self.rng.integers(16, 29))
+            prefix = int(self.rng.integers(0, 1 << 32)) & ~((1 << (32 - length)) - 1)
+            if (prefix, length) in table._routes:
+                continue
+            table.add_route(prefix, length, int(self.rng.integers(0, self.num_ports)))
+            added += 1
+        return table
+
+    def random_addresses(self, count: int) -> List[int]:
+        return [int(a) for a in self.rng.integers(0, 1 << 32, size=count)]

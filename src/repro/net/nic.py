@@ -1,0 +1,88 @@
+"""NIC model: an RX descriptor ring with optional interrupt signalling.
+
+In polling mode the driver reads the ring directly.  In interrupt mode the
+NIC raises an interrupt when a packet lands in an *armed, empty* ring —
+NAPI-style moderation: the driver disarms on entry to its service loop and
+re-arms when it has drained the ring, so a burst costs one interrupt (§6.2.2
+"the interrupt handler polls the network queue again before returning").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.net.packet import Packet
+
+
+class NIC:
+    """One NIC with a single RX queue (the experiments use one queue/NIC)."""
+
+    def __init__(
+        self,
+        nic_id: int,
+        ring_size: int = 1024,
+        on_interrupt: Optional[Callable[["NIC"], None]] = None,
+        on_rx: Optional[Callable[["NIC", Packet], None]] = None,
+    ) -> None:
+        if ring_size <= 0:
+            raise ConfigError("ring size must be positive")
+        self.nic_id = nic_id
+        self.ring_size = ring_size
+        self.rx_ring: Deque[Packet] = deque()
+        self.on_interrupt = on_interrupt
+        #: Observer invoked on every successfully enqueued packet (used by
+        #: the polling-mode driver to model its discovery of new work).
+        self.on_rx = on_rx
+        self.interrupts_armed = False
+        self.rx_count = 0
+        self.dropped = 0
+        self.interrupts_raised = 0
+        self.tx_count = 0
+
+    # -- device side -------------------------------------------------------
+
+    def receive(self, packet: Packet) -> bool:
+        """A packet arrives from the wire; False if the ring overflowed."""
+        if len(self.rx_ring) >= self.ring_size:
+            self.dropped += 1
+            return False
+        packet.nic_id = self.nic_id
+        self.rx_ring.append(packet)
+        self.rx_count += 1
+        if self.on_rx is not None:
+            self.on_rx(self, packet)
+        if self.interrupts_armed and len(self.rx_ring) == 1:
+            # Empty -> non-empty with interrupts armed: raise one interrupt.
+            self.interrupts_armed = False
+            self.interrupts_raised += 1
+            if self.on_interrupt is None:
+                raise SimulationError(f"NIC {self.nic_id} armed with no interrupt sink")
+            self.on_interrupt(self)
+        return True
+
+    # -- driver side ----------------------------------------------------------
+
+    def poll(self) -> Optional[Packet]:
+        """Driver poll: pop the oldest packet, or None."""
+        if self.rx_ring:
+            return self.rx_ring.popleft()
+        return None
+
+    def pending(self) -> int:
+        return len(self.rx_ring)
+
+    def arm_interrupts(self) -> bool:
+        """Re-arm; returns False (and stays disarmed) if packets raced in —
+        the driver must drain again before idling to avoid a lost wakeup."""
+        if self.rx_ring:
+            return False
+        self.interrupts_armed = True
+        return True
+
+    def transmit(self, packet: Packet, now: float, out_port: int) -> None:
+        """Send a routed packet back out (we only count it)."""
+        packet.departure_time = now
+        packet.out_port = out_port
+        self.tx_count += 1

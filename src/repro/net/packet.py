@@ -1,0 +1,37 @@
+"""Packets: 64-byte IPv4/UDP frames with latency bookkeeping (§5.4)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One packet moving through the router."""
+
+    dst_ip: int
+    arrival_time: float
+    size_bytes: int = 64
+    nic_id: int = 0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Filled by the router.
+    departure_time: Optional[float] = None
+    out_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dst_ip < (1 << 32):
+            raise ConfigError(f"dst_ip out of range: {self.dst_ip}")
+        if self.size_bytes <= 0:
+            raise ConfigError("packet size must be positive")
+
+    @property
+    def latency(self) -> float:
+        if self.departure_time is None:
+            raise ConfigError(f"packet {self.pid} has not departed")
+        return self.departure_time - self.arrival_time

@@ -1,0 +1,13 @@
+"""Notification-mechanism abstraction and the calibrated cost model.
+
+The event tier (Figures 6-9) charges per-event costs for each notification
+mechanism rather than simulating every micro-op; :class:`CostModel` is the
+single source of those constants, with defaults matching the paper's
+measurements and a ``from_cycle_model`` derivation that re-measures them on
+the cycle tier.
+"""
+
+from repro.notify.costs import CostModel
+from repro.notify.mechanisms import Mechanism
+
+__all__ = ["CostModel", "Mechanism"]

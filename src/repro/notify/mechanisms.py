@@ -1,0 +1,50 @@
+"""Notification mechanism identifiers used across the event tier."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Mechanism(Enum):
+    """How a core/thread learns about an asynchronous event.
+
+    The evaluation compares these throughout §6:
+
+    - ``POLLING``: busy-spin on shared memory (or device queues).
+    - ``PERIODIC_POLL``: poll on an OS interval timer (setitimer).
+    - ``SIGNAL``: POSIX signals.
+    - ``UIPI``: Intel user IPIs as shipped (flush-based receive).
+    - ``XUI_TRACKED_IPI``: UIPI + xUI tracked interrupts.
+    - ``XUI_KB_TIMER``: xUI kernel-bypass timer + tracking (§4.3).
+    - ``XUI_DEVICE``: xUI interrupt forwarding + tracking (§4.5).
+    """
+
+    POLLING = "polling"
+    PERIODIC_POLL = "periodic_poll"
+    #: mwait-style idling: parks the core on *one* monitored line — the §2
+    #: limitation ("only works with a single queue") that HyperPlane [47]
+    #: builds an accelerator around and xUI removes.
+    MWAIT = "mwait"
+    SIGNAL = "signal"
+    UIPI = "uipi"
+    XUI_TRACKED_IPI = "xui_tracked_ipi"
+    XUI_KB_TIMER = "xui_kb_timer"
+    XUI_DEVICE = "xui_device"
+
+    @property
+    def is_xui(self) -> bool:
+        return self in (
+            Mechanism.XUI_TRACKED_IPI,
+            Mechanism.XUI_KB_TIMER,
+            Mechanism.XUI_DEVICE,
+        )
+
+    @property
+    def needs_timer_core(self) -> bool:
+        """Does preemption with this mechanism need a dedicated timer core?
+
+        UIPI/signals have no user-level timer, so runtimes dedicate a core
+        (or OS timer thread) as the time source; the xUI KB timer gives
+        every core its own (§4.3, Figure 6).
+        """
+        return self in (Mechanism.UIPI, Mechanism.SIGNAL, Mechanism.XUI_TRACKED_IPI)

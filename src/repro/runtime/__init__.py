@@ -1,0 +1,16 @@
+"""An Aspen-like user-level runtime (§5.3): lightweight threads, work
+stealing, and preemptive scheduling driven by user interrupts.
+
+The runtime runs on the event tier.  Worker cores execute user-level threads
+in quanta; at each quantum boundary the configured notification mechanism's
+receiver cost is charged (UIPI flush, xUI tracked + KB timer, or none), and
+the thread is rotated to the back of the run queue.  UIPI-based preemption
+additionally requires a dedicated timer core as its time source (§2, §6.1);
+the xUI KB timer does not.
+"""
+
+from repro.runtime.uthread import UThread
+from repro.runtime.workqueue import WorkQueue
+from repro.runtime.aspen import AspenRuntime, WorkerCore, RuntimeConfig
+
+__all__ = ["UThread", "WorkQueue", "AspenRuntime", "WorkerCore", "RuntimeConfig"]

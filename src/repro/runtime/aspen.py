@@ -1,0 +1,297 @@
+"""The Aspen-like preemptive runtime on the event tier (§5.3, §6.2.1).
+
+Worker cores run user threads in quanta.  At every quantum boundary the
+preemption notification fires: its receiver-side cost is charged to the
+worker (this is where UIPI at ~645 cycles vs. xUI KB timer + tracking at
+~105 cycles differ), and if other threads are waiting the current thread is
+rotated to the back of the queue (plus a user-level context switch).  With
+no preemption, threads run to completion — the head-of-line blocking that
+destroys GET tail latency in Figure 7.
+
+Mechanism differences (§6.1, Figure 6):
+
+- ``UIPI`` / ``XUI_TRACKED_IPI``: need a *time source* — a dedicated core
+  spinning on rdtsc that senduipi's every worker each quantum.  The runtime
+  accounts that core's utilization and enforces its fan-out capacity.
+- ``XUI_KB_TIMER``: each worker's own kernel-bypass timer fires locally;
+  no timer core at all.
+- ``None`` (no preemption): run to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import RngStreams
+from repro.notify.costs import CostModel
+from repro.notify.mechanisms import Mechanism
+from repro.runtime.uthread import UThread
+from repro.runtime.workqueue import WorkQueue
+from repro.sim.account import CycleAccount
+from repro.sim.event import Event
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Configuration of the runtime for one experiment run."""
+
+    num_workers: int = 1
+    #: Preemption quantum in cycles (None disables preemption).
+    quantum: Optional[float] = 10_000.0  # 5 us at 2 GHz
+    mechanism: Optional[Mechanism] = Mechanism.XUI_KB_TIMER
+    work_stealing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ConfigError("num_workers must be positive")
+        if self.quantum is not None and self.quantum <= 0:
+            raise ConfigError("quantum must be positive (or None)")
+        if self.quantum is not None and self.mechanism is None:
+            raise ConfigError("preemption requires a notification mechanism")
+
+
+class WorkerCore:
+    """One worker: executes threads; a wall-clock tick preempts each quantum.
+
+    The preemption notification is periodic in *wall-clock* time (the timer
+    core or KB timer fires every quantum no matter what is running), so the
+    receiver cost is charged at every tick — this is exactly the Figure 4
+    overhead (645 cycles/5 us for UIPI vs. 105 for xUI) showing up as lost
+    worker capacity in Figure 7.
+    """
+
+    def __init__(
+        self,
+        runtime: "AspenRuntime",
+        core_id: int,
+    ) -> None:
+        self.runtime = runtime
+        self.core_id = core_id
+        self.queue = WorkQueue(core_id)
+        self.account = CycleAccount(name=f"worker{core_id}")
+        self.current: Optional[UThread] = None
+        self._completion_event: Optional[Event] = None
+        self._slice_started = 0.0
+        self._resume_pending = False
+        self.idle_since: Optional[float] = 0.0
+        self.idle_cycles = 0.0
+        self.preemption_events = 0
+        self.ticks = 0
+        self._tick_event: Optional[Event] = None
+        self._stopped = False
+        if runtime.config.quantum is not None:
+            self._tick_event = runtime.sim.schedule(
+                runtime.config.quantum, self._tick, name=f"tick:w{core_id}"
+            )
+
+    def stop_ticks(self) -> None:
+        """Stop the periodic preemption tick (ends the simulation cleanly)."""
+        self._stopped = True
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, thread: UThread) -> None:
+        self.queue.push(thread)
+        if self.current is None and not self._resume_pending:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Pick the next thread (local queue, then stealing) and run it."""
+        self._resume_pending = False
+        thread = self.queue.pop()
+        if thread is None and self.runtime.config.work_stealing:
+            thread = self.runtime.steal_for(self)
+        if thread is None:
+            if self.idle_since is None:
+                self.idle_since = self.runtime.sim.now
+            return
+        if self.idle_since is not None:
+            self.idle_cycles += self.runtime.sim.now - self.idle_since
+            self.idle_since = None
+        self._run(thread)
+
+    def _run(self, thread: UThread) -> None:
+        sim = self.runtime.sim
+        if thread.start_time is None:
+            thread.start_time = sim.now
+        self.current = thread
+        self._slice_started = sim.now
+        self._completion_event = sim.schedule(
+            thread.remaining, self._complete, name=f"complete:w{self.core_id}"
+        )
+
+    def _complete(self) -> None:
+        sim = self.runtime.sim
+        thread = self.current
+        if thread is None:
+            raise SimulationError("completion with no current thread")
+        used = thread.run_for(sim.now - self._slice_started)
+        self.account.charge("app", used)
+        self.current = None
+        self._completion_event = None
+        thread.completion_time = sim.now
+        self.runtime.completed.append(thread)
+        self._dispatch()
+
+    def _tick(self) -> None:
+        """The periodic preemption notification (timer core / KB timer)."""
+        if self._stopped:
+            return
+        sim = self.runtime.sim
+        self.ticks += 1
+        self._tick_event = sim.schedule(
+            self.runtime.config.quantum, self._tick, name=f"tick:w{self.core_id}"
+        )
+        overhead = self.runtime.preemption_overhead()
+        self.preemption_events += 1
+        self.account.charge("preempt_notify", overhead)
+        thread = self.current
+        if thread is None:
+            # Interrupted while idle (or mid-switch): only the receiver
+            # cost is paid; an idle worker uses the tick to look for work
+            # to steal.
+            if not self._resume_pending:
+                self._dispatch()
+            return
+        # Preempt the running thread: bank its progress and rotate.
+        self._completion_event.cancel()
+        self._completion_event = None
+        used = thread.run_for(sim.now - self._slice_started)
+        self.account.charge("app", used)
+        self.current = None
+        thread.preemptions += 1
+        if thread.finished:
+            thread.completion_time = sim.now
+            self.runtime.completed.append(thread)
+            resume_delay = overhead
+        elif len(self.queue) > 0 or self.runtime.has_stealable_work(self):
+            switch = self.runtime.costs.uthread_switch
+            self.account.charge("uthread_switch", switch)
+            self.queue.push(thread)
+            resume_delay = overhead + switch
+        else:
+            self.queue.push_front(thread)
+            resume_delay = overhead
+        self._resume_pending = True
+        sim.schedule(resume_delay, self._dispatch, name=f"resume:w{self.core_id}")
+
+    # ------------------------------------------------------------------
+
+    def utilization(self, elapsed: float) -> float:
+        return self.account.busy_fraction(elapsed)
+
+
+class AspenRuntime:
+    """The runtime: workers, work stealing, and the preemption time source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: RuntimeConfig,
+        costs: Optional[CostModel] = None,
+        rng: Optional[RngStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.costs = costs or CostModel.paper_defaults()
+        self.rng = rng or RngStreams(seed=0)
+        self.workers: List[WorkerCore] = [
+            WorkerCore(self, core_id) for core_id in range(config.num_workers)
+        ]
+        self.completed: List[UThread] = []
+        self._spawn_rr = 0
+        self._stopped = False
+        self._timer_core_event = None
+        #: Dedicated timer-core accounting (UIPI-style mechanisms only).
+        self.timer_core: Optional[CycleAccount] = None
+        if (
+            config.quantum is not None
+            and config.mechanism is not None
+            and config.mechanism.needs_timer_core
+        ):
+            self.timer_core = CycleAccount(name="timer_core")
+            self._check_timer_capacity()
+            self._start_timer_core()
+
+    # -- preemption time source ------------------------------------------
+
+    def _check_timer_capacity(self) -> None:
+        capacity = self.costs.timer_core_capacity(self.config.quantum)
+        if self.config.num_workers > capacity:
+            raise ConfigError(
+                f"a single rdtsc-spin timer core supports at most {capacity} "
+                f"workers at a {self.config.quantum:.0f}-cycle quantum "
+                f"(requested {self.config.num_workers}); see §6.1"
+            )
+
+    def _start_timer_core(self) -> None:
+        """Account the dedicated timer core: it burns the whole core (rdtsc
+        spin) and spends senduipi cycles per worker per quantum."""
+
+        def tick() -> None:
+            if self._stopped:
+                return
+            per_worker = self.costs.senduipi + self.costs.timer_core_loop_overhead
+            send_cycles = per_worker * len(self.workers)
+            self.timer_core.charge("senduipi", send_cycles)
+            self.timer_core.charge("spin", max(0.0, self.config.quantum - send_cycles))
+            self._timer_core_event = self.sim.schedule(self.config.quantum, tick, name="timer_core")
+
+        self._timer_core_event = self.sim.schedule(self.config.quantum, tick, name="timer_core")
+
+    def stop(self) -> None:
+        """Stop all periodic machinery so an unbounded sim.run() can drain."""
+        self._stopped = True
+        for worker in self.workers:
+            worker.stop_ticks()
+        if self._timer_core_event is not None:
+            self._timer_core_event.cancel()
+            self._timer_core_event = None
+
+    def preemption_overhead(self) -> float:
+        """Receiver-side cost of one preemption notification."""
+        mechanism = self.config.mechanism
+        if mechanism is None:
+            return 0.0
+        return self.costs.preemption_cost(mechanism)
+
+    # -- spawning / stealing ------------------------------------------------
+
+    def spawn(self, thread: UThread) -> None:
+        """Submit a thread; round-robin placement across workers."""
+        worker = self.workers[self._spawn_rr % len(self.workers)]
+        self._spawn_rr += 1
+        worker.enqueue(thread)
+
+    def steal_for(self, thief: WorkerCore) -> Optional[UThread]:
+        """Steal one thread for ``thief`` from a random victim."""
+        candidates = [w for w in self.workers if w is not thief and len(w.queue) > 0]
+        if not candidates:
+            return None
+        victim = candidates[self.rng.choice_index("steal", len(candidates))]
+        stolen = victim.queue.steal()
+        if stolen is not None:
+            stolen.steals += 1
+        return stolen
+
+    def has_stealable_work(self, thief: WorkerCore) -> bool:
+        return any(w is not thief and len(w.queue) > 0 for w in self.workers)
+
+    # -- results ---------------------------------------------------------------
+
+    def response_times(self, kind: Optional[str] = None) -> List[float]:
+        return [
+            t.response_time
+            for t in self.completed
+            if kind is None or t.kind == kind
+        ]
+
+    def total_queued(self) -> int:
+        running = sum(1 for w in self.workers if w.current is not None)
+        return running + sum(len(w.queue) for w in self.workers)

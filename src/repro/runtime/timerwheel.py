@@ -1,0 +1,179 @@
+"""Software timers multiplexed on one hardware timer (§2, §4.3).
+
+User-level runtimes need *many* concurrent timeouts (request deadlines,
+retransmits, scheduling quanta) but get few hardware timers.  The classic
+answer is a software timer facility driven by one hardware timer — and §4.3
+designs the KB timer's one-shot mode for exactly this: "in keeping with the
+traditional APIC design that makes it simple to specify the next deadline
+when implementing multiple software timers."
+
+:class:`SoftwareTimerService` keeps a deadline heap and drives it two ways:
+
+- ``ONE_SHOT``: arm the hardware timer for the earliest deadline, re-arm on
+  every change — precise, one hardware fire per (batch of) expiries;
+- ``PERIODIC``: a fixed-resolution tick sweeps the heap — fewer re-arms,
+  but expiry precision is bounded by the resolution.
+
+The hardware-timer cost per fire comes from the cost model: the xUI KB
+timer (105 cycles, user-programmable re-arm) vs. an OS interval timer
+(signal-priced ticks with a ~2 µs floor).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import Enum
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.notify.costs import CostModel
+from repro.notify.mechanisms import Mechanism
+from repro.sim.account import CycleAccount
+from repro.sim.event import Event
+from repro.sim.simulator import Simulator
+
+
+class TimerMode(Enum):
+    ONE_SHOT = "one_shot"
+    PERIODIC = "periodic"
+
+
+class TimeoutHandle:
+    """A cancellable scheduled timeout."""
+
+    __slots__ = ("deadline", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, deadline: float, seq: int, callback: Callable[[], None]) -> None:
+        self.deadline = deadline
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> bool:
+        """Cancel if not yet fired; returns whether the cancel took effect."""
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+
+class SoftwareTimerService:
+    """Many software timeouts on one hardware timer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mode: TimerMode = TimerMode.ONE_SHOT,
+        mechanism: Mechanism = Mechanism.XUI_KB_TIMER,
+        resolution: float = 4000.0,
+        costs: Optional[CostModel] = None,
+        account: Optional[CycleAccount] = None,
+    ) -> None:
+        if mechanism not in (Mechanism.XUI_KB_TIMER, Mechanism.PERIODIC_POLL):
+            raise ConfigError(
+                "software timers are driven by the KB timer or an OS interval timer"
+            )
+        if resolution <= 0:
+            raise ConfigError("resolution must be positive")
+        self.sim = sim
+        self.mode = mode
+        self.mechanism = mechanism
+        self.costs = costs or CostModel.paper_defaults()
+        self.account = account or CycleAccount(name="timer_service")
+        if mechanism is Mechanism.PERIODIC_POLL:
+            # The OS interval timer cannot tick faster than its floor (§2).
+            resolution = max(resolution, self.costs.os_timer_min_period)
+        self.resolution = resolution
+        self._heap: List[Tuple[float, int, TimeoutHandle]] = []
+        self._seq = itertools.count()
+        self._hw_event: Optional[Event] = None
+        self._hw_armed_for: Optional[float] = None
+        self.hardware_fires = 0
+        self.timeouts_fired = 0
+        if mode is TimerMode.PERIODIC:
+            self._arm_hardware(self.sim.now + self.resolution)
+
+    # -- cost accounting -----------------------------------------------------
+
+    @property
+    def _fire_cost(self) -> float:
+        if self.mechanism is Mechanism.XUI_KB_TIMER:
+            return self.costs.timer_receive_tracked
+        return self.costs.setitimer_event
+
+    @property
+    def _rearm_cost(self) -> float:
+        # set_timer is a user-level instruction (§4.3); re-arming an OS
+        # timer is a syscall.
+        if self.mechanism is Mechanism.XUI_KB_TIMER:
+            return 20.0
+        return self.costs.nanosleep_event / 2
+
+    # -- public API ------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimeoutHandle:
+        """Schedule ``callback`` after ``delay`` cycles."""
+        if delay < 0:
+            raise ConfigError("timeout delay must be non-negative")
+        handle = TimeoutHandle(self.sim.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, (handle.deadline, handle.seq, handle))
+        if self.mode is TimerMode.ONE_SHOT:
+            self._maybe_rearm()
+        return handle
+
+    def pending(self) -> int:
+        return sum(1 for _, _, h in self._heap if not (h.cancelled or h.fired))
+
+    def next_deadline(self) -> Optional[float]:
+        self._drop_dead_head()
+        return self._heap[0][0] if self._heap else None
+
+    # -- hardware-timer plumbing --------------------------------------------
+
+    def _drop_dead_head(self) -> None:
+        while self._heap and (self._heap[0][2].cancelled or self._heap[0][2].fired):
+            heapq.heappop(self._heap)
+
+    def _maybe_rearm(self) -> None:
+        """ONE_SHOT: keep the hardware timer armed for the earliest deadline."""
+        deadline = self.next_deadline()
+        if deadline is None:
+            if self._hw_event is not None:
+                self._hw_event.cancel()
+                self._hw_event = None
+                self._hw_armed_for = None
+            return
+        if self._hw_armed_for is not None and self._hw_armed_for <= deadline:
+            return  # already armed early enough
+        if self._hw_event is not None:
+            self._hw_event.cancel()
+        self.account.charge("rearm", self._rearm_cost)
+        self._arm_hardware(max(deadline, self.sim.now))
+
+    def _arm_hardware(self, at_time: float) -> None:
+        self._hw_armed_for = at_time
+        self._hw_event = self.sim.schedule_at(at_time, self._hardware_fire, name="sw_timer_hw")
+
+    def _hardware_fire(self) -> None:
+        self.hardware_fires += 1
+        self._hw_event = None
+        self._hw_armed_for = None
+        self.account.charge("hw_fire", self._fire_cost)
+        self._expire_due()
+        if self.mode is TimerMode.PERIODIC:
+            self._arm_hardware(self.sim.now + self.resolution)
+        else:
+            self._maybe_rearm()
+
+    def _expire_due(self) -> None:
+        now = self.sim.now
+        while True:
+            self._drop_dead_head()
+            if not self._heap or self._heap[0][0] > now:
+                return
+            _, _, handle = heapq.heappop(self._heap)
+            handle.fired = True
+            self.timeouts_fired += 1
+            handle.callback()

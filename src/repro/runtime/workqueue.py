@@ -1,0 +1,49 @@
+"""Per-core run queues with work stealing (§5.3).
+
+Aspen balances threads across cores by work stealing: owners push and pop at
+the tail (LIFO keeps caches warm), thieves steal from the head (the oldest,
+coldest work).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.runtime.uthread import UThread
+
+
+class WorkQueue:
+    """A deque-based work-stealing queue."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._queue: Deque[UThread] = deque()
+        self.pushes = 0
+        self.steals_suffered = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, thread: UThread) -> None:
+        self.pushes += 1
+        self._queue.append(thread)
+
+    def push_front(self, thread: UThread) -> None:
+        """Return a preempted thread to the *head* so round-robin rotation
+        comes back to it after one pass."""
+        self._queue.appendleft(thread)
+
+    def pop(self) -> Optional[UThread]:
+        """Owner-side pop (FIFO here: preemptive round-robin wants the
+        oldest runnable thread next, not the newest)."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def steal(self) -> Optional[UThread]:
+        """Thief-side steal from the head (oldest work)."""
+        if self._queue:
+            self.steals_suffered += 1
+            return self._queue.popleft()
+        return None

@@ -1,0 +1,71 @@
+"""The event calendar: timestamped callbacks with stable FIFO tie-breaking."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so that two events scheduled for
+    the same instant fire in scheduling order — a property several protocols
+    rely on (e.g. "the UPID write is visible before the IPI arrives").
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` with lazy cancellation.
+
+    Cancelled events stay in the heap until they surface, so cancellation is
+    O(1); ``len()`` counts only live (non-cancelled) events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        self._drop_cancelled_head()
+        return bool(self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
+        if time != time:  # NaN check
+            raise SimulationError("event time is NaN")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        self._drop_cancelled_head()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

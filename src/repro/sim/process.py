@@ -1,0 +1,159 @@
+"""Generator-based processes on top of the event calendar.
+
+A :class:`Process` wraps a Python generator that yields *wait conditions*:
+
+- ``Timeout(delay)`` — resume after ``delay`` time units;
+- ``Signal`` — resume when another process fires the signal;
+- another :class:`Process` — resume when that process finishes.
+
+This is a deliberately small subset of SimPy's model: enough to express
+threads waiting on timers, completion queues, and each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Wait condition: resume after ``delay`` time units."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"timeout delay must be non-negative, got {self.delay}")
+
+
+class Signal:
+    """A broadcast wakeup: processes wait on it, any code may fire it.
+
+    Firing delivers an optional payload to every current waiter and resets
+    the signal (later waiters block until the next fire).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+
+    def add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all waiters now; return how many were woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            # Wake at the current instant; scheduling (not calling inline)
+            # keeps wake order FIFO and avoids reentrant generator resumes.
+            self._sim.schedule(0.0, lambda p=process: p._resume(payload), name=f"signal:{self.name}")
+        return len(waiters)
+
+
+class Waiter:
+    """Single-consumer mailbox with FIFO buffering.
+
+    Unlike :class:`Signal`, a value put when nobody waits is buffered, so
+    producers and consumers need not be rate-matched (used for completion
+    queues and inter-thread messages).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._buffer: List[Any] = []
+        self._waiting: Optional[Process] = None
+
+    def put(self, item: Any) -> None:
+        if self._waiting is not None:
+            process, self._waiting = self._waiting, None
+            self._sim.schedule(0.0, lambda p=process: p._resume(item), name=f"waiter:{self.name}")
+        else:
+            self._buffer.append(item)
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; None if the mailbox is empty."""
+        if self._buffer:
+            return self._buffer.pop(0)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def _attach(self, process: "Process") -> bool:
+        """Called by Process when a generator yields this waiter.
+
+        Returns True if a buffered item satisfied the wait immediately.
+        """
+        if self._buffer:
+            item = self._buffer.pop(0)
+            self._sim.schedule(0.0, lambda: process._resume(item), name=f"waiter:{self.name}")
+            return True
+        if self._waiting is not None:
+            raise SimulationError(f"waiter {self.name!r} already has a consumer")
+        self._waiting = process
+        return True
+
+
+class Process:
+    """A coroutine driven by the simulator.
+
+    The wrapped generator yields :class:`Timeout`, :class:`Signal`,
+    :class:`Waiter`, or another :class:`Process`; the value sent back into
+    the generator is the wake payload (the waited-on process's return value,
+    a signal payload, a mailbox item, or None for timeouts).
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "") -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._joiners: List[Process] = []
+        sim.schedule(0.0, lambda: self._resume(None), name=f"start:{name}")
+
+    def _resume(self, payload: Any) -> None:
+        if self.finished:
+            return
+        try:
+            condition = self._generator.send(payload)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(condition)
+
+    def _wait_on(self, condition: Any) -> None:
+        if isinstance(condition, Timeout):
+            self._sim.schedule(condition.delay, lambda: self._resume(None), name=f"timeout:{self.name}")
+        elif isinstance(condition, Signal):
+            condition.add_waiter(self)
+        elif isinstance(condition, Waiter):
+            condition._attach(self)
+        elif isinstance(condition, Process):
+            if condition.finished:
+                self._sim.schedule(0.0, lambda: self._resume(condition.result))
+            else:
+                condition._joiners.append(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded an unsupported wait condition: {condition!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self._sim.schedule(0.0, lambda j=joiner: j._resume(result), name=f"join:{self.name}")

@@ -1,0 +1,93 @@
+"""The simulation clock and main loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.event import Event, EventQueue
+
+
+class Simulator:
+    """A discrete-event simulator with a monotonically advancing clock.
+
+    Time is a float; for the event tier we use cycles of the 2 GHz paper
+    clock.  The loop pops the earliest event, advances the clock to it, and
+    runs its callback.  Callbacks may schedule further events (never in the
+    past).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at {time} before now={self._now}"
+            )
+        return self._queue.push(time, callback, name)
+
+    def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {name!r} with negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, name)
+
+    def pending(self) -> int:
+        """Number of live events waiting in the calendar."""
+        return len(self._queue)
+
+    def peek_next_time(self) -> Optional[float]:
+        return self._queue.peek_time()
+
+    def step(self) -> bool:
+        """Run the next event; return False if the calendar was empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.cancelled:
+            return True
+        self._now = event.time
+        self.events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the calendar drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulation time when the loop stopped.  With ``until``
+        set, the clock is advanced to ``until`` even if the calendar drained
+        earlier, so back-to-back ``run`` calls observe contiguous time.
+        """
+        if self._running:
+            raise SimulationError("simulator loop is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self.events_processed += 1
+                fired += 1
+                event.callback()
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,56 @@
+"""Event tracing for debugging and for the Figure 2 timeline reconstruction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence (e.g. ``uipi.icr_write`` at cycle 383)."""
+
+    time: float
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects; cheap no-op when disabled."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **detail: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time=time, kind=kind, detail=detail))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        result = None
+        for event in self.events:
+            if event.kind == kind:
+                result = event
+        return result
+
+    def interval(self, start_kind: str, end_kind: str) -> Optional[float]:
+        """Time between the first ``start_kind`` and the first later ``end_kind``."""
+        start = self.first(start_kind)
+        if start is None:
+            return None
+        for event in self.events:
+            if event.kind == end_kind and event.time >= start.time:
+                return event.time - start.time
+        return None

@@ -1,0 +1,23 @@
+"""Intel UIPI architectural model (§3): UPID, UITT, local APIC, routing.
+
+These structures are shared by both simulation tiers: the cycle tier reads
+and writes UPIDs through its cache hierarchy (so the coherence costs of §3.3
+appear), while the event tier manipulates them directly with calibrated
+costs.
+"""
+
+from repro.uintr.upid import UPID, UPID_BYTES
+from repro.uintr.uitt import UITTEntry, UITT, UITT_ENTRY_BYTES
+from repro.uintr.apic import LocalApic, ApicBus, PendingInterrupt, InterruptKind
+
+__all__ = [
+    "UPID",
+    "UPID_BYTES",
+    "UITTEntry",
+    "UITT",
+    "UITT_ENTRY_BYTES",
+    "LocalApic",
+    "ApicBus",
+    "PendingInterrupt",
+    "InterruptKind",
+]

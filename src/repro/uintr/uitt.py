@@ -1,0 +1,80 @@
+"""The User Interrupt Target Table (UITT) — §3.1.
+
+A per-process table mapping a small integer index (the ``senduipi`` operand)
+to a ``(UPID pointer, user vector)`` tuple.  The presence of a UPID pointer
+in a process's UITT is the access-control grant: it implicitly permits that
+process to send user interrupts to the thread owning the UPID.
+
+Layout in shared memory (16 bytes per entry):
+
+    word 0: UPID address
+    word 1: user vector (6 bits)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.cpu.cache import SharedMemory
+
+UITT_ENTRY_BYTES = 16
+MAX_USER_VECTOR = 63
+
+
+@dataclass(frozen=True)
+class UITTEntry:
+    """One decoded UITT entry."""
+
+    upid_addr: int
+    user_vector: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.user_vector <= MAX_USER_VECTOR:
+            raise ConfigError(f"user vector must be 6 bits, got {self.user_vector}")
+
+
+class UITT:
+    """A view of a UITT at ``base_addr`` in shared memory.
+
+    The kernel (``register_sender``) appends entries; ``senduipi`` microcode
+    reads them by index.
+    """
+
+    def __init__(self, memory: SharedMemory, base_addr: int, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ConfigError("UITT capacity must be positive")
+        self.memory = memory
+        self.base_addr = base_addr
+        self.capacity = capacity
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def entry_addr(self, index: int) -> int:
+        if not 0 <= index < self.capacity:
+            raise ConfigError(f"UITT index out of range: {index}")
+        return self.base_addr + index * UITT_ENTRY_BYTES
+
+    def append(self, upid_addr: int, user_vector: int) -> int:
+        """Add an entry (kernel-side ``register_sender``); return its index."""
+        if self._count >= self.capacity:
+            raise ConfigError("UITT is full")
+        entry = UITTEntry(upid_addr=upid_addr, user_vector=user_vector)
+        index = self._count
+        addr = self.entry_addr(index)
+        self.memory.write(addr, entry.upid_addr)
+        self.memory.write(addr + 8, entry.user_vector)
+        self._count += 1
+        return index
+
+    def read(self, index: int) -> UITTEntry:
+        """Decode the entry at ``index`` from memory."""
+        if not 0 <= index < self._count:
+            raise ConfigError(f"UITT index {index} not registered (count={self._count})")
+        addr = self.entry_addr(index)
+        return UITTEntry(
+            upid_addr=self.memory.read(addr),
+            user_vector=self.memory.read(addr + 8),
+        )

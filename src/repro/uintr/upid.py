@@ -1,0 +1,112 @@
+"""The User Posted Interrupt Descriptor (UPID) — Table 1.
+
+A UPID is a 128-bit in-memory descriptor, one per receiver thread:
+
+    bits 0:0    ON    outstanding notification
+    bits 1:1    SN    suppressed notification
+    bits 23:16  NV    notification vector (the conventional IPI vector)
+    bits 63:32  NDST  APIC ID of the core the thread is running on
+    bits 127:64 PIR   posted interrupt requests (one bit per user vector)
+
+We store it as two 64-bit words in :class:`repro.cpu.cache.SharedMemory`:
+word 0 holds ON/SN/NV/NDST, word 1 holds the PIR.  The class is a *view*
+over shared memory, so cycle-tier microcode and event-tier kernel code
+manipulate the same bits the tests inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import bitfield
+from repro.cpu.cache import SharedMemory
+
+#: Size of one UPID in bytes (two 64-bit words).
+UPID_BYTES = 16
+
+ON_BIT = 0
+SN_BIT = 1
+NV_LOW, NV_HIGH = 16, 23
+NDST_LOW, NDST_HIGH = 32, 63
+
+
+@dataclass
+class UPID:
+    """A view of one UPID at ``addr`` in ``memory``."""
+
+    memory: SharedMemory
+    addr: int
+
+    # -- word 0: status ---------------------------------------------------
+    def _status(self) -> int:
+        return self.memory.read(self.addr)
+
+    def _set_status(self, value: int, core_id=None) -> None:
+        self.memory.write(self.addr, value, core_id=core_id)
+
+    @property
+    def outstanding(self) -> bool:
+        """ON — a notification is outstanding for one or more user interrupts."""
+        return bitfield.test_bit(self._status(), ON_BIT)
+
+    def set_outstanding(self, value: bool, core_id=None) -> None:
+        status = self._status()
+        status = bitfield.set_bit(status, ON_BIT) if value else bitfield.clear_bit(status, ON_BIT)
+        self._set_status(status, core_id=core_id)
+
+    @property
+    def suppressed(self) -> bool:
+        """SN — senders should avoid sending a notification IPI."""
+        return bitfield.test_bit(self._status(), SN_BIT)
+
+    def set_suppressed(self, value: bool, core_id=None) -> None:
+        status = self._status()
+        status = bitfield.set_bit(status, SN_BIT) if value else bitfield.clear_bit(status, SN_BIT)
+        self._set_status(status, core_id=core_id)
+
+    @property
+    def notification_vector(self) -> int:
+        """NV — the conventional interrupt vector used for UIPI notification."""
+        return bitfield.get_bits(self._status(), NV_LOW, NV_HIGH)
+
+    def set_notification_vector(self, vector: int, core_id=None) -> None:
+        self._set_status(
+            bitfield.set_bits(self._status(), NV_LOW, NV_HIGH, vector), core_id=core_id
+        )
+
+    @property
+    def notification_destination(self) -> int:
+        """NDST — APIC ID of the core the receiver thread is running on."""
+        return bitfield.get_bits(self._status(), NDST_LOW, NDST_HIGH)
+
+    def set_notification_destination(self, apic_id: int, core_id=None) -> None:
+        self._set_status(
+            bitfield.set_bits(self._status(), NDST_LOW, NDST_HIGH, apic_id), core_id=core_id
+        )
+
+    # -- word 1: PIR -------------------------------------------------------
+    @property
+    def pir_addr(self) -> int:
+        return self.addr + 8
+
+    @property
+    def pir(self) -> int:
+        """Posted interrupt requests — one bit per 6-bit user vector."""
+        return self.memory.read(self.pir_addr)
+
+    def post_vector(self, user_vector: int, core_id=None) -> None:
+        """Set the PIR bit for ``user_vector`` and the ON bit (sender side)."""
+        if not 0 <= user_vector < 64:
+            raise ValueError(f"user vector must be a 6-bit value, got {user_vector}")
+        self.memory.write(self.pir_addr, bitfield.set_bit(self.pir, user_vector), core_id=core_id)
+        self.set_outstanding(True, core_id=core_id)
+
+    def take_pir(self, core_id=None) -> int:
+        """Atomically read-and-clear the PIR (receiver notification processing)."""
+        value = self.pir
+        self.memory.write(self.pir_addr, 0, core_id=core_id)
+        return value
+
+    def clear(self, core_id=None) -> None:
+        self._set_status(0, core_id=core_id)
+        self.memory.write(self.pir_addr, 0, core_id=core_id)

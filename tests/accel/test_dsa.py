@@ -1,0 +1,113 @@
+"""The simulated streaming accelerator (§5.4)."""
+
+import pytest
+
+from repro.accel.dsa import DsaConfig, LatencyModel, OffloadRequest, SimulatedDSA
+from repro.accel.rings import CompletionRing, SubmissionRing
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStreams
+from repro.common.units import us_to_cycles
+from repro.sim.simulator import Simulator
+
+
+class TestLatencyModel:
+    def test_no_noise_is_deterministic(self):
+        model = LatencyModel(mean_us=2.0)
+        assert model.sample() == us_to_cycles(2.0)
+
+    def test_noise_bounds(self):
+        model = LatencyModel(mean_us=2.0, noise_fraction=0.5, rng=RngStreams(1))
+        mean = us_to_cycles(2.0)
+        for _ in range(500):
+            sample = model.sample()
+            assert 0.5 * mean <= sample <= 1.5 * mean
+
+    def test_floor_at_ten_percent(self):
+        model = LatencyModel(mean_us=2.0, noise_fraction=5.0, rng=RngStreams(2))
+        mean = us_to_cycles(2.0)
+        assert all(model.sample() >= 0.1 * mean for _ in range(500))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(mean_us=0)
+        with pytest.raises(ConfigError):
+            LatencyModel(mean_us=1, noise_fraction=-0.1)
+
+
+class TestRings:
+    def test_fifo(self):
+        ring = SubmissionRing(capacity=4)
+        ring.push("a")
+        ring.push("b")
+        assert ring.pop() == "a"
+        assert ring.pop() == "b"
+        assert ring.pop() is None
+
+    def test_capacity_rejects(self):
+        ring = SubmissionRing(capacity=1)
+        assert ring.push("a")
+        assert not ring.push("b")
+        assert ring.rejected == 1
+
+    def test_completion_arm_requires_empty(self):
+        ring = CompletionRing()
+        ring.push("done")
+        assert ring.arm() is False
+        ring.pop()
+        assert ring.arm() is True
+
+
+class TestDevice:
+    def test_completion_after_latency(self):
+        sim = Simulator()
+        dsa = SimulatedDSA(sim, LatencyModel(mean_us=2.0))
+        request = OffloadRequest(submit_time=sim.now)
+        assert dsa.submit(request)
+        sim.run()
+        assert request.complete_time == pytest.approx(
+            us_to_cycles(2.0) + dsa.config.fabric_latency
+        )
+        assert dsa.completion_ring.pop() is request
+
+    def test_completions_in_submission_order(self):
+        sim = Simulator()
+        dsa = SimulatedDSA(sim, LatencyModel(mean_us=2.0, noise_fraction=1.0, rng=RngStreams(3)))
+        requests = [OffloadRequest(submit_time=0.0) for _ in range(10)]
+        for request in requests:
+            dsa.submit(request)
+        sim.run()
+        order = []
+        while True:
+            done = dsa.completion_ring.pop()
+            if done is None:
+                break
+            order.append(done.rid)
+        assert order == [r.rid for r in requests]
+
+    def test_interrupt_on_empty_armed_ring(self):
+        sim = Simulator()
+        fired = []
+        dsa = SimulatedDSA(sim, LatencyModel(mean_us=2.0), on_interrupt=lambda: fired.append(sim.now))
+        dsa.completion_ring.arm()
+        dsa.submit(OffloadRequest(submit_time=0.0))
+        sim.run()
+        assert len(fired) == 1
+
+    def test_no_interrupt_when_disarmed(self):
+        sim = Simulator()
+        fired = []
+        dsa = SimulatedDSA(sim, LatencyModel(mean_us=2.0), on_interrupt=lambda: fired.append(1))
+        dsa.submit(OffloadRequest(submit_time=0.0))
+        sim.run()
+        assert fired == []
+
+    def test_notification_lag_accounting(self):
+        request = OffloadRequest(submit_time=0.0)
+        request.complete_time = 100.0
+        request.handled_time = 150.0
+        assert request.notification_lag == 50.0
+        assert request.device_latency == 100.0
+
+    def test_lag_requires_handling(self):
+        with pytest.raises(ConfigError):
+            OffloadRequest(submit_time=0.0).notification_lag

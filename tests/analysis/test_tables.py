@@ -1,0 +1,54 @@
+"""Text table/series rendering."""
+
+from repro.analysis.tables import format_paper_comparison, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["b", 22.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_large_numbers_use_commas(self):
+        text = format_table(["v"], [[1360.0]])
+        assert "1,360" in text
+
+    def test_nan_rendered(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "n/a" in text
+
+
+class TestPaperComparison:
+    def test_ratio_column(self):
+        rows = {"senduipi": {"paper": 383.0, "measured": 396.0}}
+        text = format_paper_comparison(rows, title="Table 2")
+        assert "senduipi" in text
+        assert "1.03" in text  # 396/383
+
+    def test_multiple_rows(self):
+        rows = {
+            "a": {"paper": 100.0, "measured": 90.0},
+            "b": {"paper": 2.0, "measured": 2.0},
+        }
+        text = format_paper_comparison(rows)
+        assert text.count("\n") >= 3
+
+
+class TestSeries:
+    def test_grid_with_missing_points(self):
+        series = {"flush": {1: 10.0, 2: 20.0}, "tracked": {2: 5.0}}
+        text = format_series(series, x_label="nics", y_label="us")
+        assert "flush (us)" in text
+        assert "n/a" in text  # tracked missing at x=1
+
+    def test_x_values_sorted(self):
+        series = {"s": {3: 1.0, 1: 2.0, 2: 3.0}}
+        lines = format_series(series, "x", "y").splitlines()
+        xs = [line.split()[0] for line in lines[2:]]
+        assert xs == ["1", "2", "3"]

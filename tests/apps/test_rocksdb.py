@@ -1,0 +1,98 @@
+"""The skip-list store and the bimodal service model (§5.3)."""
+
+import pytest
+
+from repro.apps.rocksdb import BimodalServiceModel, SkipListStore
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStreams
+from repro.common.units import us_to_cycles
+
+
+class TestSkipListStore:
+    def test_put_get(self):
+        store = SkipListStore()
+        store.put(b"key1", b"value1")
+        assert store.get(b"key1") == b"value1"
+
+    def test_get_missing(self):
+        assert SkipListStore().get(b"nope") is None
+
+    def test_overwrite(self):
+        store = SkipListStore()
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = SkipListStore()
+        store.put("k", 1)
+        assert store.delete("k") is True
+        assert store.get("k") is None
+        assert store.delete("k") is False
+        assert len(store) == 0
+
+    def test_scan_is_ordered(self):
+        store = SkipListStore(seed=3)
+        for key in [5, 1, 9, 3, 7]:
+            store.put(key, key * 10)
+        result = store.scan(start_key=3, count=3)
+        assert result == [(3, 30), (5, 50), (7, 70)]
+
+    def test_scan_count_zero(self):
+        store = SkipListStore()
+        store.put(1, 1)
+        assert store.scan(0, 0) == []
+
+    def test_scan_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            SkipListStore().scan(0, -1)
+
+    def test_items_sorted(self):
+        store = SkipListStore(seed=1)
+        import random
+
+        keys = list(range(200))
+        random.Random(0).shuffle(keys)
+        for key in keys:
+            store.put(key, key)
+        assert [k for k, _ in store.items()] == sorted(keys)
+
+    def test_large_store_lookups(self):
+        store = SkipListStore(seed=2)
+        for i in range(1000):
+            store.put(f"key{i:04d}", i)
+        assert store.get("key0500") == 500
+        assert store.get("key0999") == 999
+
+
+class TestBimodalServiceModel:
+    def test_mean_service_matches_paper_mix(self):
+        model = BimodalServiceModel()
+        # 99.5% * 1.2us + 0.5% * 580us = 4.094 us
+        assert model.mean_service_cycles == pytest.approx(us_to_cycles(4.094), rel=0.01)
+
+    def test_max_throughput_order(self):
+        # One 2 GHz core saturates around 244k req/s on this mix.
+        assert BimodalServiceModel().max_throughput_rps() == pytest.approx(244_000, rel=0.01)
+
+    def test_scan_fraction_respected(self):
+        model = BimodalServiceModel(rng=RngStreams(1))
+        samples = [model.sample() for _ in range(20_000)]
+        scan_fraction = sum(1 for s in samples if s.kind == "scan") / len(samples)
+        assert scan_fraction == pytest.approx(0.005, abs=0.002)
+
+    def test_service_times_near_means(self):
+        model = BimodalServiceModel(rng=RngStreams(2))
+        gets = [s.service_cycles for s in (model.sample() for _ in range(5000)) if True]
+        get_samples = [s for s in gets if s < us_to_cycles(10)]
+        mean_get = sum(get_samples) / len(get_samples)
+        assert mean_get == pytest.approx(us_to_cycles(1.2), rel=0.05)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            BimodalServiceModel(scan_fraction=1.5)
+
+    def test_samples_always_positive(self):
+        model = BimodalServiceModel(rng=RngStreams(3), spread=0.5)
+        assert all(model.sample().service_cycles > 0 for _ in range(2000))

@@ -1,0 +1,66 @@
+"""Bit-field helpers used by the UPID/APIC packings."""
+
+import pytest
+
+from repro.common import bitfield
+from repro.common.errors import ConfigError
+
+
+class TestGetSetBits:
+    def test_get_bits_intel_notation(self):
+        # NV occupies bits 23:16 of the UPID status word (Table 1).
+        value = 0xEC << 16
+        assert bitfield.get_bits(value, 16, 23) == 0xEC
+
+    def test_set_bits_roundtrip(self):
+        value = bitfield.set_bits(0, 32, 63, 0xDEAD)
+        assert bitfield.get_bits(value, 32, 63) == 0xDEAD
+
+    def test_set_bits_preserves_others(self):
+        value = bitfield.set_bits(0xFF, 16, 23, 0xAB)
+        assert value & 0xFF == 0xFF
+
+    def test_set_bits_overflow_rejected(self):
+        with pytest.raises(ConfigError):
+            bitfield.set_bits(0, 0, 3, 16)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigError):
+            bitfield.get_bits(0, 5, 3)
+
+
+class TestSingleBits:
+    def test_set_and_test(self):
+        value = bitfield.set_bit(0, 7)
+        assert bitfield.test_bit(value, 7)
+        assert not bitfield.test_bit(value, 6)
+
+    def test_clear(self):
+        value = bitfield.clear_bit(0xFF, 0)
+        assert value == 0xFE
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            bitfield.set_bit(0, -1)
+
+
+class TestScanning:
+    def test_lowest_set_bit(self):
+        assert bitfield.lowest_set_bit(0b1000) == 3
+
+    def test_lowest_set_bit_of_zero(self):
+        assert bitfield.lowest_set_bit(0) == -1
+
+    def test_lowest_of_multiple(self):
+        assert bitfield.lowest_set_bit(0b1010) == 1
+
+    def test_iter_set_bits(self):
+        assert list(bitfield.iter_set_bits(0b10110)) == [1, 2, 4]
+
+    def test_iter_set_bits_empty(self):
+        assert list(bitfield.iter_set_bits(0)) == []
+
+    def test_iter_large_vector(self):
+        # 256-bit forwarding registers use high bit positions (§4.5).
+        value = (1 << 255) | (1 << 8)
+        assert list(bitfield.iter_set_bits(value)) == [8, 255]

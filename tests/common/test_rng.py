@@ -1,0 +1,60 @@
+"""Deterministic named RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_sequence(self):
+        a = RngStreams(seed=42).stream("x").random(8)
+        b = RngStreams(seed=42).stream("x").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("x").random(8)
+        b = RngStreams(seed=2).stream("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_stream_names_independent(self):
+        streams = RngStreams(seed=7)
+        a = streams.stream("alpha").random(8)
+        b = streams.stream("beta").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_stream_identity_is_creation_order_independent(self):
+        one = RngStreams(seed=5)
+        one.stream("first")
+        value_one = one.stream("second").random()
+        two = RngStreams(seed=5)
+        value_two = two.stream("second").random()
+        assert value_one == value_two
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(seed=0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_exponential_mean(self):
+        streams = RngStreams(seed=3)
+        samples = [streams.exponential("arrivals", 100.0) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+
+    def test_exponential_positive(self):
+        streams = RngStreams(seed=3)
+        assert all(streams.exponential("a", 5.0) > 0 for _ in range(100))
+
+    def test_uniform_bounds(self):
+        streams = RngStreams(seed=3)
+        for _ in range(200):
+            value = streams.uniform("u", 2.0, 9.0)
+            assert 2.0 <= value < 9.0
+
+    def test_choice_index_range(self):
+        streams = RngStreams(seed=3)
+        indices = {streams.choice_index("c", 4) for _ in range(200)}
+        assert indices <= {0, 1, 2, 3}
+        assert len(indices) == 4  # all values reachable
+
+    def test_seed_property(self):
+        assert RngStreams(seed=11).seed == 11

@@ -1,0 +1,121 @@
+"""Statistics helpers: percentiles, running stats, histograms."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import Histogram, RunningStats, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_known_data(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == pytest.approx(3)
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_p99_tail(self):
+        data = [1.0] * 99 + [100.0]
+        assert percentile(data, 99) > 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 101)
+        with pytest.raises(ConfigError):
+            percentile([1.0], -1)
+
+
+class TestSummarize:
+    def test_fields_present(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        for key in ("count", "mean", "min", "max", "p50", "p95", "p99", "p999"):
+            assert key in summary
+
+    def test_values(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+
+class TestRunningStats:
+    def test_mean(self):
+        stats = RunningStats()
+        stats.extend([1, 2, 3, 4])
+        assert stats.mean == pytest.approx(2.5)
+
+    def test_variance_matches_textbook(self):
+        stats = RunningStats()
+        stats.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert stats.variance == pytest.approx(32 / 7)
+
+    def test_stddev(self):
+        stats = RunningStats()
+        stats.extend([1, 5])
+        assert stats.stddev == pytest.approx(math.sqrt(8))
+
+    def test_min_max(self):
+        stats = RunningStats()
+        stats.extend([3, -1, 7])
+        assert stats.minimum == -1
+        assert stats.maximum == 7
+
+    def test_empty_min_rejected(self):
+        with pytest.raises(ConfigError):
+            RunningStats().minimum
+
+    def test_zero_samples_mean_is_zero(self):
+        assert RunningStats().mean == 0.0
+
+    def test_single_sample_variance_zero(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
+
+
+class TestHistogram:
+    def test_mean_tracks_all_samples(self):
+        hist = Histogram(bucket_width=1.0, num_buckets=10)
+        for value in (0.5, 1.5, 2.5):
+            hist.add(value)
+        assert hist.mean == pytest.approx(1.5)
+
+    def test_overflow_counted(self):
+        hist = Histogram(bucket_width=1.0, num_buckets=2)
+        hist.add(5.0)
+        assert hist.overflow == 1
+        assert hist.total == 1
+
+    def test_percentile_within_buckets(self):
+        hist = Histogram(bucket_width=1.0, num_buckets=100)
+        for value in range(100):
+            hist.add(float(value))
+        assert hist.percentile(50) == pytest.approx(50.0, abs=1.5)
+
+    def test_percentile_empty_rejected(self):
+        hist = Histogram(bucket_width=1.0, num_buckets=4)
+        with pytest.raises(ConfigError):
+            hist.percentile(50)
+
+    def test_negative_value_rejected(self):
+        hist = Histogram(bucket_width=1.0, num_buckets=4)
+        with pytest.raises(ConfigError):
+            hist.add(-1.0)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram(bucket_width=0, num_buckets=4)
+        with pytest.raises(ConfigError):
+            Histogram(bucket_width=1.0, num_buckets=0)

@@ -1,0 +1,70 @@
+"""Units: cycle/time conversions at the paper's 2 GHz clock."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import (
+    CYCLES_PER_US_2GHZ,
+    PAPER_CLOCK,
+    Frequency,
+    cycles_to_ns,
+    cycles_to_us,
+    ns_to_cycles,
+    us_to_cycles,
+)
+
+
+class TestFrequency:
+    def test_ghz_constructor(self):
+        assert Frequency.ghz(2.0).hertz == 2e9
+
+    def test_mhz_constructor(self):
+        assert Frequency.mhz(500).hertz == 5e8
+
+    def test_cycle_ns_at_2ghz(self):
+        assert Frequency.ghz(2.0).cycle_ns == pytest.approx(0.5)
+
+    def test_cycles_per_us(self):
+        assert Frequency.ghz(2.0).cycles_per_us() == pytest.approx(CYCLES_PER_US_2GHZ)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            Frequency(0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigError):
+            Frequency(-1e9)
+
+    def test_roundtrip_cycles_ns(self):
+        freq = Frequency.ghz(3.5)
+        assert freq.ns_to_cycles(freq.cycles_to_ns(1234)) == pytest.approx(1234)
+
+    def test_roundtrip_cycles_us(self):
+        freq = Frequency.ghz(2.0)
+        assert freq.us_to_cycles(freq.cycles_to_us(99_999)) == pytest.approx(99_999)
+
+    def test_seconds_conversion(self):
+        assert Frequency.ghz(2.0).seconds_to_cycles(1.0) == pytest.approx(2e9)
+        assert Frequency.ghz(2.0).cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+
+class TestModuleHelpers:
+    def test_paper_clock_is_2ghz(self):
+        assert PAPER_CLOCK.hertz == 2e9
+
+    def test_cycles_to_ns_default_clock(self):
+        assert cycles_to_ns(2) == pytest.approx(1.0)
+
+    def test_cycles_to_us_default_clock(self):
+        # 5 us quantum == 10,000 cycles at 2 GHz (the paper's headline quantum)
+        assert cycles_to_us(10_000) == pytest.approx(5.0)
+
+    def test_ns_to_cycles_default_clock(self):
+        assert ns_to_cycles(1.0) == pytest.approx(2.0)
+
+    def test_us_to_cycles_matches_paper_constant(self):
+        assert us_to_cycles(1.0) == pytest.approx(CYCLES_PER_US_2GHZ)
+
+    def test_signal_cost_conversion(self):
+        # §2: 2.4 us at 2 GHz is 4800 cycles.
+        assert us_to_cycles(2.4) == pytest.approx(4800)

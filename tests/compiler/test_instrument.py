@@ -1,0 +1,94 @@
+"""Instrumentation hooks: polling checks and safepoint prefixes."""
+
+import pytest
+
+from repro.compiler.instrument import (
+    NullInstrumenter,
+    PollingInstrumenter,
+    SafepointInstrumenter,
+)
+from repro.cpu import isa
+from repro.cpu.isa import Op
+from repro.cpu.program import ProgramBuilder
+
+
+def emit_instrumented_loop(instrument, iterations=10):
+    builder = ProgramBuilder("t")
+    instrument.setup(builder)
+    builder.emit(isa.movi(1, 0))
+    builder.emit(isa.movi(2, iterations))
+    builder.label("loop")
+    builder.emit(isa.addi(1, 1, 1))
+    instrument.at_loop_backedge(builder)
+    builder.emit(instrument.wrap_backedge(isa.blt(1, 2, "loop")))
+    builder.emit(isa.halt())
+    instrument.finalize(builder)
+    builder.emit_default_handler()
+    return builder.build()
+
+
+class TestNullInstrumenter:
+    def test_adds_nothing(self):
+        plain = emit_instrumented_loop(NullInstrumenter())
+        ops = [i.op for i in plain.instructions]
+        assert Op.LOAD not in ops[:5]  # no poll load before the loop body
+        assert not any(i.safepoint for i in plain.instructions)
+
+
+class TestSafepointInstrumenter:
+    def test_backedge_carries_prefix_no_extra_instructions(self):
+        plain = emit_instrumented_loop(NullInstrumenter())
+        instrumented = emit_instrumented_loop(SafepointInstrumenter())
+        assert len(instrumented) == len(plain)  # zero added instructions
+        branch = [i for i in instrumented.instructions if i.is_cond_branch][0]
+        assert branch.safepoint
+
+    def test_function_entry_emits_safepoint_nop(self):
+        builder = ProgramBuilder("t")
+        instrument = SafepointInstrumenter()
+        instrument.at_function_entry(builder)
+        builder.emit(isa.halt())
+        program = builder.build()
+        assert program.instructions[0].safepoint
+        assert program.instructions[0].op is Op.NOP
+
+
+class TestPollingInstrumenter:
+    def test_hot_path_is_load_plus_branch(self):
+        program = emit_instrumented_loop(PollingInstrumenter())
+        # Find the poll load: it targets the flag register base.
+        ops = [i.op for i in program.instructions]
+        assert Op.LOAD in ops
+        # The check branch jumps *out of line* (trampoline), so the fall
+        # through (hot) path has no CALL.
+        loop_body = program.instructions[3:7]
+        assert not any(i.op is Op.CALL for i in loop_body)
+
+    def test_trampolines_emitted_out_of_line(self):
+        program = emit_instrumented_loop(PollingInstrumenter())
+        calls = [i for i in program.instructions if i.op is Op.CALL]
+        assert calls  # trampoline calls the shared yield stub
+
+    def test_yield_stub_clears_flag(self):
+        """Executing with the flag set must take the yield path and clear it."""
+        from repro.cpu.delivery import FlushStrategy
+        from repro.cpu.multicore import MultiCoreSystem
+
+        instrument = PollingInstrumenter(flag_addr=0x60_0000, yield_counter_addr=0x61_0000)
+        program = emit_instrumented_loop(instrument, iterations=50)
+        system = MultiCoreSystem([program], [FlushStrategy()])
+        system.shared.write(0x60_0000, 1)  # preemption requested pre-start
+        system.run(200_000, until_halted=[0])
+        assert system.cores[0].halted
+        assert system.shared.read(0x60_0000) == 0  # flag cleared by yield
+        assert system.shared.read(0x61_0000) >= 1  # yield counted
+
+    def test_sites_get_unique_labels(self):
+        instrument = PollingInstrumenter()
+        builder = ProgramBuilder("t")
+        instrument.setup(builder)
+        instrument.at_loop_backedge(builder)
+        instrument.at_loop_backedge(builder)
+        builder.emit(isa.halt())
+        instrument.finalize(builder)
+        builder.build()  # no duplicate-label errors

@@ -1,0 +1,103 @@
+"""The mini-IR and its lowering to the µ-ISA."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.compiler.ir import (
+    Block,
+    CallFn,
+    Function,
+    Loop,
+    Module,
+    RawOp,
+    Safepoint,
+    lower_module,
+)
+from repro.cpu import isa
+from repro.cpu.delivery import FlushStrategy
+from repro.cpu.multicore import MultiCoreSystem
+
+
+def run(program, max_cycles=300_000):
+    system = MultiCoreSystem([program], [FlushStrategy()])
+    system.run(max_cycles, until_halted=[0])
+    assert system.cores[0].halted
+    return system.cores[0]
+
+
+class TestLowering:
+    def test_entry_function_runs_and_halts(self):
+        module = Module()
+        module.add(Function("main", [RawOp(isa.movi(1, 42))]))
+        core = run(lower_module(module))
+        assert core.arch_regs[1] == 42
+
+    def test_loop_iterates(self):
+        module = Module()
+        module.add(
+            Function("main", [Loop(counter_reg=1, count=25, body=[RawOp(isa.addi(2, 2, 2))])])
+        )
+        core = run(lower_module(module))
+        assert core.arch_regs[2] == 50
+        assert core.arch_regs[1] == 25
+
+    def test_nested_loops(self):
+        module = Module()
+        inner = Loop(counter_reg=2, count=4, body=[RawOp(isa.addi(3, 3, 1))])
+        module.add(Function("main", [Loop(counter_reg=1, count=5, body=[inner])]))
+        core = run(lower_module(module))
+        assert core.arch_regs[3] == 20
+
+    def test_function_calls(self):
+        module = Module()
+        module.add(Function("main", [CallFn("helper"), CallFn("helper")]))
+        module.add(Function("helper", [RawOp(isa.addi(4, 4, 7))]))
+        core = run(lower_module(module))
+        assert core.arch_regs[4] == 14
+
+    def test_block_flattens(self):
+        module = Module()
+        module.add(
+            Function(
+                "main",
+                [Block([RawOp(isa.movi(1, 1)), Block([RawOp(isa.movi(2, 2))])])],
+            )
+        )
+        core = run(lower_module(module))
+        assert (core.arch_regs[1], core.arch_regs[2]) == (1, 2)
+
+    def test_safepoint_marker_lowered(self):
+        module = Module()
+        module.add(Function("main", [Safepoint(), RawOp(isa.movi(1, 1))]))
+        program = lower_module(module)
+        assert any(i.safepoint for i in program.instructions)
+
+    def test_safepoint_backedge_flag(self):
+        module = Module()
+        loop = Loop(counter_reg=1, count=3, body=[RawOp(isa.nop())], safepoint_backedge=True)
+        module.add(Function("main", [loop]))
+        program = lower_module(module)
+        branches = [i for i in program.instructions if i.is_cond_branch]
+        assert any(b.safepoint for b in branches)
+
+
+class TestValidation:
+    def test_empty_module_rejected(self):
+        with pytest.raises(ConfigError):
+            lower_module(Module())
+
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add(Function("f"))
+        with pytest.raises(ConfigError):
+            module.add(Function("f"))
+
+    def test_call_to_unknown_function_rejected(self):
+        module = Module()
+        module.add(Function("main", [CallFn("ghost")]))
+        with pytest.raises(ConfigError):
+            lower_module(module)
+
+    def test_negative_loop_count_rejected(self):
+        with pytest.raises(ConfigError):
+            Loop(counter_reg=1, count=-1)

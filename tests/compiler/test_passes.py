@@ -1,0 +1,79 @@
+"""IR instrumentation passes: site coverage and non-mutation."""
+
+from repro.compiler.instrument import DEFAULT_POLL_FLAG_ADDR
+from repro.compiler.ir import Block, CallFn, Function, Loop, Module, PollCheck, RawOp, Safepoint
+from repro.compiler.passes import insert_polling_checks, insert_safepoints
+from repro.cpu import isa
+
+
+def sample_module():
+    module = Module()
+    inner = Loop(counter_reg=2, count=3, body=[RawOp(isa.addi(3, 3, 1))])
+    module.add(
+        Function("main", [Loop(counter_reg=1, count=4, body=[Block([inner])]), CallFn("leaf")])
+    )
+    module.add(Function("leaf", [RawOp(isa.addi(4, 4, 1))]))
+    return module
+
+
+def count_nodes(nodes, kind):
+    total = 0
+    for node in nodes:
+        if isinstance(node, kind):
+            total += 1
+        if isinstance(node, (Loop, Block)):
+            total += count_nodes(node.body, kind)
+    return total
+
+
+class TestPollingPass:
+    def test_every_function_entry_checked(self):
+        instrumented = insert_polling_checks(sample_module())
+        for function in instrumented.functions.values():
+            assert isinstance(function.body[0], PollCheck)
+
+    def test_every_loop_backedge_checked(self):
+        instrumented = insert_polling_checks(sample_module())
+        main = instrumented.functions["main"]
+        # 2 loops (outer + inner) -> a check at the tail of each body.
+        checks = count_nodes(main.body, PollCheck)
+        assert checks == 1 + 2  # entry + two back-edges
+
+    def test_flag_address_propagated(self):
+        instrumented = insert_polling_checks(sample_module(), flag_addr=0x1234)
+        check = instrumented.functions["main"].body[0]
+        assert check.flag_addr == 0x1234
+
+    def test_original_module_untouched(self):
+        module = sample_module()
+        insert_polling_checks(module)
+        assert count_nodes(module.functions["main"].body, PollCheck) == 0
+
+
+class TestSafepointPass:
+    def test_function_entries_get_safepoints(self):
+        instrumented = insert_safepoints(sample_module())
+        for function in instrumented.functions.values():
+            assert isinstance(function.body[0], Safepoint)
+
+    def test_backedges_folded_into_branch(self):
+        """Safepoints on back-edges are prefix bits, not extra nodes (§4.4)."""
+        instrumented = insert_safepoints(sample_module())
+        main = instrumented.functions["main"]
+
+        def all_loops(nodes):
+            for node in nodes:
+                if isinstance(node, Loop):
+                    yield node
+                    yield from all_loops(node.body)
+                elif isinstance(node, Block):
+                    yield from all_loops(node.body)
+
+        loops = list(all_loops(main.body))
+        assert loops and all(loop.safepoint_backedge for loop in loops)
+        # No Safepoint *nodes* added inside loop bodies for the back-edge.
+        for loop in loops:
+            assert count_nodes(loop.body, Safepoint) == 0
+
+    def test_default_flag_addr_constant(self):
+        assert DEFAULT_POLL_FLAG_ADDR == 0x60_0000

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Cycle-tier tests use the full Sapphire-Rapids-like configuration unless they
+specifically exercise capacity limits (then ``small_config``).  Fixtures
+build the common two-core UIPI setup so individual tests stay focused on
+behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import isa
+from repro.cpu.config import SystemConfig
+from repro.cpu.delivery import FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import Program, ProgramBuilder
+
+#: Memory word the default test handler increments.
+COUNTER_ADDR = 0x20_0000
+
+
+def build_spin_receiver(handler_body: int = 4) -> Program:
+    """An infinite counting loop with the default interrupt handler."""
+    builder = ProgramBuilder("spin_receiver")
+    builder.label("loop")
+    builder.emit(isa.addi(1, 1, 1))
+    builder.emit(isa.jmp("loop"))
+    builder.emit_default_handler(body_instructions=handler_body, counter_addr=COUNTER_ADDR)
+    return builder.build()
+
+
+def build_count_to(iterations: int, with_handler: bool = True) -> Program:
+    """Count to ``iterations`` then halt (optionally with a handler)."""
+    builder = ProgramBuilder("count_to")
+    builder.emit(isa.movi(1, 0))
+    builder.emit(isa.movi(2, iterations))
+    builder.label("loop")
+    builder.emit(isa.addi(1, 1, 1))
+    builder.emit(isa.blt(1, 2, "loop"))
+    builder.emit(isa.halt())
+    if with_handler:
+        builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+    return builder.build()
+
+
+def build_sender(num_sends: int, gap_iterations: int = 50) -> Program:
+    """Send ``num_sends`` UIPIs via UITT index 0, spaced by a busy loop."""
+    builder = ProgramBuilder("sender")
+    for index in range(num_sends):
+        builder.emit(isa.senduipi(0))
+        builder.emit(isa.movi(6, 0))
+        builder.label(f"gap{index}")
+        builder.emit(isa.addi(6, 6, 1))
+        builder.emit(isa.blti(6, gap_iterations, f"gap{index}"))
+    builder.emit(isa.halt())
+    return builder.build()
+
+
+@pytest.fixture
+def uipi_pair():
+    """(system, sender_core, receiver_core): 3 UIPIs into a spin loop."""
+    system = MultiCoreSystem(
+        [build_sender(3), build_spin_receiver()],
+        [FlushStrategy(), FlushStrategy()],
+        trace=True,
+    )
+    system.connect_uipi(sender_core_id=0, receiver_core_id=1, user_vector=1)
+    return system, system.cores[0], system.cores[1]
+
+
+@pytest.fixture
+def tracked_pair():
+    """Same as uipi_pair but with tracking on the receiver."""
+    system = MultiCoreSystem(
+        [build_sender(3), build_spin_receiver()],
+        [FlushStrategy(), TrackedStrategy()],
+        trace=True,
+    )
+    system.connect_uipi(sender_core_id=0, receiver_core_id=1, user_vector=1)
+    return system, system.cores[0], system.cores[1]
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    return SystemConfig.small()

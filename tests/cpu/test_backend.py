@@ -1,0 +1,125 @@
+"""Back-end units: UOp wiring, functional-unit limits, LSQ forwarding."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.cpu.backend import (
+    ST_DONE,
+    FunctionalUnits,
+    LoadStoreQueues,
+    UOp,
+    squash_penalty_cycles,
+)
+from repro.cpu.config import CoreParams
+from repro.cpu.isa import Op
+
+
+def make_uop(seq, op=Op.ADD, **kw):
+    return UOp(seq=seq, op=op, pc=0, frontend_ready=0, **kw)
+
+
+class TestUOp:
+    def test_serializing_classification(self):
+        assert make_uop(1, Op.MSR_WRITE).is_serializing
+        assert make_uop(2, Op.STUI).is_serializing
+        assert make_uop(3, Op.TESTUI).is_serializing
+        assert not make_uop(4, Op.ADD).is_serializing
+
+    def test_branch_classification(self):
+        assert make_uop(1, Op.BEQ).is_branch and make_uop(1, Op.BEQ).is_cond_branch
+        assert make_uop(2, Op.RET).is_branch and not make_uop(2, Op.RET).is_cond_branch
+
+    def test_source_value_prefers_producer(self):
+        producer = make_uop(1, dest=3)
+        producer.result = 99
+        consumer = make_uop(2, src_regs=(3,))
+        consumer.producers[3] = producer
+        assert consumer.source_value(3, [0] * 16) == 99
+
+    def test_source_value_falls_back_to_arch(self):
+        consumer = make_uop(2, src_regs=(3,))
+        regs = [0] * 16
+        regs[3] = 42
+        assert consumer.source_value(3, regs) == 42
+
+
+class TestFunctionalUnits:
+    def test_per_cycle_limits(self):
+        fus = FunctionalUnits(CoreParams(int_alu_units=2))
+        assert fus.try_acquire(Op.ADD, cycle=0)
+        assert fus.try_acquire(Op.ADD, cycle=0)
+        assert not fus.try_acquire(Op.ADD, cycle=0)
+        assert fus.try_acquire(Op.ADD, cycle=1)  # fresh cycle
+
+    def test_classes_independent(self):
+        fus = FunctionalUnits(CoreParams(int_alu_units=1, mul_units=1))
+        assert fus.try_acquire(Op.ADD, 0)
+        assert fus.try_acquire(Op.MUL, 0)  # different pool
+
+    def test_latency_table(self):
+        fus = FunctionalUnits(CoreParams())
+        assert fus.latency(Op.ADD) == 1
+        assert fus.latency(Op.MUL) == 3
+        assert fus.latency(Op.DIV) == 12
+        assert fus.latency(Op.FADD) == 3
+
+
+class TestLoadStoreQueues:
+    def test_capacity(self):
+        lsq = LoadStoreQueues(CoreParams(lq_size=1, sq_size=1, rob_size=8))
+        lsq.add(make_uop(1, Op.LOAD))
+        assert not lsq.has_load_slot()
+        with pytest.raises(SimulationError):
+            lsq.add(make_uop(2, Op.LOAD))
+
+    def test_forwarding_from_youngest_older_store(self):
+        lsq = LoadStoreQueues(CoreParams())
+        old = make_uop(1, Op.STORE)
+        old.addr, old.store_value = 0x100, 5
+        newer = make_uop(2, Op.STORE)
+        newer.addr, newer.store_value = 0x100, 9
+        lsq.add(old)
+        lsq.add(newer)
+        load = make_uop(3, Op.LOAD)
+        load.addr = 0x104  # same 8-byte word
+        lsq.add(load)
+        assert lsq.forward_value(load) == 9
+
+    def test_no_forwarding_from_younger_store(self):
+        lsq = LoadStoreQueues(CoreParams())
+        store = make_uop(5, Op.STORE)
+        store.addr, store.store_value = 0x100, 5
+        lsq.add(store)
+        load = make_uop(2, Op.LOAD)
+        load.addr = 0x100
+        lsq.add(load)
+        assert lsq.forward_value(load) is None
+
+    def test_unresolved_older_store_detected(self):
+        lsq = LoadStoreQueues(CoreParams())
+        store = make_uop(1, Op.STORE)  # addr still None
+        lsq.add(store)
+        load = make_uop(2, Op.LOAD)
+        lsq.add(load)
+        assert lsq.has_unresolved_older_store(load)
+        store.addr = 0x200
+        assert not lsq.has_unresolved_older_store(load)
+
+    def test_drop_squashed(self):
+        lsq = LoadStoreQueues(CoreParams())
+        keep = make_uop(1, Op.LOAD)
+        drop = make_uop(2, Op.LOAD)
+        drop.squashed = True
+        lsq.add(keep)
+        lsq.add(drop)
+        lsq.drop_squashed()
+        assert lsq.loads == [keep]
+
+
+class TestSquashPenalty:
+    def test_rounding_up(self):
+        assert squash_penalty_cycles(0, 10) == 0
+        assert squash_penalty_cycles(1, 10) == 1
+        assert squash_penalty_cycles(10, 10) == 1
+        assert squash_penalty_cycles(11, 10) == 2
+        assert squash_penalty_cycles(384, 10) == 39

@@ -1,0 +1,157 @@
+"""Cache hierarchy: LRU, coherence-lite directory, latency classes."""
+
+import pytest
+
+from repro.cpu.cache import (
+    InstructionCache,
+    MemoryHierarchy,
+    SetAssociativeCache,
+    SharedMemory,
+)
+from repro.cpu.config import CacheParams, MemoryParams
+
+
+def make_hierarchy(core_id=0, shared=None):
+    shared = shared or SharedMemory()
+    return MemoryHierarchy(core_id, CacheParams(), MemoryParams(), shared), shared
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(CacheParams())
+        assert cache.lookup(0x1000) is False
+        assert cache.lookup(0x1000) is True
+
+    def test_same_line_shares_entry(self):
+        cache = SetAssociativeCache(CacheParams())
+        cache.lookup(0x1000)
+        assert cache.lookup(0x1038) is True  # same 64B line
+
+    def test_lru_eviction(self):
+        params = CacheParams(size_bytes=2 * 64 * 4, associativity=2, line_bytes=64)
+        cache = SetAssociativeCache(params)
+        sets = params.num_sets
+        # Three lines mapping to set 0: the first is evicted.
+        a, b, c = (i * sets * 64 for i in range(1, 4))
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(c)
+        assert cache.contains(b) and cache.contains(c)
+        assert not cache.contains(a)
+
+    def test_lru_update_on_hit(self):
+        params = CacheParams(size_bytes=2 * 64 * 4, associativity=2, line_bytes=64)
+        cache = SetAssociativeCache(params)
+        sets = params.num_sets
+        a, b, c = (i * sets * 64 for i in range(1, 4))
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(a)  # touch a: b becomes LRU
+        cache.lookup(c)
+        assert cache.contains(a) and not cache.contains(b)
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(CacheParams())
+        cache.lookup(0x40)
+        assert cache.invalidate(0x40) is True
+        assert cache.contains(0x40) is False
+        assert cache.invalidate(0x40) is False
+
+    def test_hit_miss_counters(self):
+        cache = SetAssociativeCache(CacheParams())
+        cache.lookup(0)
+        cache.lookup(0)
+        assert (cache.hits, cache.misses, cache.accesses) == (1, 1, 2)
+
+
+class TestSharedMemory:
+    def test_read_uninitialized_is_zero(self):
+        assert SharedMemory().read(0x1234) == 0
+
+    def test_write_read_roundtrip(self):
+        memory = SharedMemory()
+        memory.write(0x100, 42)
+        assert memory.read(0x100) == 42
+
+    def test_word_alignment(self):
+        memory = SharedMemory()
+        memory.write(0x101, 7)  # rounds down to 0x100
+        assert memory.read(0x100) == 7
+
+    def test_last_writer_tracking(self):
+        memory = SharedMemory()
+        memory.write(0x100, 1, core_id=2)
+        assert memory.last_writer(0x100) == 2
+        assert memory.last_writer(0x100 + 8) == 2  # same line
+        memory.clear_writer(0x100)
+        assert memory.last_writer(0x100) is None
+
+    def test_write_observer(self):
+        memory = SharedMemory()
+        seen = []
+        memory.add_write_observer(lambda core, addr: seen.append((core, addr)))
+        memory.write(0x40, 1, core_id=3)
+        assert seen == [(3, 0x40)]
+
+
+class TestMemoryHierarchyLatency:
+    def test_first_access_is_slow_then_l1(self):
+        hierarchy, _ = make_hierarchy()
+        cold, _ = hierarchy.load(0x2000)
+        warm, _ = hierarchy.load(0x2000)
+        assert cold > warm
+        assert warm == hierarchy.dcache.params.hit_latency
+
+    def test_l2_hit_cheaper_than_dram(self):
+        hierarchy, _ = make_hierarchy()
+        first, _ = hierarchy.load(0x9000)  # DRAM (cold everywhere)
+        hierarchy.dcache.invalidate(0x9000)
+        second, _ = hierarchy.load(0x9000)  # L1 miss, L2 hit
+        assert first > second > hierarchy.dcache.params.hit_latency
+
+    def test_remote_dirty_costs_more_than_l1(self):
+        shared = SharedMemory()
+        local, _ = make_hierarchy(0, shared)
+        local.load(0x3000)  # warm locally
+        shared.write(0x3000, 9, core_id=1)  # remote write invalidates
+        latency, value = local.load(0x3000)
+        assert value == 9
+        assert latency >= MemoryParams().remote_dirty_latency
+        assert local.remote_misses == 1
+
+    def test_remote_transfer_leaves_line_clean(self):
+        shared = SharedMemory()
+        local, _ = make_hierarchy(0, shared)
+        shared.write(0x3000, 9, core_id=1)
+        local.load(0x3000)
+        warm, _ = local.load(0x3000)
+        assert warm == local.dcache.params.hit_latency
+
+    def test_own_writes_do_not_self_invalidate(self):
+        hierarchy, _ = make_hierarchy(0)
+        hierarchy.store(0x4000, 1)
+        latency, _ = hierarchy.load(0x4000)
+        assert latency == hierarchy.dcache.params.hit_latency
+
+    def test_store_probe_then_commit(self):
+        hierarchy, shared = make_hierarchy(0)
+        latency = hierarchy.store_probe(0x5000)
+        assert latency > 0
+        assert shared.read(0x5000) == 0  # value written only at commit
+
+    def test_negative_address_clamped(self):
+        hierarchy, _ = make_hierarchy()
+        latency, value = hierarchy.load(-0x100)
+        assert latency > 0 and value == 0
+
+
+class TestInstructionCache:
+    def test_cold_then_warm(self):
+        icache = InstructionCache(CacheParams(), MemoryParams())
+        assert icache.fetch_latency(0x400000) > 0
+        assert icache.fetch_latency(0x400000) == 0
+
+    def test_warm_range(self):
+        icache = InstructionCache(CacheParams(), MemoryParams())
+        icache.warm_range(0x400000, 0x400100)
+        assert icache.fetch_latency(0x400080) == 0

@@ -1,0 +1,214 @@
+"""Program semantics on the core: the simulated ISA computes correctly."""
+
+import pytest
+
+from repro.cpu import isa
+from repro.cpu.delivery import FlushStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+
+
+def run_program(builder: ProgramBuilder, max_cycles: int = 200_000):
+    system = MultiCoreSystem([builder.build()], [FlushStrategy()])
+    system.run(max_cycles, until_halted=[0])
+    core = system.cores[0]
+    assert core.halted, "program did not halt"
+    return core, system
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 10))
+        builder.emit(isa.movi(2, 3))
+        builder.emit(isa.add(3, 1, 2))
+        builder.emit(isa.sub(4, 1, 2))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[3] == 13
+        assert core.arch_regs[4] == 7
+
+    def test_mul_div(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 6))
+        builder.emit(isa.movi(2, 7))
+        builder.emit(isa.mul(3, 1, 2))
+        builder.emit(isa.div(4, 3, 2))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[3] == 42
+        assert core.arch_regs[4] == 6
+
+    def test_div_by_zero_yields_zero(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 5))
+        builder.emit(isa.movi(2, 0))
+        builder.emit(isa.div(3, 1, 2))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[3] == 0
+
+    def test_logic_and_shifts(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0b1100))
+        builder.emit(isa.andi(2, 1, 0b1010))
+        builder.emit(isa.xori(3, 1, 0b0110))
+        builder.emit(isa.shli(4, 1, 2))
+        builder.emit(isa.shri(5, 1, 2))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[2] == 0b1000
+        assert core.arch_regs[3] == 0b1010
+        assert core.arch_regs[4] == 0b110000
+        assert core.arch_regs[5] == 0b11
+
+    def test_64bit_wraparound(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, (1 << 40)))
+        builder.emit(isa.mul(2, 1, 1))  # 2^80 wraps to 0 mod 2^64
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[2] == 0
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0x300000))
+        builder.emit(isa.movi(2, 77))
+        builder.emit(isa.store(2, 1, 8))
+        builder.emit(isa.load(3, 1, 8))
+        builder.emit(isa.halt())
+        core, system = run_program(builder)
+        assert core.arch_regs[3] == 77
+        assert system.shared.read(0x300008) == 77
+
+    def test_store_to_load_forwarding_value(self):
+        # Dependent store->load in flight still sees the right value.
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0x300000))
+        builder.emit(isa.movi(2, 5))
+        for value in range(6):
+            builder.emit(isa.movi(2, value))
+            builder.emit(isa.store(2, 1, 0))
+            builder.emit(isa.load(3, 1, 0))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[3] == 5
+
+    def test_pointer_chase_semantics(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0x300000))
+        builder.emit(isa.load(1, 1, 0))
+        builder.emit(isa.load(1, 1, 0))
+        builder.emit(isa.halt())
+        system = MultiCoreSystem([builder.build()], [FlushStrategy()])
+        system.shared.write(0x300000, 0x300040)
+        system.shared.write(0x300040, 0x300080)
+        system.run(100_000, until_halted=[0])
+        assert system.cores[0].arch_regs[1] == 0x300080
+
+
+class TestControlFlow:
+    def test_loop_count(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 37))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[1] == 37
+
+    def test_taken_and_not_taken_beq(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 5))
+        builder.emit(isa.beqi(1, 5, "equal"))
+        builder.emit(isa.movi(2, 111))  # skipped
+        builder.label("equal")
+        builder.emit(isa.movi(3, 222))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[2] == 0
+        assert core.arch_regs[3] == 222
+
+    def test_signed_comparison(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.subi(1, 1, 1))  # -1 (as unsigned 2^64-1)
+        builder.emit(isa.movi(2, 1))
+        builder.emit(isa.blt(1, 2, "neg_less"))
+        builder.emit(isa.movi(3, 0))
+        builder.emit(isa.halt())
+        builder.label("neg_less")
+        builder.emit(isa.movi(3, 1))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[3] == 1  # -1 < 1 under signed compare
+
+    def test_call_ret(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.call("double"))
+        builder.emit(isa.halt())
+        builder.label("double")
+        builder.emit(isa.movi(2, 21))
+        builder.emit(isa.add(2, 2, 2))
+        builder.emit(isa.ret())
+        core, _ = run_program(builder)
+        assert core.arch_regs[2] == 42
+
+    def test_nested_calls(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.call("outer"))
+        builder.emit(isa.halt())
+        builder.label("outer")
+        builder.emit(isa.subi(15, 15, 8))
+        builder.emit(isa.store(14, 15, 0))
+        builder.emit(isa.call("inner"))
+        builder.emit(isa.addi(3, 3, 1))
+        builder.emit(isa.load(14, 15, 0))
+        builder.emit(isa.addi(15, 15, 8))
+        builder.emit(isa.ret())
+        builder.label("inner")
+        builder.emit(isa.addi(3, 3, 10))
+        builder.emit(isa.ret())
+        core, _ = run_program(builder)
+        assert core.arch_regs[3] == 11
+
+    def test_rdtsc_monotonic(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.rdtsc(1))
+        for _ in range(20):
+            builder.emit(isa.addi(5, 5, 1))
+        builder.emit(isa.rdtsc(2))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[2] > core.arch_regs[1]
+
+
+class TestFlags:
+    def test_testui_reflects_clui_stui(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.testui(1))  # default: enabled
+        builder.emit(isa.clui())
+        builder.emit(isa.testui(2))
+        builder.emit(isa.stui())
+        builder.emit(isa.testui(3))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        assert core.arch_regs[1] == 1
+        assert core.arch_regs[2] == 0
+        assert core.arch_regs[3] == 1
+
+    def test_instruction_count(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 10))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        core, _ = run_program(builder)
+        # 2 setup + 10 * (add + branch) + halt
+        assert core.stats.committed_instructions == 2 + 20 + 1

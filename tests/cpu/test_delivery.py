@@ -1,0 +1,179 @@
+"""Interrupt delivery strategies on the cycle tier: flush, drain, tracked."""
+
+import pytest
+
+from tests.conftest import COUNTER_ADDR, build_count_to, build_sender, build_spin_receiver
+
+from repro.cpu import isa
+from repro.cpu.delivery import DrainStrategy, FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+
+
+def run_pair(receiver_strategy, sends=3, gap=60, trace=False):
+    system = MultiCoreSystem(
+        [build_sender(sends, gap), build_spin_receiver()],
+        [FlushStrategy(), receiver_strategy],
+        trace=trace,
+    )
+    system.connect_uipi(0, 1, user_vector=1)
+    system.run(400_000, until_halted=[0])
+    system.run(20_000)
+    return system
+
+
+class TestAllStrategiesDeliver:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [FlushStrategy, TrackedStrategy, lambda: DrainStrategy(extra_pad=13)],
+        ids=["flush", "tracked", "drain"],
+    )
+    def test_three_interrupts_delivered(self, strategy_factory):
+        system = run_pair(strategy_factory())
+        receiver = system.cores[1]
+        assert receiver.stats.interrupts_delivered == 3
+        assert system.shared.read(COUNTER_ADDR) == 3
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [FlushStrategy, TrackedStrategy, lambda: DrainStrategy()],
+        ids=["flush", "tracked", "drain"],
+    )
+    def test_receiver_resumes_program_after_handler(self, strategy_factory):
+        system = run_pair(strategy_factory())
+        receiver = system.cores[1]
+        before = receiver.arch_regs[1]
+        system.run(2_000)
+        assert receiver.arch_regs[1] > before  # spin loop still progressing
+
+
+class TestFlushBehaviour:
+    def test_flush_squashes_inflight_work(self):
+        system = run_pair(FlushStrategy())
+        receiver = system.cores[1]
+        assert receiver.stats.interrupt_flushes == 3
+        assert receiver.stats.squashed_uops > 0
+
+    def test_flushed_uops_scale_with_interrupts(self):
+        few = run_pair(FlushStrategy(), sends=2).cores[1].stats.squashed_uops
+        many = run_pair(FlushStrategy(), sends=6).cores[1].stats.squashed_uops
+        assert many > few
+
+
+class TestTrackedBehaviour:
+    def test_tracking_does_not_flush(self):
+        system = run_pair(TrackedStrategy())
+        receiver = system.cores[1]
+        assert receiver.stats.interrupt_flushes == 0
+
+    def test_tracking_squashes_less_than_flush(self):
+        flush = run_pair(FlushStrategy()).cores[1].stats.squashed_uops
+        tracked = run_pair(TrackedStrategy()).cores[1].stats.squashed_uops
+        assert tracked < flush
+
+    def test_tracking_survives_misspeculation(self):
+        """Interrupts land in a branchy loop whose mispredicts squash the
+        injected microcode; re-injection must still deliver every one."""
+        builder = ProgramBuilder("branchy")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 40_000))
+        builder.emit(isa.movi(5, 12345))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        # LCG-driven branch: effectively random, so mispredicts are frequent
+        # and some land while the injected microcode is in flight.
+        builder.emit(isa.movi(6, 1103515245))
+        builder.emit(isa.mul(5, 5, 6))
+        builder.emit(isa.addi(5, 5, 12345))
+        builder.emit(isa.shri(6, 5, 16))
+        builder.emit(isa.andi(6, 6, 1))
+        builder.emit(isa.beqi(6, 0, "skip"))
+        builder.emit(isa.addi(4, 4, 1))
+        builder.label("skip")
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+        workload_program = builder.build()
+
+        from repro.apps.microbench import make_uipi_timer_core
+
+        sender = make_uipi_timer_core(3000, 200)
+        system = MultiCoreSystem(
+            [workload_program, sender.program], [TrackedStrategy(), FlushStrategy()]
+        )
+        system.connect_uipi(1, 0, user_vector=1)
+        system.run(3_000_000, until_halted=[0])
+        receiver = system.cores[0]
+        assert receiver.halted
+        assert receiver.stats.branch_squashes > 1000  # mispredicts happened
+        # Every interrupt that arrived before the program finished was
+        # delivered exactly once (none lost to squashes, none duplicated).
+        delivered = receiver.stats.interrupts_delivered
+        assert delivered >= 10
+        assert system.shared.read(COUNTER_ADDR) == delivered
+
+
+class TestDrainBehaviour:
+    def test_drain_waits_for_pipeline(self, uipi_pair):
+        system = run_pair(DrainStrategy(), trace=True)
+        trace = system.trace
+        starts = trace.of_kind("drain_start")
+        completes = trace.of_kind("drain_complete")
+        assert len(starts) == 3 and len(completes) == 3
+        for start, complete in zip(starts, completes):
+            assert complete.time > start.time
+
+    def test_gem5_pad_delays_delivery(self):
+        plain = run_pair(DrainStrategy(extra_pad=0), trace=True)
+        padded = run_pair(DrainStrategy(extra_pad=13), trace=True)
+
+        def mean_latency(system):
+            arrive = [e.time for e in system.trace.of_kind("ipi_arrival")]
+            enter = [
+                e.time
+                for e in system.trace.of_kind("handler_fetch")
+                if e.detail.get("core") == 1
+            ]
+            pairs = [b - a for a, b in zip(arrive, enter)]
+            return sum(pairs) / len(pairs)
+
+        assert mean_latency(padded) > mean_latency(plain)
+
+
+class TestUifGating:
+    def test_clui_blocks_delivery_until_stui(self):
+        """A receiver that holds UIF clear defers delivery; stui releases it."""
+        builder = ProgramBuilder("gated")
+        builder.emit(isa.clui())
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 3000))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.stui())
+        builder.label("spin")
+        builder.emit(isa.addi(3, 3, 1))
+        builder.emit(isa.jmp("spin"))
+        builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+        sender = ProgramBuilder("s")
+        sender.emit(isa.senduipi(0))
+        sender.emit(isa.halt())
+        system = MultiCoreSystem(
+            [sender.build(), builder.build()], [FlushStrategy(), FlushStrategy()], trace=True
+        )
+        system.connect_uipi(0, 1, user_vector=1)
+        system.run(40_000, until_halted=[0])
+        system.run(40_000)
+        receiver = system.cores[1]
+        assert receiver.stats.interrupts_delivered == 1
+        # Delivery happened only after the gated loop finished (r1 == 3000).
+        assert receiver.arch_regs[1] == 3000
+        assert system.shared.read(COUNTER_ADDR) == 1
+
+    def test_interrupt_during_handler_is_deferred(self):
+        """A second UIPI arriving while the handler runs (UIF clear) is
+        delivered after uiret, not nested."""
+        system = run_pair(FlushStrategy(), sends=3, gap=1)  # back to back
+        receiver = system.cores[1]
+        assert receiver.stats.interrupts_delivered == 3
+        assert system.shared.read(COUNTER_ADDR) == 3

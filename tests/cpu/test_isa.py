@@ -1,0 +1,93 @@
+"""µ-ISA instruction encoding and helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu import isa
+from repro.cpu.isa import Instruction, Op, RegNames
+
+
+class TestEncoding:
+    def test_register_range_checked(self):
+        with pytest.raises(ConfigError):
+            Instruction(Op.ADD, dest=16)
+        with pytest.raises(ConfigError):
+            Instruction(Op.ADD, src1=-1)
+
+    def test_add_helper(self):
+        instr = isa.add(1, 2, 3)
+        assert (instr.op, instr.dest, instr.src1, instr.src2) == (Op.ADD, 1, 2, 3)
+
+    def test_addi_uses_immediate(self):
+        instr = isa.addi(1, 1, 5)
+        assert instr.src2 is None
+        assert instr.imm == 5
+
+    def test_load_store_shape(self):
+        load = isa.load(4, 5, 16)
+        assert (load.dest, load.src1, load.imm) == (4, 5, 16)
+        store = isa.store(4, 5, 16)
+        assert store.dest is None
+        assert (store.src1, store.src2) == (5, 4)
+
+    def test_branch_targets_are_labels_until_build(self):
+        assert isa.beq(1, 2, "loop").target == "loop"
+
+    def test_immediate_branch_forms(self):
+        instr = isa.blti(3, 7, "x")
+        assert instr.src2 is None
+        assert instr.imm == 7
+
+
+class TestClassification:
+    def test_branch_predicates(self):
+        assert isa.jmp("x").is_branch
+        assert isa.beq(0, 0, "x").is_cond_branch
+        assert not isa.jmp("x").is_cond_branch
+        assert not isa.addi(1, 1, 1).is_branch
+
+    def test_memory_predicate(self):
+        assert isa.load(1, 2).is_mem
+        assert isa.store(1, 2).is_mem
+        assert not isa.mov(1, 2).is_mem
+
+    def test_senduipi_is_microcoded(self):
+        assert isa.senduipi(0).is_microcoded
+        assert not isa.clui().is_microcoded
+
+
+class TestSourceDestRegs:
+    def test_alu_sources(self):
+        assert set(isa.add(1, 2, 3).source_regs()) == {2, 3}
+
+    def test_ret_reads_link_register(self):
+        assert RegNames.LR in isa.ret().source_regs()
+
+    def test_call_writes_link_register(self):
+        assert isa.call("f").dest_reg() == RegNames.LR
+
+    def test_store_has_no_dest(self):
+        assert isa.store(1, 2).dest_reg() is None
+
+    def test_branch_has_no_dest(self):
+        assert isa.beq(1, 2, "x").dest_reg() is None
+
+    def test_rdtsc_writes_dest(self):
+        assert isa.rdtsc(5).dest_reg() == 5
+
+
+class TestSafepointPrefix:
+    def test_with_safepoint_copies(self):
+        base = isa.addi(1, 1, 1)
+        prefixed = base.with_safepoint()
+        assert prefixed.safepoint and not base.safepoint
+        assert prefixed.op is base.op
+
+    def test_standalone_safepoint_is_nop(self):
+        sp = isa.safepoint()
+        assert sp.op is Op.NOP
+        assert sp.safepoint
+
+    def test_set_timer_reads_two_registers(self):
+        instr = isa.set_timer(3, 4)
+        assert set(instr.source_regs()) == {3, 4}

@@ -1,0 +1,80 @@
+"""MSROM routine structure (§3.3/§3.5)."""
+
+from repro.cpu import microcode as mc
+from repro.cpu.config import TimingParams
+from repro.cpu.isa import Op
+
+
+class TestSenduipiRoutine:
+    def test_has_57_uops(self):
+        routine = mc.senduipi_routine(TimingParams(), uitt_index=0)
+        assert len(routine) == 57  # §3.5: 57 MSROM micro-ops
+
+    def test_contains_icr_write(self):
+        routine = mc.senduipi_routine(TimingParams(), 0)
+        semantics = [u.semantic for u in routine]
+        assert mc.SEM_ICR_WRITE in semantics
+
+    def test_upid_update_precedes_icr_write(self):
+        # §3.3: the PIR/ON update must be visible before the IPI is sent.
+        routine = mc.senduipi_routine(TimingParams(), 0)
+        semantics = [u.semantic for u in routine]
+        assert semantics.index(mc.SEM_UPID_SET_PIR) < semantics.index(mc.SEM_ICR_WRITE)
+
+    def test_serialization_stall_near_paper_279(self):
+        timing = TimingParams()
+        routine = mc.senduipi_routine(timing, 0)
+        stall = sum(u.extra_latency for u in routine if u.op is Op.MSR_WRITE)
+        assert 250 <= stall <= 400
+
+    def test_uitt_index_propagated(self):
+        routine = mc.senduipi_routine(TimingParams(), uitt_index=5)
+        uitt_load = next(u for u in routine if u.semantic == mc.SEM_UITT_LOAD)
+        assert uitt_load.imm == 5
+
+
+class TestReceiverRoutines:
+    def test_notification_reads_upid_then_clears_on(self):
+        routine = mc.notification_routine(TimingParams())
+        semantics = [u.semantic for u in routine]
+        assert semantics.index(mc.SEM_NOTIF_READ_PIR) < semantics.index(mc.SEM_NOTIF_CLEAR_ON)
+
+    def test_delivery_pushes_then_clears_uif(self):
+        routine = mc.delivery_routine(TimingParams())
+        semantics = [u.semantic for u in routine]
+        assert semantics.index(mc.SEM_DEL_PUSH_SP) < semantics.index(mc.SEM_DEL_CLEAR_UIF)
+
+    def test_delivery_pushes_read_stack_pointer(self):
+        # The §6.1 worst case hinges on this dataflow edge.
+        from repro.cpu.isa import RegNames
+
+        routine = mc.delivery_routine(TimingParams())
+        pushes = [u for u in routine if u.semantic == mc.SEM_DEL_PUSH_SP]
+        assert pushes and pushes[0].src1 == RegNames.SP
+
+    def test_ipi_receive_includes_notification(self):
+        full = mc.receive_routine(TimingParams(), needs_notification=True)
+        semantics = [u.semantic for u in full]
+        assert mc.SEM_NOTIF_READ_PIR in semantics
+        assert mc.SEM_DEL_CLEAR_UIF in semantics
+
+    def test_timer_receive_skips_notification(self):
+        # §4.3: "the microcode for interrupt delivery can start at step 5".
+        fast = mc.receive_routine(TimingParams(), needs_notification=False)
+        semantics = [u.semantic for u in fast]
+        assert mc.SEM_NOTIF_READ_PIR not in semantics
+        assert mc.SEM_DEL_CLEAR_UIF in semantics
+
+    def test_timer_path_much_shorter(self):
+        timing = TimingParams()
+        with_notif = mc.receive_routine(timing, True)
+        without = mc.receive_routine(timing, False)
+        cost = lambda r: sum(u.extra_latency for u in r)
+        assert cost(without) < cost(with_notif)
+
+    def test_arch_addr_semantics_cover_memory_ops(self):
+        timing = TimingParams()
+        for routine in (mc.notification_routine(timing), mc.senduipi_routine(timing, 0)):
+            for uop in routine:
+                if uop.op in (Op.LOAD, Op.STORE) and uop.src1 is None:
+                    assert uop.semantic in mc.ARCH_ADDR_SEMANTICS

@@ -1,0 +1,167 @@
+"""Pipeline behaviour: ILP, mispredict penalties, serialization, capacity."""
+
+import pytest
+
+from repro.cpu import isa
+from repro.cpu.config import SystemConfig
+from repro.cpu.delivery import FlushStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+
+
+def run(builder, config=None, max_cycles=500_000):
+    system = MultiCoreSystem([builder.build()], [FlushStrategy()], config=config)
+    system.run(max_cycles, until_halted=[0])
+    assert system.cores[0].halted
+    return system
+
+
+def straightline(op_factory, count):
+    builder = ProgramBuilder("sl")
+    for _ in range(count):
+        builder.emit(op_factory())
+    builder.emit(isa.halt())
+    return builder
+
+
+class TestParallelism:
+    def test_independent_ops_run_superscalar(self):
+        # 600 independent adds across 6 registers: >> 1 IPC.
+        builder = ProgramBuilder("ilp")
+        for i in range(100):
+            for reg in range(1, 7):
+                builder.emit(isa.addi(reg, reg, 1))
+        builder.emit(isa.halt())
+        system = run(builder)
+        ipc = system.cores[0].stats.committed_instructions / system.cycle
+        assert ipc > 2.0
+
+    def test_dependent_chain_is_serial(self):
+        builder = straightline(lambda: isa.addi(1, 1, 1), 400)
+        system = run(builder)
+        # A 1-cycle dependent chain commits ~1 per cycle, no faster.
+        assert system.cycle >= 400
+
+    def test_dependent_muls_pay_latency(self):
+        add_chain = run(straightline(lambda: isa.addi(1, 1, 1), 300)).cycle
+        mul_chain = run(straightline(lambda: isa.mul(1, 1, 1), 300)).cycle
+        assert mul_chain > add_chain * 2  # mul latency 3 vs 1
+
+
+class TestMisprediction:
+    def test_predictable_loop_beats_unpredictable_branches(self):
+        def body(lcg):
+            builder = ProgramBuilder("b")
+            builder.emit(isa.movi(1, 0))
+            builder.emit(isa.movi(2, 4000))
+            builder.emit(isa.movi(5, 99991))
+            builder.label("loop")
+            builder.emit(isa.addi(1, 1, 1))
+            if lcg:
+                builder.emit(isa.movi(6, 1103515245))
+                builder.emit(isa.mul(5, 5, 6))
+                builder.emit(isa.addi(5, 5, 12345))
+                builder.emit(isa.shri(6, 5, 17))
+                builder.emit(isa.andi(6, 6, 1))
+            else:
+                builder.emit(isa.movi(6, 0))
+                builder.emit(isa.movi(7, 0))
+                builder.emit(isa.movi(6, 0))
+                builder.emit(isa.movi(7, 0))
+                builder.emit(isa.andi(6, 1, 0))
+            builder.emit(isa.beqi(6, 0, "skip"))
+            builder.emit(isa.addi(4, 4, 1))
+            builder.label("skip")
+            builder.emit(isa.blt(1, 2, "loop"))
+            builder.emit(isa.halt())
+            return builder
+
+        predictable = run(body(False))
+        random_branches = run(body(True))
+        rate_pred = predictable.cores[0].predictor.misprediction_rate
+        rate_rand = random_branches.cores[0].predictor.misprediction_rate
+        assert rate_rand > rate_pred
+        assert random_branches.cores[0].stats.squashed_uops > predictable.cores[0].stats.squashed_uops
+
+    def test_loop_exit_mispredicts_once(self):
+        builder = ProgramBuilder("exit")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 500))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        system = run(builder)
+        assert system.cores[0].stats.branch_squashes <= 3
+
+
+class TestSerialization:
+    def test_stui_costs_more_than_clui(self):
+        clui_cycles = run(straightline(isa.clui, 100)).cycle
+        stui_cycles = run(straightline(isa.stui, 100)).cycle
+        assert stui_cycles > clui_cycles * 5
+
+    def test_serialize_stall_counted(self):
+        system = run(straightline(isa.stui, 50))
+        assert system.cores[0].stats.serialize_stall_cycles > 0
+
+
+class TestCapacityLimits:
+    def test_small_config_still_correct(self):
+        builder = ProgramBuilder("sc")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 300))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        system = run(builder, config=SystemConfig.small())
+        assert system.cores[0].arch_regs[1] == 300
+
+    def test_small_config_is_slower(self):
+        def loop():
+            builder = ProgramBuilder("w")
+            for i in range(80):
+                for reg in range(1, 7):
+                    builder.emit(isa.addi(reg, reg, 1))
+            builder.emit(isa.halt())
+            return builder
+
+        big = run(loop()).cycle
+        small = run(loop(), config=SystemConfig.small()).cycle
+        assert small > big
+
+    def test_rob_never_exceeds_capacity(self):
+        config = SystemConfig.small()
+        builder = ProgramBuilder("robcap")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 500))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        system = MultiCoreSystem([builder.build()], [FlushStrategy()], config=config)
+        max_rob = 0
+        for _ in range(3000):
+            system.step()
+            max_rob = max(max_rob, len(system.cores[0].rob))
+            if system.cores[0].halted:
+                break
+        assert max_rob <= config.core.rob_size
+
+    def test_load_queue_never_exceeds_capacity(self):
+        config = SystemConfig.small()
+        builder = ProgramBuilder("lqcap")
+        builder.emit(isa.movi(1, 0x300000))
+        for _ in range(200):
+            builder.emit(isa.load(2, 1, 0))
+        builder.emit(isa.halt())
+        system = MultiCoreSystem([builder.build()], [FlushStrategy()], config=config)
+        max_lq = 0
+        for _ in range(20_000):
+            system.step()
+            max_lq = max(max_lq, len(system.cores[0].lsq.loads))
+            if system.cores[0].halted:
+                break
+        assert system.cores[0].halted
+        assert max_lq <= config.core.lq_size

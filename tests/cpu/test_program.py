@@ -1,0 +1,93 @@
+"""Programs and the builder: labels, handlers, resolution."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu import isa
+from repro.cpu.program import (
+    CODE_BASE,
+    INSTR_BYTES,
+    Program,
+    ProgramBuilder,
+    instruction_address,
+)
+
+
+class TestBuilder:
+    def test_label_resolution(self):
+        builder = ProgramBuilder("t")
+        builder.label("start")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.jmp("start"))
+        program = builder.build()
+        assert program.instructions[1].target == 0
+
+    def test_forward_reference(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.jmp("end"))
+        builder.emit(isa.nop())
+        builder.label("end")
+        builder.emit(isa.halt())
+        assert builder.build().instructions[0].target == 2
+
+    def test_undefined_label_rejected(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.jmp("nowhere"))
+        with pytest.raises(ConfigError):
+            builder.build()
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder("t")
+        builder.label("x")
+        with pytest.raises(ConfigError):
+            builder.label("x")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigError):
+            ProgramBuilder("t").build()
+
+    def test_handler_registration(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.halt())
+        builder.emit_default_handler()
+        program = builder.build()
+        assert program.handler_index == 1
+        assert program.instructions[-1].op is isa.Op.UIRET
+
+    def test_default_handler_counter_code(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.halt())
+        builder.emit_default_handler(counter_addr=0x1000)
+        program = builder.build()
+        ops = [i.op for i in program.instructions]
+        assert isa.Op.LOAD in ops and isa.Op.STORE in ops
+
+    def test_entry_label(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.nop())
+        builder.label("main")
+        builder.emit(isa.halt())
+        builder.entry("main")
+        assert builder.build().entry_index == 1
+
+    def test_unknown_handler_label_rejected(self):
+        with pytest.raises(ConfigError):
+            Program(instructions=[isa.halt()], handler_label="missing")
+
+
+class TestAddressing:
+    def test_instruction_address(self):
+        assert instruction_address(0) == CODE_BASE
+        assert instruction_address(10) == CODE_BASE + 10 * INSTR_BYTES
+
+    def test_at_bounds_checked(self):
+        program = ProgramBuilder("t").emit(isa.halt()).build()
+        with pytest.raises(ConfigError):
+            program.at(5)
+        with pytest.raises(ConfigError):
+            program.at(-1)
+
+    def test_len(self):
+        builder = ProgramBuilder("t")
+        builder.emit(isa.nop(), isa.nop(), isa.halt())
+        assert len(builder.build()) == 3

@@ -1,0 +1,100 @@
+"""Hardware safepoints (§4.4): delivery gated to safepoint instructions."""
+
+import pytest
+
+from tests.conftest import COUNTER_ADDR
+
+from repro.cpu import isa
+from repro.cpu.delivery import TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+
+#: Marker the handler stores so we can see *where* preemption landed.
+WHERE_ADDR = 0x21_0000
+
+
+def safepoint_loop_program(iterations=30_000, safepoint_every=1):
+    """A loop whose back-edge carries the safepoint prefix every N iterations
+    (unrolled), with instrumentation recording loop progress in r1."""
+    builder = ProgramBuilder("sp_loop")
+    builder.emit(isa.movi(1, 0))
+    builder.emit(isa.movi(2, iterations))
+    builder.label("loop")
+    builder.emit(isa.addi(1, 1, 1))
+    branch = isa.blt(1, 2, "loop")
+    builder.emit(branch.with_safepoint() if safepoint_every == 1 else branch)
+    builder.emit(isa.halt())
+    builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+    return builder.build()
+
+
+def no_safepoint_program(iterations=20_000):
+    return safepoint_loop_program(iterations, safepoint_every=0)
+
+
+class TestSafepointGating:
+    def test_delivery_happens_at_safepoints(self):
+        system = MultiCoreSystem([safepoint_loop_program()], [TrackedStrategy()])
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.safepoint_mode = True
+        core.uintr.kb_timer.arm_periodic(5000, now=0)
+        system.run(2_000_000, until_halted=[0])
+        assert core.halted
+        assert core.stats.interrupts_delivered >= 3
+        assert system.shared.read(COUNTER_ADDR) == core.stats.interrupts_delivered
+
+    def test_no_safepoints_means_no_delivery(self):
+        """With safepoint mode on and no safepoint instructions, interrupts
+        stay pending forever — the compiler contract matters."""
+        system = MultiCoreSystem([no_safepoint_program()], [TrackedStrategy()])
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.safepoint_mode = True
+        core.uintr.kb_timer.arm_periodic(4000, now=0)
+        system.run(2_000_000, until_halted=[0])
+        assert core.halted
+        assert core.stats.interrupts_delivered == 0
+
+    def test_safepoint_mode_off_ignores_prefixes(self):
+        """Without safepoint mode, tracked delivery proceeds at any boundary."""
+        system = MultiCoreSystem([no_safepoint_program()], [TrackedStrategy()])
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.kb_timer.arm_periodic(4000, now=0)
+        system.run(2_000_000, until_halted=[0])
+        assert core.stats.interrupts_delivered >= 2
+
+    def test_near_zero_cost_when_idle(self):
+        """Safepoint prefixes alone (no interrupts) cost essentially nothing
+        — they are NOP-prefix encodings (§4.4)."""
+        plain = MultiCoreSystem([no_safepoint_program(30_000)], [TrackedStrategy()])
+        plain.run(2_000_000, until_halted=[0])
+        prefixed = MultiCoreSystem([safepoint_loop_program(30_000)], [TrackedStrategy()])
+        prefixed.run(2_000_000, until_halted=[0])
+        slowdown = (prefixed.cycle - plain.cycle) / plain.cycle
+        assert slowdown <= 0.01
+
+    def test_sparse_safepoints_delay_but_deliver(self):
+        """Safepoints only at an outer-loop boundary: delivery waits for the
+        next safepoint instead of firing mid-inner-loop."""
+        builder = ProgramBuilder("outer_sp")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 60))
+        builder.label("outer")
+        builder.emit(isa.movi(3, 0))
+        builder.label("inner")
+        builder.emit(isa.addi(3, 3, 1))
+        builder.emit(isa.blti(3, 400, "inner"))
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "outer").with_safepoint())
+        builder.emit(isa.halt())
+        builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+        system = MultiCoreSystem([builder.build()], [TrackedStrategy()])
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.safepoint_mode = True
+        core.uintr.kb_timer.arm_periodic(3000, now=0)
+        system.run(2_000_000, until_halted=[0])
+        assert core.halted
+        assert core.stats.interrupts_delivered >= 2

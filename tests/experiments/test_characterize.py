@@ -1,0 +1,84 @@
+"""Calibration: the cycle tier reproduces the paper's measured constants.
+
+Bands are deliberately loose (the model is not the silicon) but tight enough
+that a regression in the microcode or pipeline timing trips them.
+"""
+
+import pytest
+
+from repro.experiments import characterize as ch
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return ch.run_fig2_timeline()
+
+
+class TestFig2Timeline:
+    def test_send_to_interrupt_near_380(self, timeline):
+        assert 250 <= timeline["send_to_interrupt"] <= 500
+
+    def test_gap_to_first_notif_event_near_424(self, timeline):
+        assert 300 <= timeline["interrupt_to_first_notif_event"] <= 560
+
+    def test_notification_and_delivery_order_of_262(self, timeline):
+        assert 120 <= timeline["notification_and_delivery"] <= 400
+
+    def test_uiret_near_10(self, timeline):
+        assert 2 <= timeline["uiret"] <= 30
+
+    def test_end_to_end_order_of_1360(self, timeline):
+        assert 700 <= timeline["end_to_end"] <= 1800
+
+    def test_ordering_of_events(self, timeline):
+        assert timeline["icr_write_offset"] < timeline["send_to_interrupt"]
+        assert timeline["handler_entry_offset"] < timeline["deliver_done_offset"]
+
+
+class TestSenderCosts:
+    def test_senduipi_near_383(self):
+        cost = ch.measure_senduipi_cost(count=30)
+        assert cost == pytest.approx(383, rel=0.15)
+
+    def test_clui_stui_costs(self):
+        clui = ch._unit_cost_loop(__import__("repro.cpu.isa", fromlist=["isa"]).clui, 60)
+        stui = ch._unit_cost_loop(__import__("repro.cpu.isa", fromlist=["isa"]).stui, 60)
+        assert clui <= 4  # paper: 2 cycles
+        assert 20 <= stui <= 45  # paper: 32 cycles
+
+
+class TestSection35:
+    def test_flush_latency_independent_of_footprint(self):
+        results = ch.run_flush_vs_drain(footprints_kb=[16, 256], samples=3)
+        flush = results["flush"]
+        assert max(flush.values()) - min(flush.values()) <= 0.25 * max(flush.values())
+
+    def test_drain_latency_grows_with_footprint(self):
+        results = ch.run_flush_vs_drain(footprints_kb=[16, 256], samples=3)
+        drain = results["drain"]
+        assert drain[256] > drain[16]
+        # And drain is far slower than flush on big footprints.
+        assert drain[256] > results["flush"][256] * 3
+
+    def test_flushed_uops_linear_in_interrupts(self):
+        results = ch.run_flushed_uops_linearity(interrupt_counts=[2, 4])
+        counts = sorted(results)
+        assert len(counts) >= 2
+        per_interrupt = [results[c] / c for c in counts]
+        assert per_interrupt[0] == pytest.approx(per_interrupt[-1], rel=0.2)
+        assert per_interrupt[0] > 50  # flushing throws away real work
+
+
+class TestMaxLatency:
+    def test_tracking_pathological_case(self):
+        results = ch.run_max_latency(chain_lengths=[50], interval=8000)
+        tracked = results["tracked"][50]
+        flush = results["flush"][50]
+        # Paper: ~7000 cycles worst case for tracking; flush an order of
+        # magnitude less (§6.1).
+        assert tracked > 4000
+        assert flush < tracked / 5
+
+    def test_latency_scales_with_chain_length(self):
+        results = ch.run_max_latency(chain_lengths=[10, 50], interval=8000)
+        assert results["tracked"][50] > results["tracked"][10] * 2

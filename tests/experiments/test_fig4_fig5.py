@@ -1,0 +1,84 @@
+"""Figure 4 and Figure 5 runners at reduced scale: shape assertions."""
+
+import pytest
+
+from repro.apps import microbench as mb
+from repro.experiments import cycletier
+from repro.experiments.fig4_overheads import (
+    CONFIGURATIONS,
+    run_configuration,
+    run_fig4,
+    summarize_per_event,
+)
+from repro.experiments.fig5_safepoints import run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig4_results():
+    # One benchmark at reduced scale keeps this affordable in CI.
+    benchmarks = {"count": lambda: mb.make_count_loop(14_000)}
+    return run_fig4(benchmarks=benchmarks)
+
+
+class TestFig4:
+    def test_all_configurations_present(self, fig4_results):
+        assert set(fig4_results["count"]) == set(CONFIGURATIONS)
+
+    def test_per_event_ordering_matches_paper(self, fig4_results):
+        cells = fig4_results["count"]
+        flush = cells["uipi_sw_timer"]["per_event_cycles"]
+        tracked = cells["xui_sw_timer_tracking"]["per_event_cycles"]
+        kb = cells["xui_kb_timer_tracking"]["per_event_cycles"]
+        assert flush > tracked > kb  # 645 > 231 > 105
+
+    def test_per_event_magnitudes_in_band(self, fig4_results):
+        cells = fig4_results["count"]
+        assert 400 <= cells["uipi_sw_timer"]["per_event_cycles"] <= 900
+        assert 140 <= cells["xui_sw_timer_tracking"]["per_event_cycles"] <= 350
+        assert 50 <= cells["xui_kb_timer_tracking"]["per_event_cycles"] <= 180
+
+    def test_headline_ratio_roughly_6_9x(self, fig4_results):
+        cells = fig4_results["count"]
+        ratio = (
+            cells["uipi_sw_timer"]["per_event_cycles"]
+            / cells["xui_kb_timer_tracking"]["per_event_cycles"]
+        )
+        assert 3.5 <= ratio <= 12.0
+
+    def test_overhead_percent_consistent(self, fig4_results):
+        cells = fig4_results["count"]
+        for name, cell in cells.items():
+            expected = 100.0 * cell["per_event_cycles"] * cell["interrupts"] / cell["baseline_cycles"]
+            assert cell["overhead_percent"] == pytest.approx(expected, rel=0.01)
+
+    def test_summarize_averages(self, fig4_results):
+        summary = summarize_per_event(fig4_results)
+        assert set(summary) == set(CONFIGURATIONS)
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            run_configuration(lambda: mb.make_count_loop(1000), "bogus")
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        programs = {
+            "base64": lambda instrument=None: mb.make_base64(
+                iterations=2500, instrument=instrument
+            )
+        }
+        return run_fig5(quanta=[10_000], programs=programs)
+
+    def test_safepoints_cheapest(self, results):
+        row = results["base64"]
+        assert row["hw_safepoints"][10_000] < row["uipi"][10_000]
+        assert row["hw_safepoints"][10_000] < row["polling"][10_000]
+
+    def test_safepoint_overhead_near_paper_band(self, results):
+        # Paper: 1.2-1.5% at 5 us.
+        assert results["base64"]["hw_safepoints"][10_000] <= 3.5
+
+    def test_polling_significantly_more_expensive(self, results):
+        row = results["base64"]
+        assert row["polling"][10_000] >= 3 * row["hw_safepoints"][10_000]

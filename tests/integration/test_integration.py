@@ -1,0 +1,132 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from tests.conftest import COUNTER_ADDR, build_spin_receiver
+
+from repro import quickstart_uipi_roundtrip
+from repro.apps import microbench as mb
+from repro.compiler.instrument import SafepointInstrumenter
+from repro.cpu import isa
+from repro.cpu.delivery import FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+from repro.notify.costs import CostModel
+
+
+class TestQuickstart:
+    def test_flush_roundtrip(self):
+        result = quickstart_uipi_roundtrip()
+        assert result["interrupts_delivered"] == 1
+        assert result["handler_counter"] == 1
+        assert result["end_to_end_cycles"] > 0
+
+    def test_tracked_roundtrip_faster(self):
+        flush = quickstart_uipi_roundtrip(tracked=False)
+        tracked = quickstart_uipi_roundtrip(tracked=True)
+        assert tracked["end_to_end_cycles"] < flush["end_to_end_cycles"]
+
+
+class TestMultipleSendersOneReceiver:
+    def test_two_senders_distinct_vectors(self):
+        """Two sender cores target one receiver with different user vectors;
+        both posts arrive and the PIR accumulates correctly."""
+        def sender():
+            builder = ProgramBuilder("s")
+            builder.emit(isa.senduipi(0))
+            builder.emit(isa.halt())
+            return builder.build()
+
+        system = MultiCoreSystem(
+            [sender(), sender(), build_spin_receiver()],
+            [FlushStrategy(), FlushStrategy(), FlushStrategy()],
+        )
+        upid_addr = system.register_handler(2)
+        system.register_sender(0, upid_addr, user_vector=1)
+        system.register_sender(1, upid_addr, user_vector=2)
+        system.run(200_000, until_halted=[0, 1])
+        system.run(30_000)
+        receiver = system.cores[2]
+        assert receiver.stats.interrupts_delivered >= 1
+        assert system.shared.read(COUNTER_ADDR) >= 1
+        # All posted vectors eventually consumed.
+        assert receiver.uintr.uirr == 0
+
+
+class TestTimerPlusIpiMix:
+    def test_kb_timer_and_uipi_coexist(self):
+        """A receiver takes both KB-timer ticks and IPIs from a sender."""
+        receiver = ProgramBuilder("r")
+        receiver.emit(isa.movi(3, 4000))
+        receiver.emit(isa.movi(4, 1))
+        receiver.emit(isa.set_timer(3, 4))
+        receiver.label("loop")
+        receiver.emit(isa.addi(1, 1, 1))
+        receiver.emit(isa.blti(1, 40_000, "loop"))
+        receiver.emit(isa.halt())
+        receiver.emit_default_handler(counter_addr=COUNTER_ADDR)
+
+        sender = mb.make_uipi_timer_core(7000, 4)
+        system = MultiCoreSystem(
+            [receiver.build(), sender.program], [TrackedStrategy(), FlushStrategy()]
+        )
+        system.connect_uipi(1, 0, user_vector=1)
+        system.enable_kb_timer(0)
+        system.run(3_000_000, until_halted=[0])
+        core = system.cores[0]
+        assert core.halted
+        # Timer ticks (every 4000) plus IPIs (every 7000) all delivered.
+        assert core.stats.interrupts_delivered >= 6
+        assert system.shared.read(COUNTER_ADDR) == core.stats.interrupts_delivered
+
+
+class TestSafepointWorkloadEndToEnd:
+    def test_instrumented_fib_under_safepoint_preemption(self):
+        """Compiler-instrumented recursion + safepoint-mode KB timer:
+        correctness preserved, interrupts delivered only at safepoints."""
+        workload = mb.make_fib(n=15, instrument=SafepointInstrumenter())
+        system = MultiCoreSystem([workload.program], [TrackedStrategy()])
+        workload.install(system.shared)
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.safepoint_mode = True
+        core.uintr.kb_timer.arm_periodic(4000, now=0)
+        system.run(5_000_000, until_halted=[0])
+        assert core.halted
+        assert core.arch_regs[2] == 610  # fib(15)
+        assert core.stats.interrupts_delivered >= 2
+
+
+class TestCostModelDerivation:
+    def test_from_cycle_model_matches_paper_bands(self):
+        """The two tiers agree: re-deriving the cost model from the cycle
+        tier lands within a factor-band of the paper constants."""
+        derived = CostModel.from_cycle_model(quick=True)
+        paper = CostModel.paper_defaults()
+        assert derived.uipi_receive_flush == pytest.approx(paper.uipi_receive_flush, rel=0.35)
+        assert derived.uipi_receive_tracked == pytest.approx(paper.uipi_receive_tracked, rel=0.35)
+        assert derived.timer_receive_tracked == pytest.approx(paper.timer_receive_tracked, rel=0.35)
+        assert derived.senduipi == pytest.approx(paper.senduipi, rel=0.2)
+        # Ordering is preserved exactly.
+        assert (
+            derived.uipi_receive_flush
+            > derived.uipi_receive_tracked
+            > derived.timer_receive_tracked
+        )
+
+
+class TestDeviceToRuntimePath:
+    def test_forwarded_interrupts_into_busy_program(self):
+        """Device interrupts land in a memory-heavy program (cache pressure)
+        without losing any, using tracking + forwarding."""
+        workload = mb.make_memops(iterations=12_000)
+        system = MultiCoreSystem([workload.program], [TrackedStrategy()])
+        workload.install(system.shared)
+        system.enable_forwarding(0, vector=40, user_vector=3)
+        for index in range(6):
+            system.raise_device_interrupt(0, 40, delay=2000 + 3000 * index)
+        system.run(3_000_000, until_halted=[0])
+        core = system.cores[0]
+        assert core.halted
+        assert core.stats.interrupts_delivered == 6
+        assert system.shared.read(COUNTER_ADDR) == 6

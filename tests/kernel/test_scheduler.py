@@ -1,0 +1,198 @@
+"""Kernel scheduler: context switches manage UIPI/xUI state (§3.2/§4.3/§4.5)."""
+
+import pytest
+
+from repro.cpu.cache import SharedMemory
+from repro.kernel.scheduler import CoreScheduler
+from repro.kernel.syscalls import KernelInterface
+from repro.kernel.threads import KernelThread, ThreadState
+from repro.uintr.apic import InterruptKind, LocalApic
+from repro.uintr.upid import UPID
+
+
+@pytest.fixture
+def setup():
+    memory = SharedMemory()
+    apic = LocalApic(0)
+    scheduler = CoreScheduler(0, memory, apic)
+    kernel = KernelInterface(memory)
+    kernel.attach_scheduler(scheduler)
+    return memory, apic, scheduler, kernel
+
+
+class TestSnBitManagement:
+    def test_deschedule_sets_sn(self, setup):
+        memory, apic, scheduler, kernel = setup
+        thread = KernelThread("a")
+        kernel.register_handler(thread, apic)
+        scheduler.add_thread(thread)
+        scheduler.schedule_next(now=0.0)
+        scheduler.deschedule_current(now=10.0)
+        assert UPID(memory, thread.upid_addr).suppressed
+
+    def test_resume_clears_sn(self, setup):
+        memory, apic, scheduler, kernel = setup
+        thread = KernelThread("a")
+        kernel.register_handler(thread, apic)
+        scheduler.add_thread(thread)
+        scheduler.schedule_next(now=0.0)
+        scheduler.preempt(now=10.0)  # deschedule + immediately resume (only thread)
+        assert not UPID(memory, thread.upid_addr).suppressed
+
+
+class TestSlowPath:
+    def test_posted_interrupt_reposted_on_resume(self, setup):
+        memory, apic, scheduler, kernel = setup
+        thread = KernelThread("a")
+        kernel.register_handler(thread, apic, notification_vector=0xEC)
+        scheduler.add_thread(thread)
+        scheduler.schedule_next(now=0.0)
+        scheduler.deschedule_current(now=5.0)
+        # A sender posts while the thread is out (SN set: PIR only).
+        UPID(memory, thread.upid_addr).post_vector(4)
+        scheduler.schedule_next(now=20.0)
+        assert scheduler.slow_path_reposts == 1
+        assert apic.has_pending()
+        assert apic.peek().kind is InterruptKind.UIPI
+        # The kernel consumed the posted bits when reposting.
+        assert UPID(memory, thread.upid_addr).pir == 0
+
+    def test_no_repost_without_posting(self, setup):
+        _, apic, scheduler, kernel = setup
+        thread = KernelThread("a")
+        kernel.register_handler(thread, apic)
+        scheduler.add_thread(thread)
+        scheduler.schedule_next(now=0.0)
+        scheduler.preempt(now=5.0)
+        assert scheduler.slow_path_reposts == 0
+
+
+class TestKbTimerMultiplexing:
+    def test_timer_saved_and_restored_across_switch(self, setup):
+        _, apic, scheduler, kernel = setup
+        a, b = KernelThread("a"), KernelThread("b")
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        kernel.enable_kb_timer(0, vector=2)
+        scheduler.schedule_next(now=0.0)  # a runs
+        scheduler.kb_timer.arm_periodic(1000, now=0.0)
+        deadline_a = scheduler.kb_timer.deadline
+        scheduler.preempt(now=100.0)  # b runs: a's timer saved, b has none
+        assert not scheduler.kb_timer.armed or scheduler.kb_timer.enabled is False
+        scheduler.preempt(now=200.0)  # a resumes: timer restored
+        assert scheduler.current is a
+        assert scheduler.kb_timer.armed
+        assert scheduler.kb_timer.deadline == deadline_a
+
+    def test_expired_timer_fires_on_restore(self, setup):
+        _, apic, scheduler, kernel = setup
+        a, b = KernelThread("a"), KernelThread("b")
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        kernel.enable_kb_timer(0, vector=2)
+        scheduler.schedule_next(now=0.0)
+        scheduler.kb_timer.arm_oneshot(50.0)
+        scheduler.preempt(now=10.0)  # b runs past the deadline
+        scheduler.preempt(now=500.0)  # a resumes; deadline long passed
+        assert scheduler.current is a
+        assert apic.has_pending()
+        assert apic.peek().kind is InterruptKind.TIMER
+
+
+class TestForwardingMultiplexing:
+    def test_forwarded_active_follows_current_thread(self, setup):
+        _, apic, scheduler, kernel = setup
+        a, b = KernelThread("a"), KernelThread("b")
+        kernel.register_forwarding(a, apic, vector=40, user_vector=3)
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        scheduler.schedule_next(now=0.0)  # a: vector 40 active
+        assert apic.forwarded_active >> 40 & 1 == 1
+        scheduler.preempt(now=10.0)  # b: no forwarded vectors
+        assert apic.forwarded_active == 0
+
+    def test_dupid_slow_path_reposted_on_resume(self, setup):
+        memory, apic, scheduler, kernel = setup
+        a, b = KernelThread("a"), KernelThread("b")
+        kernel.register_forwarding(a, apic, vector=40, user_vector=3)
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        scheduler.schedule_next(now=0.0)
+        scheduler.preempt(now=10.0)  # b running; a's device interrupt arrives
+        apic.accept(40, time=11.0, kind=InterruptKind.DEVICE)
+        assert len(apic.slow_path_queue) == 1
+        captured = apic.slow_path_queue.popleft()
+        kernel.capture_slow_path_device(a, captured.user_vector)
+        assert memory.read(a.dupid_addr) == 1 << 3
+        scheduler.preempt(now=20.0)  # a resumes
+        assert scheduler.current is a
+        assert scheduler.slow_path_reposts == 1
+        assert apic.has_pending()
+
+
+class TestEagerTimerRescheduling:
+    """§4.3's alternative slow path: wake the thread whose timer expired."""
+
+    def _setup(self):
+        memory = SharedMemory()
+        apic = LocalApic(0)
+        scheduler = CoreScheduler(0, memory, apic, eager_timer_rescheduling=True)
+        kernel = KernelInterface(memory)
+        kernel.attach_scheduler(scheduler)
+        kernel.enable_kb_timer(0, vector=2)
+        return scheduler
+
+    def test_expired_timer_thread_preferred(self):
+        scheduler = self._setup()
+        a, b, c = KernelThread("a"), KernelThread("b"), KernelThread("c")
+        for thread in (a, b, c):
+            scheduler.add_thread(thread)
+        scheduler.schedule_next(now=0.0)  # a runs
+        scheduler.kb_timer.arm_oneshot(100.0)
+        scheduler.deschedule_current(now=10.0)  # a queued behind b, c
+        # Past a's deadline: the scheduler jumps the queue to wake a.
+        woken = scheduler.schedule_next(now=200.0)
+        assert woken is a
+        assert scheduler.eager_wakes == 1
+
+    def test_unexpired_timer_keeps_fifo_order(self):
+        scheduler = self._setup()
+        a, b = KernelThread("a"), KernelThread("b")
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        scheduler.schedule_next(now=0.0)  # a runs
+        scheduler.kb_timer.arm_oneshot(1_000_000.0)
+        scheduler.deschedule_current(now=10.0)
+        assert scheduler.schedule_next(now=20.0) is b  # deadline not due
+
+    def test_default_policy_is_fifo(self):
+        memory = SharedMemory()
+        apic = LocalApic(0)
+        scheduler = CoreScheduler(0, memory, apic)  # eager disabled
+        kernel = KernelInterface(memory)
+        kernel.attach_scheduler(scheduler)
+        kernel.enable_kb_timer(0, vector=2)
+        a, b = KernelThread("a"), KernelThread("b")
+        scheduler.add_thread(a)
+        scheduler.add_thread(b)
+        scheduler.schedule_next(now=0.0)
+        scheduler.kb_timer.arm_oneshot(5.0)
+        scheduler.deschedule_current(now=10.0)
+        assert scheduler.schedule_next(now=100.0) is b  # FIFO, no jump
+
+
+class TestAccounting:
+    def test_context_switch_cost_charged(self, setup):
+        _, apic, scheduler, _ = setup
+        scheduler.add_thread(KernelThread("a"))
+        scheduler.schedule_next(now=0.0)
+        assert scheduler.account.busy.get("context_switch", 0) > 0
+
+    def test_finished_threads_skipped(self, setup):
+        _, _, scheduler, _ = setup
+        done = KernelThread("done")
+        live = KernelThread("live")
+        scheduler.add_thread(done)
+        scheduler.add_thread(live)
+        done.state = ThreadState.FINISHED
+        assert scheduler.schedule_next(now=0.0) is live

@@ -1,0 +1,62 @@
+"""Signal delivery cost model (§2: ~2.4 us, ~1.4 us of it kernel time)."""
+
+import pytest
+
+from repro.kernel.signals import SignalDelivery
+from repro.notify.costs import CostModel
+from repro.sim.account import CycleAccount
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def delivery():
+    sim = Simulator()
+    account = CycleAccount("core")
+    return sim, account, SignalDelivery(sim, account)
+
+
+class TestDelivery:
+    def test_handler_invoked_with_record(self, delivery):
+        sim, _, signals = delivery
+        seen = []
+        signals.register(14, seen.append)
+        signals.send(14)
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].signo == 14
+
+    def test_latency_includes_kernel_entry(self, delivery):
+        sim, _, signals = delivery
+        signals.send(14)
+        sim.run()
+        record = signals.delivered[0]
+        assert record.latency == pytest.approx(CostModel().signal_kernel_share)
+
+    def test_costs_charged_to_account(self, delivery):
+        sim, account, signals = delivery
+        signals.send(14)
+        sim.run()
+        costs = CostModel()
+        assert account.busy["signal_kernel"] == pytest.approx(costs.signal_kernel_share)
+        total = account.total_busy()
+        assert total == pytest.approx(costs.signal_delivery)
+
+    def test_paper_magnitude_2400ns(self, delivery):
+        """The full signal cost is ~2.4 us at 2 GHz (§2)."""
+        _, _, signals = delivery
+        total = signals.kernel_entry_cost + signals.user_damage_cost
+        assert total == pytest.approx(4800)  # cycles
+
+    def test_multiple_signals_accumulate(self, delivery):
+        sim, account, signals = delivery
+        for i in range(5):
+            signals.send(14, delay=float(i) * 100)
+        sim.run()
+        assert len(signals.delivered) == 5
+        assert account.total_busy() == pytest.approx(5 * CostModel().signal_delivery)
+
+    def test_unregistered_signal_still_costs(self, delivery):
+        sim, account, signals = delivery
+        signals.send(99)
+        sim.run()
+        assert account.total_busy() > 0

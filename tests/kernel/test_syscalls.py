@@ -1,0 +1,110 @@
+"""The user-interrupt syscall surface (§3.2 registration, §4.5 DUPID)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.cpu.cache import SharedMemory
+from repro.kernel.scheduler import CoreScheduler
+from repro.kernel.syscalls import KernelInterface
+from repro.kernel.threads import KernelThread
+from repro.uintr.apic import LocalApic
+from repro.uintr.upid import UPID
+
+
+@pytest.fixture
+def kernel():
+    memory = SharedMemory()
+    return memory, LocalApic(0), KernelInterface(memory)
+
+
+class TestRegisterHandler:
+    def test_allocates_initialized_upid(self, kernel):
+        memory, apic, interface = kernel
+        thread = KernelThread("recv")
+        addr = interface.register_handler(thread, apic, notification_vector=0xEC)
+        upid = UPID(memory, addr)
+        assert upid.notification_vector == 0xEC
+        assert upid.notification_destination == apic.apic_id
+        assert thread.upid_addr == addr
+
+    def test_double_registration_rejected(self, kernel):
+        _, apic, interface = kernel
+        thread = KernelThread("recv")
+        interface.register_handler(thread, apic)
+        with pytest.raises(ProtocolError):
+            interface.register_handler(thread, apic)
+
+    def test_upids_do_not_overlap(self, kernel):
+        _, apic, interface = kernel
+        a = interface.register_handler(KernelThread(), apic)
+        b = interface.register_handler(KernelThread(), apic)
+        assert abs(a - b) >= 16
+
+
+class TestRegisterSender:
+    def test_grants_are_per_process(self, kernel):
+        _, apic, interface = kernel
+        receiver = KernelThread("recv")
+        interface.register_handler(receiver, apic)
+        p1 = interface.create_process()
+        p2 = interface.create_process()
+        interface.register_sender(p1, receiver, user_vector=1)
+        assert p1.uitt is not None
+        assert p2.uitt is None  # no implicit grant
+
+    def test_requires_registered_receiver(self, kernel):
+        _, _, interface = kernel
+        process = interface.create_process()
+        with pytest.raises(ProtocolError):
+            interface.register_sender(process, KernelThread(), user_vector=1)
+
+    def test_uitt_entry_points_at_upid(self, kernel):
+        _, apic, interface = kernel
+        receiver = KernelThread("recv")
+        upid_addr = interface.register_handler(receiver, apic)
+        process = interface.create_process()
+        index = interface.register_sender(process, receiver, user_vector=5)
+        entry = process.uitt.read(index)
+        assert entry.upid_addr == upid_addr
+        assert entry.user_vector == 5
+
+
+class TestKbTimerSyscalls:
+    def test_enable_disable(self, kernel):
+        memory, apic, interface = kernel
+        scheduler = CoreScheduler(0, memory, apic)
+        interface.attach_scheduler(scheduler)
+        interface.enable_kb_timer(0, vector=2)
+        assert scheduler.kb_timer.enabled
+        assert scheduler.kb_timer.vector == 2
+        interface.disable_kb_timer(0)
+        assert not scheduler.kb_timer.enabled
+
+    def test_unattached_core_rejected(self, kernel):
+        _, _, interface = kernel
+        with pytest.raises(ConfigError):
+            interface.enable_kb_timer(3, vector=2)
+
+
+class TestForwardingSyscalls:
+    def test_register_forwarding_allocates_dupid(self, kernel):
+        _, apic, interface = kernel
+        thread = KernelThread("io")
+        dupid = interface.register_forwarding(thread, apic, vector=40, user_vector=3)
+        assert thread.dupid_addr == dupid
+        assert thread.forwarded_vectors >> 40 & 1 == 1
+        assert apic.forwarding_enabled >> 40 & 1 == 1
+
+    def test_capture_requires_dupid(self, kernel):
+        _, _, interface = kernel
+        with pytest.raises(ProtocolError):
+            interface.capture_slow_path_device(KernelThread(), user_vector=3)
+
+    def test_capture_accumulates_vectors(self, kernel):
+        memory, apic, interface = kernel
+        thread = KernelThread("io")
+        interface.register_forwarding(thread, apic, vector=40, user_vector=3)
+        interface.capture_slow_path_device(thread, user_vector=3)
+        interface.capture_slow_path_device(thread, user_vector=5)
+        assert memory.read(thread.dupid_addr) == (1 << 3) | (1 << 5)
+        assert thread.pending_slow_path == [3, 5]

@@ -1,0 +1,26 @@
+"""Kernel thread records."""
+
+from repro.kernel.threads import KernelThread, ThreadState
+
+
+class TestKernelThread:
+    def test_unique_tids(self):
+        a, b = KernelThread(), KernelThread()
+        assert a.tid != b.tid
+
+    def test_default_name_from_tid(self):
+        thread = KernelThread()
+        assert thread.name == f"thread-{thread.tid}"
+
+    def test_initial_state(self):
+        thread = KernelThread("t")
+        assert thread.state is ThreadState.READY
+        assert thread.upid_addr is None
+        assert thread.dupid_addr is None
+        assert thread.forwarded_vectors == 0
+        assert thread.pending_slow_path == []
+
+    def test_slow_path_lists_are_per_thread(self):
+        a, b = KernelThread(), KernelThread()
+        a.pending_slow_path.append(3)
+        assert b.pending_slow_path == []

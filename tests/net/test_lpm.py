@@ -1,0 +1,83 @@
+"""Longest-prefix-match correctness (the l3fwd routing substrate)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.net.lpm import LPMTable, RouteTableGenerator
+
+
+def ip(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+class TestLookup:
+    def test_exact_prefix_match(self):
+        table = LPMTable()
+        table.add_route(ip(10, 0, 0, 0), 8, next_hop=1)
+        assert table.lookup(ip(10, 1, 2, 3)) == 1
+        assert table.lookup(ip(11, 0, 0, 0)) is None
+
+    def test_longest_prefix_wins(self):
+        table = LPMTable()
+        table.add_route(ip(10, 0, 0, 0), 8, next_hop=1)
+        table.add_route(ip(10, 1, 0, 0), 16, next_hop=2)
+        table.add_route(ip(10, 1, 2, 0), 24, next_hop=3)
+        assert table.lookup(ip(10, 1, 2, 9)) == 3
+        assert table.lookup(ip(10, 1, 9, 9)) == 2
+        assert table.lookup(ip(10, 9, 9, 9)) == 1
+
+    def test_default_route(self):
+        table = LPMTable(default_next_hop=0)
+        assert table.lookup(ip(1, 2, 3, 4)) == 0
+
+    def test_zero_length_prefix(self):
+        table = LPMTable()
+        table.add_route(0, 0, next_hop=7)
+        assert table.lookup(ip(200, 1, 1, 1)) == 7
+
+    def test_host_route(self):
+        table = LPMTable()
+        table.add_route(ip(10, 0, 0, 5), 32, next_hop=9)
+        assert table.lookup(ip(10, 0, 0, 5)) == 9
+        assert table.lookup(ip(10, 0, 0, 6)) is None
+
+    def test_route_overwrite(self):
+        table = LPMTable()
+        table.add_route(ip(10, 0, 0, 0), 8, next_hop=1)
+        table.add_route(ip(10, 0, 0, 0), 8, next_hop=5)
+        assert table.lookup(ip(10, 2, 3, 4)) == 5
+        assert len(table) == 1
+
+
+class TestValidation:
+    def test_bits_below_mask_rejected(self):
+        with pytest.raises(ConfigError):
+            LPMTable().add_route(ip(10, 0, 0, 1), 8, next_hop=1)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigError):
+            LPMTable().add_route(0, 33, next_hop=1)
+
+    def test_address_range_checked(self):
+        with pytest.raises(ConfigError):
+            LPMTable().lookup(1 << 32)
+
+
+class TestAgainstBruteForce:
+    def test_generated_table_matches_reference(self):
+        generator = RouteTableGenerator(seed=11)
+        table = generator.generate(num_routes=400)
+        for addr in generator.random_addresses(500):
+            assert table.lookup(addr) == table.lookup_brute_force(addr)
+
+    def test_generator_produces_requested_size(self):
+        table = RouteTableGenerator(seed=1).generate(num_routes=250)
+        assert len(table) == 250
+
+    def test_full_16k_table_generates(self):
+        """The experiment's 16,000-entry table builds and answers (§5.4)."""
+        generator = RouteTableGenerator(seed=2)
+        table = generator.generate(16_000)
+        assert len(table) == 16_000
+        for addr in generator.random_addresses(50):
+            assert table.lookup(addr) is not None  # default route backstop

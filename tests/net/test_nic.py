@@ -1,0 +1,96 @@
+"""NIC model: ring discipline and NAPI-style interrupt moderation."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.net.nic import NIC
+from repro.net.packet import Packet
+
+
+def packet(t=0.0, ip=0x0A000001):
+    return Packet(dst_ip=ip, arrival_time=t)
+
+
+class TestRing:
+    def test_receive_and_poll_fifo(self):
+        nic = NIC(0)
+        a, b = packet(1.0), packet(2.0)
+        nic.receive(a)
+        nic.receive(b)
+        assert nic.poll() is a
+        assert nic.poll() is b
+        assert nic.poll() is None
+
+    def test_overflow_drops(self):
+        nic = NIC(0, ring_size=2)
+        assert nic.receive(packet())
+        assert nic.receive(packet())
+        assert not nic.receive(packet())
+        assert nic.dropped == 1
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ConfigError):
+            NIC(0, ring_size=0)
+
+    def test_transmit_stamps_departure(self):
+        nic = NIC(0)
+        p = packet(t=5.0)
+        nic.transmit(p, now=100.0, out_port=3)
+        assert p.departure_time == 100.0
+        assert p.out_port == 3
+        assert p.latency == 95.0
+
+
+class TestInterruptModeration:
+    def test_interrupt_on_empty_to_nonempty(self):
+        fired = []
+        nic = NIC(0, on_interrupt=fired.append)
+        nic.arm_interrupts()
+        nic.receive(packet())
+        assert fired == [nic]
+        assert nic.interrupts_armed is False
+
+    def test_no_interrupt_while_disarmed(self):
+        fired = []
+        nic = NIC(0, on_interrupt=fired.append)
+        nic.receive(packet())
+        assert fired == []
+
+    def test_burst_costs_one_interrupt(self):
+        fired = []
+        nic = NIC(0, on_interrupt=fired.append)
+        nic.arm_interrupts()
+        for _ in range(5):
+            nic.receive(packet())
+        assert len(fired) == 1
+
+    def test_rearm_fails_if_packets_pending(self):
+        """The lost-wakeup guard: the driver must drain before idling."""
+        nic = NIC(0, on_interrupt=lambda n: None)
+        nic.receive(packet())
+        assert nic.arm_interrupts() is False
+        nic.poll()
+        assert nic.arm_interrupts() is True
+
+    def test_armed_without_sink_is_an_error(self):
+        nic = NIC(0)
+        nic.arm_interrupts()
+        with pytest.raises(SimulationError):
+            nic.receive(packet())
+
+    def test_on_rx_observer(self):
+        seen = []
+        nic = NIC(0, on_rx=lambda n, p: seen.append(p.pid))
+        p = packet()
+        nic.receive(p)
+        assert seen == [p.pid]
+
+
+class TestPacketValidation:
+    def test_ip_range(self):
+        with pytest.raises(ConfigError):
+            Packet(dst_ip=1 << 32, arrival_time=0.0)
+
+    def test_latency_requires_departure(self):
+        with pytest.raises(ConfigError):
+            packet().latency

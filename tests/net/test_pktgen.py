@@ -1,0 +1,71 @@
+"""Packet generation: rates, burstiness, multi-NIC splitting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStreams
+from repro.net.nic import NIC
+from repro.net.pktgen import PacketGenerator
+from repro.sim.simulator import Simulator
+
+
+class TestRates:
+    def test_aggregate_rate(self):
+        sim = Simulator()
+        nics = [NIC(0)]
+        generator = PacketGenerator(sim, nics, rate_pps=1_000_000, rng=RngStreams(1))
+        generator.start()
+        sim.run(until=0.01 * 2e9)
+        assert generator.generated == pytest.approx(10_000, rel=0.08)
+
+    def test_load_split_across_nics(self):
+        sim = Simulator()
+        nics = [NIC(i, ring_size=10**6) for i in range(4)]
+        generator = PacketGenerator(sim, nics, rate_pps=2_000_000, rng=RngStreams(2))
+        generator.start()
+        sim.run(until=0.005 * 2e9)
+        counts = [nic.rx_count for nic in nics]
+        assert sum(counts) == generator.generated
+        for count in counts:
+            assert count == pytest.approx(generator.generated / 4, rel=0.15)
+
+    def test_exponential_interarrivals(self):
+        sim = Simulator()
+        nic = NIC(0, ring_size=10**6)
+        times = []
+        nic.on_rx = lambda n, p: times.append(p.arrival_time)
+        generator = PacketGenerator(sim, [nic], rate_pps=500_000, rng=RngStreams(3))
+        generator.start()
+        sim.run(until=0.02 * 2e9)
+        gaps = np.diff(times)
+        assert np.std(gaps) == pytest.approx(np.mean(gaps), rel=0.1)  # CV ~ 1
+
+    def test_stop_halts_generation(self):
+        sim = Simulator()
+        generator = PacketGenerator(sim, [NIC(0)], rate_pps=1_000_000, rng=RngStreams(4))
+        generator.start()
+        sim.run(until=10_000.0)
+        generator.stop()
+        before = generator.generated
+        sim.run(until=1_000_000.0)
+        assert generator.generated == before
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            PacketGenerator(sim, [], rate_pps=1000)
+        with pytest.raises(ConfigError):
+            PacketGenerator(sim, [NIC(0)], rate_pps=0)
+
+    def test_addresses_from_pool(self):
+        sim = Simulator()
+        nic = NIC(0, ring_size=10**6)
+        pool = [11, 22, 33]
+        generator = PacketGenerator(
+            sim, [nic], rate_pps=200_000, rng=RngStreams(5), address_pool=pool
+        )
+        generator.start()
+        sim.run(until=0.005 * 2e9)
+        seen = {nic.poll().dst_ip for _ in range(min(50, nic.pending()))}
+        assert seen <= set(pool)

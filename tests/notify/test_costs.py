@@ -1,0 +1,80 @@
+"""The calibrated cost model (paper constants and derived helpers)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.notify.costs import CostModel
+from repro.notify.mechanisms import Mechanism
+
+
+class TestPaperDefaults:
+    def test_table2_constants(self):
+        costs = CostModel.paper_defaults()
+        assert costs.senduipi == 383.0
+        assert costs.clui == 2.0
+        assert costs.stui == 32.0
+        assert costs.uipi_end_to_end == 1360.0
+
+    def test_fig4_ordering(self):
+        costs = CostModel()
+        assert costs.uipi_receive_flush > costs.uipi_receive_tracked > costs.timer_receive_tracked
+
+    def test_signal_is_microseconds(self):
+        costs = CostModel()
+        assert costs.signal_delivery == 4800.0  # 2.4 us at 2 GHz
+        assert costs.signal_kernel_share < costs.signal_delivery
+
+    def test_polling_is_two_orders_below_uipi(self):
+        # §2: UIPI is roughly 6x-9x slower than ~100-cycle memory notification.
+        costs = CostModel()
+        assert 6 <= costs.uipi_receive_flush / costs.poll_notify <= 9
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(senduipi=-1.0)
+
+
+class TestDerivedHelpers:
+    def test_preemption_cost_per_mechanism(self):
+        costs = CostModel()
+        assert costs.preemption_cost(Mechanism.UIPI) == costs.uipi_receive_flush
+        assert costs.preemption_cost(Mechanism.XUI_KB_TIMER) == costs.timer_receive_tracked
+        assert costs.preemption_cost(Mechanism.XUI_DEVICE) == costs.timer_receive_tracked
+        assert costs.preemption_cost(Mechanism.SIGNAL) == costs.signal_delivery
+
+    def test_preemption_cost_accepts_string(self):
+        costs = CostModel()
+        assert costs.preemption_cost("uipi") == costs.uipi_receive_flush
+
+    def test_periodic_poll_has_no_preemption_cost(self):
+        with pytest.raises(ConfigError):
+            CostModel().preemption_cost(Mechanism.PERIODIC_POLL)
+
+    def test_timer_core_capacity_matches_paper(self):
+        """§6.1: one rdtsc-spin core supports ~22 workers at a 5 us quantum."""
+        capacity = CostModel().timer_core_capacity(10_000)
+        assert capacity == 22
+
+    def test_scaled_override(self):
+        costs = CostModel().scaled(senduipi=400.0)
+        assert costs.senduipi == 400.0
+        assert costs.clui == 2.0  # untouched
+
+
+class TestMechanismEnum:
+    def test_xui_classification(self):
+        assert Mechanism.XUI_KB_TIMER.is_xui
+        assert Mechanism.XUI_DEVICE.is_xui
+        assert not Mechanism.UIPI.is_xui
+        assert not Mechanism.POLLING.is_xui
+
+    def test_timer_core_requirement(self):
+        # UIPI-sourced preemption needs a dedicated time source (§2);
+        # the KB timer does not (§4.3).
+        assert Mechanism.UIPI.needs_timer_core
+        assert Mechanism.XUI_TRACKED_IPI.needs_timer_core
+        assert not Mechanism.XUI_KB_TIMER.needs_timer_core
+        assert not Mechanism.POLLING.needs_timer_core
+
+    def test_round_trip_by_value(self):
+        assert Mechanism("uipi") is Mechanism.UIPI

@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import bitfield
+from repro.common.stats import Histogram, RunningStats, percentile
+from repro.cpu.cache import SetAssociativeCache, SharedMemory
+from repro.cpu.config import CacheParams
+from repro.net.lpm import LPMTable
+from repro.sim.event import EventQueue
+from repro.uintr.upid import UPID
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=60))
+    def test_pops_sorted(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = [queue.pop().time for _ in range(len(times))]
+        assert popped == sorted(times)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=40),
+        st.data(),
+    )
+    def test_cancellation_preserves_order_of_rest(self, times, data):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None, name=str(i)) for i, t in enumerate(times)]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times) - 1)
+        )
+        for index in to_cancel:
+            events[index].cancel()
+        surviving = sorted(
+            (t, i) for i, t in enumerate(times) if i not in to_cancel
+        )
+        popped = [(e.time, int(e.name)) for e in (queue.pop() for _ in range(len(surviving)))]
+        assert popped == surviving
+
+
+class TestBitfieldProperties:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=0, max_value=56),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_set_get_roundtrip(self, value, low, width_minus_one, field_value):
+        high = low + width_minus_one
+        field_value %= 1 << (width_minus_one + 1)
+        updated = bitfield.set_bits(value, low, high, field_value)
+        assert bitfield.get_bits(updated, low, high) == field_value
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_iter_set_bits_reconstructs(self, value):
+        rebuilt = 0
+        for index in bitfield.iter_set_bits(value):
+            rebuilt |= 1 << index
+        assert rebuilt == value
+
+    @given(st.integers(min_value=1, max_value=(1 << 64) - 1))
+    def test_lowest_set_bit_is_set_and_minimal(self, value):
+        index = bitfield.lowest_set_bit(value)
+        assert value >> index & 1
+        assert value & ((1 << index) - 1) == 0
+
+
+class TestUpidProperties:
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.booleans(),
+        st.booleans(),
+        st.sets(st.integers(min_value=0, max_value=63), max_size=8),
+    )
+    def test_field_independence(self, vector, ndst, on, sn, posted):
+        upid = UPID(SharedMemory(), 0x1000)
+        upid.set_notification_vector(vector)
+        upid.set_notification_destination(ndst)
+        upid.set_outstanding(on)
+        upid.set_suppressed(sn)
+        for user_vector in posted:
+            upid.post_vector(user_vector)
+        assert upid.notification_vector == vector
+        assert upid.notification_destination == ndst
+        assert upid.suppressed == sn
+        expected_pir = 0
+        for user_vector in posted:
+            expected_pir |= 1 << user_vector
+        assert upid.pir == expected_pir
+        assert upid.outstanding == (on or bool(posted))
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_running_stats_matches_direct(self, samples):
+        stats = RunningStats()
+        stats.extend(samples)
+        assert abs(stats.mean - sum(samples) / len(samples)) < 1e-6 * max(
+            1.0, abs(sum(samples))
+        )
+        assert stats.minimum == min(samples)
+        assert stats.maximum == max(samples)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=100))
+    def test_percentile_bounds(self, samples):
+        assert min(samples) <= percentile(samples, 50) <= max(samples)
+
+    @given(st.lists(st.floats(min_value=0, max_value=99), min_size=1, max_size=200))
+    def test_histogram_percentile_upper_bounds_nearest_rank(self, samples):
+        import math
+
+        hist = Histogram(bucket_width=1.0, num_buckets=100)
+        for sample in samples:
+            hist.add(sample)
+        # The bucket upper-edge estimate never undershoots the nearest-rank
+        # percentile (the sample the cumulative count lands on).
+        rank = max(1, math.ceil(0.9 * len(samples)))
+        nearest_rank_value = sorted(samples)[rank - 1]
+        assert hist.percentile(90) >= nearest_rank_value
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        params = CacheParams(size_bytes=4096, associativity=4, line_bytes=64)
+        cache = SetAssociativeCache(params)
+        for addr in addresses:
+            cache.lookup(addr)
+        total_lines = sum(len(s) for s in cache._sets)
+        assert total_lines <= params.size_bytes // params.line_bytes
+        for tags in cache._sets:
+            assert len(tags) <= params.associativity
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = SetAssociativeCache(CacheParams())
+        for addr in addresses:
+            cache.lookup(addr)
+            assert cache.lookup(addr) is True
+
+
+class TestLpmProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 32) - 1),
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=7),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=1, max_size=40),
+    )
+    @settings(max_examples=40)
+    def test_trie_matches_brute_force(self, routes, addresses):
+        table = LPMTable(default_next_hop=0)
+        for prefix, length, hop in routes:
+            host_bits = 32 - length
+            prefix &= ~((1 << host_bits) - 1) if host_bits else 0xFFFFFFFF
+            table.add_route(prefix, length, hop)
+        for addr in addresses:
+            assert table.lookup(addr) == table.lookup_brute_force(addr)
+
+
+class TestSkipListProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["put", "delete"]), st.integers(0, 50), st.integers(0, 99)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40)
+    def test_matches_dict_model(self, operations):
+        from repro.apps.rocksdb import SkipListStore
+
+        store = SkipListStore(seed=7)
+        model = {}
+        for op, key, value in operations:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                assert store.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(store) == len(model)
+        assert list(store.items()) == sorted(model.items())
+        for key in range(51):
+            assert store.get(key) == model.get(key)
+
+    @given(
+        st.sets(st.integers(0, 200), min_size=1, max_size=60),
+        st.integers(0, 200),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=40)
+    def test_scan_matches_sorted_slice(self, keys, start, count):
+        from repro.apps.rocksdb import SkipListStore
+
+        store = SkipListStore(seed=3)
+        for key in keys:
+            store.put(key, key * 2)
+        expected = [(k, k * 2) for k in sorted(k for k in keys if k >= start)][:count]
+        assert store.scan(start, count) == expected

@@ -1,0 +1,158 @@
+"""Software timers multiplexed on one hardware timer (§2, §4.3)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.notify.costs import CostModel
+from repro.notify.mechanisms import Mechanism
+from repro.runtime.timerwheel import SoftwareTimerService, TimerMode
+from repro.sim.simulator import Simulator
+
+
+def make_service(**kw):
+    sim = Simulator()
+    return sim, SoftwareTimerService(sim, **kw)
+
+
+class TestOneShotMode:
+    def test_fires_at_deadline(self):
+        sim, service = make_service()
+        fired = []
+        service.schedule(1000.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1000.0]
+
+    def test_many_timeouts_fire_in_order(self):
+        sim, service = make_service()
+        fired = []
+        for delay in (5000.0, 1000.0, 3000.0, 2000.0, 4000.0):
+            service.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == [1000.0, 2000.0, 3000.0, 4000.0, 5000.0]
+
+    def test_rearm_when_earlier_deadline_appears(self):
+        sim, service = make_service()
+        fired = []
+        service.schedule(10_000.0, lambda: fired.append("late"))
+        service.schedule(1000.0, lambda: fired.append("early"))
+        sim.run(until=2000.0)
+        assert fired == ["early"]
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_same_deadline_fifo(self):
+        sim, service = make_service()
+        fired = []
+        service.schedule(1000.0, lambda: fired.append("a"))
+        service.schedule(1000.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_coincident_deadlines_share_one_hardware_fire(self):
+        sim, service = make_service()
+        for _ in range(5):
+            service.schedule(1000.0, lambda: None)
+        sim.run()
+        assert service.timeouts_fired == 5
+        assert service.hardware_fires == 1
+
+    def test_cancellation(self):
+        sim, service = make_service()
+        fired = []
+        handle = service.schedule(1000.0, lambda: fired.append(1))
+        assert handle.cancel() is True
+        sim.run()
+        assert fired == []
+        assert handle.cancel() is False  # second cancel is a no-op
+
+    def test_cancel_after_fire_fails(self):
+        sim, service = make_service()
+        handle = service.schedule(100.0, lambda: None)
+        sim.run()
+        assert handle.cancel() is False
+
+    def test_pending_counts_live_only(self):
+        sim, service = make_service()
+        service.schedule(1000.0, lambda: None)
+        handle = service.schedule(2000.0, lambda: None)
+        handle.cancel()
+        assert service.pending() == 1
+
+    def test_timeout_scheduled_from_callback(self):
+        sim, service = make_service()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                service.schedule(500.0, chain)
+
+        service.schedule(500.0, chain)
+        sim.run()
+        assert fired == [500.0, 1000.0, 1500.0]
+
+    def test_negative_delay_rejected(self):
+        _, service = make_service()
+        with pytest.raises(ConfigError):
+            service.schedule(-1.0, lambda: None)
+
+
+class TestPeriodicMode:
+    def test_expiry_quantized_to_resolution(self):
+        sim, service = make_service(mode=TimerMode.PERIODIC, resolution=4000.0)
+        fired = []
+        service.schedule(1000.0, lambda: fired.append(sim.now))
+        sim.run(until=20_000.0)
+        assert fired == [4000.0]  # waited for the tick
+
+    def test_tick_rate_independent_of_timeout_count(self):
+        sim, service = make_service(mode=TimerMode.PERIODIC, resolution=4000.0)
+        for i in range(50):
+            service.schedule(100.0 * i, lambda: None)
+        sim.run(until=40_000.0)
+        assert service.hardware_fires == 10  # one per tick, not per timeout
+        assert service.timeouts_fired == 50
+
+
+class TestMechanismCosts:
+    def test_kb_timer_cheaper_than_os_timer(self):
+        def total_cost(mechanism):
+            sim, service = make_service(mechanism=mechanism)
+            for i in range(20):
+                service.schedule(1000.0 * (i + 1), lambda: None)
+            sim.run()
+            return service.account.total_busy()
+
+        kb = total_cost(Mechanism.XUI_KB_TIMER)
+        os_timer = total_cost(Mechanism.PERIODIC_POLL)
+        assert kb * 5 < os_timer
+
+    def test_os_timer_respects_resolution_floor(self):
+        _, service = make_service(
+            mechanism=Mechanism.PERIODIC_POLL, mode=TimerMode.PERIODIC, resolution=100.0
+        )
+        assert service.resolution >= CostModel().os_timer_min_period
+
+    def test_unsupported_mechanism_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            SoftwareTimerService(sim, mechanism=Mechanism.UIPI)
+
+    def test_kb_timer_precision_vs_os_floor(self):
+        """The §6.2.3-style precision gap: sub-2 µs deadlines are exact with
+        the KB timer, quantized by the OS interval timer."""
+        sim_kb = Simulator()
+        kb = SoftwareTimerService(sim_kb, mechanism=Mechanism.XUI_KB_TIMER)
+        fired_kb = []
+        kb.schedule(1000.0, lambda: fired_kb.append(sim_kb.now))
+        sim_kb.run()
+
+        sim_os = Simulator()
+        os_service = SoftwareTimerService(
+            sim_os, mechanism=Mechanism.PERIODIC_POLL, mode=TimerMode.PERIODIC, resolution=100.0
+        )
+        fired_os = []
+        os_service.schedule(1000.0, lambda: fired_os.append(sim_os.now))
+        sim_os.run(until=50_000.0)
+        assert fired_kb == [1000.0]
+        assert fired_os and fired_os[0] >= CostModel().os_timer_min_period

@@ -1,0 +1,44 @@
+"""User-level threads: work accounting and lifecycle."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.runtime.uthread import WORK_EPSILON, UThread
+
+
+class TestLifecycle:
+    def test_requires_positive_service(self):
+        with pytest.raises(ConfigError):
+            UThread(service_cycles=0)
+
+    def test_run_for_partial(self):
+        thread = UThread(service_cycles=100.0)
+        used = thread.run_for(30.0)
+        assert used == 30.0
+        assert thread.remaining == 70.0
+        assert not thread.finished
+
+    def test_run_for_overshoot_clamped(self):
+        thread = UThread(service_cycles=100.0)
+        used = thread.run_for(500.0)
+        assert used == 100.0
+        assert thread.finished
+
+    def test_epsilon_residue_counts_as_finished(self):
+        thread = UThread(service_cycles=100.0)
+        thread.run_for(100.0 - WORK_EPSILON / 2)
+        assert thread.finished  # sub-epsilon residue is rounding noise
+
+    def test_response_time(self):
+        thread = UThread(service_cycles=10.0, arrival_time=5.0)
+        thread.completion_time = 25.0
+        assert thread.response_time == 20.0
+
+    def test_response_time_before_completion_rejected(self):
+        with pytest.raises(ConfigError):
+            UThread(service_cycles=10.0).response_time
+
+    def test_unique_ids_and_names(self):
+        a, b = UThread(service_cycles=1.0), UThread(service_cycles=1.0)
+        assert a.uid != b.uid
+        assert a.name != b.name

@@ -1,0 +1,47 @@
+"""Work-stealing queues."""
+
+from repro.runtime.uthread import UThread
+from repro.runtime.workqueue import WorkQueue
+
+
+def thread(n):
+    return UThread(service_cycles=float(n))
+
+
+class TestQueueDiscipline:
+    def test_owner_pop_is_fifo(self):
+        queue = WorkQueue(0)
+        a, b = thread(1), thread(2)
+        queue.push(a)
+        queue.push(b)
+        assert queue.pop() is a
+        assert queue.pop() is b
+        assert queue.pop() is None
+
+    def test_push_front_for_preempted(self):
+        queue = WorkQueue(0)
+        a, b = thread(1), thread(2)
+        queue.push(a)
+        queue.push_front(b)
+        assert queue.pop() is b
+
+    def test_steal_takes_oldest(self):
+        queue = WorkQueue(0)
+        a, b = thread(1), thread(2)
+        queue.push(a)
+        queue.push(b)
+        assert queue.steal() is a
+        assert queue.steals_suffered == 1
+
+    def test_steal_empty_returns_none(self):
+        queue = WorkQueue(0)
+        assert queue.steal() is None
+        assert queue.steals_suffered == 0
+
+    def test_len(self):
+        queue = WorkQueue(0)
+        queue.push(thread(1))
+        queue.push(thread(2))
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1

@@ -1,0 +1,56 @@
+"""Per-core cycle accounting (free-cycle arithmetic of Figures 6/8/9)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.account import CycleAccount
+
+
+class TestCharging:
+    def test_charge_accumulates_by_category(self):
+        account = CycleAccount()
+        account.charge("net", 100.0)
+        account.charge("net", 50.0)
+        account.charge("poll", 25.0)
+        assert account.busy == {"net": 150.0, "poll": 25.0}
+
+    def test_total_busy(self):
+        account = CycleAccount()
+        account.charge("a", 10.0)
+        account.charge("b", 30.0)
+        assert account.total_busy() == 40.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ConfigError):
+            CycleAccount().charge("x", -1.0)
+
+
+class TestFractions:
+    def test_busy_and_free_complement(self):
+        account = CycleAccount()
+        account.charge("work", 400.0)
+        assert account.busy_fraction(1000.0) == pytest.approx(0.4)
+        assert account.free_fraction(1000.0) == pytest.approx(0.6)
+
+    def test_busy_fraction_clamped_at_one(self):
+        account = CycleAccount()
+        account.charge("work", 5000.0)
+        assert account.busy_fraction(1000.0) == 1.0
+        assert account.free_fraction(1000.0) == 0.0
+
+    def test_category_fraction(self):
+        account = CycleAccount()
+        account.charge("net", 200.0)
+        assert account.category_fraction("net", 1000.0) == pytest.approx(0.2)
+        assert account.category_fraction("absent", 1000.0) == 0.0
+
+    def test_zero_elapsed_rejected(self):
+        account = CycleAccount()
+        with pytest.raises(ConfigError):
+            account.busy_fraction(0.0)
+
+    def test_reset(self):
+        account = CycleAccount()
+        account.charge("x", 5.0)
+        account.reset()
+        assert account.total_busy() == 0.0

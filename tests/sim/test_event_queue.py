@@ -1,0 +1,69 @@
+"""Event calendar ordering and cancellation."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.event import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, "b")
+        queue.push(1.0, lambda: None, "a")
+        queue.push(3.0, lambda: None, "c")
+        assert [queue.pop().name for _ in range(3)] == ["a", "c", "b"]
+
+    def test_fifo_tie_break(self):
+        # Same-instant events fire in scheduling order: the UPID write must
+        # be visible before the IPI that announces it.
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, "first")
+        queue.push(2.0, lambda: None, "second")
+        assert queue.pop().name == "first"
+        assert queue.pop().name == "second"
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(9.0, lambda: None)
+        assert queue.peek_time() == 9.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, "dead")
+        queue.push(2.0, lambda: None, "live")
+        event.cancel()
+        assert queue.pop().name == "live"
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_bool_reflects_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        assert queue
+        event.cancel()
+        assert not queue
+
+    def test_peek_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 5.0

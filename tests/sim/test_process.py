@@ -1,0 +1,175 @@
+"""Generator-based processes: timeouts, signals, mailboxes, joins."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.process import Process, Signal, Timeout, Waiter
+from repro.sim.simulator import Simulator
+
+
+class TestTimeouts:
+    def test_timeout_resumes_after_delay(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield Timeout(25.0)
+            log.append(sim.now)
+
+        Process(sim, body(), "p")
+        sim.run()
+        assert log == [0.0, 25.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_multiple_timeouts_sequence(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            for _ in range(3):
+                yield Timeout(10.0)
+                log.append(sim.now)
+
+        Process(sim, body())
+        sim.run()
+        assert log == [10.0, 20.0, 30.0]
+
+
+class TestSignals:
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        signal = Signal(sim, "go")
+        woken = []
+
+        def waiter(name):
+            payload = yield signal
+            woken.append((name, payload, sim.now))
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+        sim.schedule(5.0, lambda: signal.fire("payload"))
+        sim.run()
+        assert sorted(woken) == [("a", "payload", 5.0), ("b", "payload", 5.0)]
+
+    def test_fire_with_no_waiters_is_lost(self):
+        sim = Simulator()
+        signal = Signal(sim, "go")
+        signal.fire()
+        woken = []
+
+        def waiter():
+            yield signal
+            woken.append(True)
+
+        Process(sim, waiter())
+        sim.run()
+        assert woken == []  # blocked: the earlier fire did not buffer
+
+    def test_fire_count(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        signal.fire()
+        signal.fire()
+        assert signal.fire_count == 2
+
+
+class TestWaiter:
+    def test_buffered_put_satisfies_later_get(self):
+        sim = Simulator()
+        box = Waiter(sim, "mail")
+        box.put("hello")
+        got = []
+
+        def consumer():
+            item = yield box
+            got.append(item)
+
+        Process(sim, consumer())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_blocking_get_woken_by_put(self):
+        sim = Simulator()
+        box = Waiter(sim)
+        got = []
+
+        def consumer():
+            item = yield box
+            got.append((item, sim.now))
+
+        Process(sim, consumer())
+        sim.schedule(12.0, lambda: box.put(42))
+        sim.run()
+        assert got == [(42, 12.0)]
+
+    def test_fifo_buffering(self):
+        sim = Simulator()
+        box = Waiter(sim)
+        box.put(1)
+        box.put(2)
+        assert box.try_get() == 1
+        assert box.try_get() == 2
+        assert box.try_get() is None
+
+    def test_second_consumer_rejected(self):
+        sim = Simulator()
+        box = Waiter(sim)
+
+        def consumer():
+            yield box
+
+        Process(sim, consumer())
+        Process(sim, consumer())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestJoin:
+    def test_join_receives_return_value(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            yield Timeout(10.0)
+            return "done"
+
+        def parent():
+            child = Process(sim, worker(), "child")
+            result = yield child
+            results.append((result, sim.now))
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [("done", 10.0)]
+
+    def test_join_on_finished_process(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            return 7
+            yield  # pragma: no cover
+
+        def parent():
+            child = Process(sim, worker())
+            yield Timeout(50.0)  # child finishes long before the join
+            result = yield child
+            results.append(result)
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [7]
+
+    def test_unsupported_condition_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield 42
+
+        Process(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,107 @@
+"""Simulator clock and main loop."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_callbacks_can_chain(self):
+        sim = Simulator()
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            if sim.now < 30:
+                sim.schedule(10.0, tick)
+
+        sim.schedule(10.0, tick)
+        sim.run()
+        assert times == [10.0, 20.0, 30.0]
+
+
+class TestRunBounds:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+        assert sim.pending() == 1
+
+    def test_run_until_advances_clock_when_drained(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=80.0)
+        assert sim.now == 80.0
+
+    def test_later_event_still_fires_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(True))
+        sim.run(until=50.0)
+        sim.run()
+        assert fired == [True]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+        assert sim.pending() == 2
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

@@ -1,0 +1,56 @@
+"""Trace recorder: filtering and interval reconstruction."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", core=0)
+        trace.record(2.0, "b")
+        trace.record(3.0, "a", core=1)
+        assert [e.time for e in trace.of_kind("a")] == [1.0, 3.0]
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "a")
+        assert trace.events == []
+
+    def test_detail_kwargs_stored(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "icr_write", core=3, vector=0xEC)
+        assert trace.events[0].detail == {"core": 3, "vector": 0xEC}
+
+    def test_first_and_last(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "x")
+        trace.record(5.0, "x")
+        assert trace.first("x").time == 1.0
+        assert trace.last("x").time == 5.0
+        assert trace.first("missing") is None
+        assert trace.last("missing") is None
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "x")
+        trace.clear()
+        assert trace.events == []
+
+
+class TestIntervals:
+    def test_interval_between_kinds(self):
+        trace = TraceRecorder()
+        trace.record(10.0, "send")
+        trace.record(390.0, "arrive")
+        assert trace.interval("send", "arrive") == 380.0
+
+    def test_interval_requires_end_after_start(self):
+        trace = TraceRecorder()
+        trace.record(100.0, "send")
+        trace.record(50.0, "arrive")  # earlier: not a valid end
+        assert trace.interval("send", "arrive") is None
+
+    def test_interval_missing_start(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "arrive")
+        assert trace.interval("send", "arrive") is None

@@ -1,0 +1,53 @@
+"""The ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _RUNNERS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_every_experiment_has_a_runner(self):
+        assert set(_RUNNERS) == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestQuickCommands:
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "interrupts_delivered" in out
+
+    def test_quickstart_tracked(self, capsys):
+        assert main(["quickstart", "--tracked"]) == 0
+        assert "tracked" in capsys.readouterr().out
+
+    def test_costs_defaults(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "senduipi" in out and "383" in out
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "send_to_interrupt" in capsys.readouterr().out
+
+    def test_experiment_fig6(self, capsys):
+        assert main(["experiment", "fig6"]) == 0
+        assert "setitimer" in capsys.readouterr().out
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "busy_spin" in out and "xui" in out

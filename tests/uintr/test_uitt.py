@@ -1,0 +1,52 @@
+"""UITT: the per-process send-permission table (§3.1)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.cache import SharedMemory
+from repro.uintr.uitt import UITT, UITT_ENTRY_BYTES, UITTEntry
+
+
+class TestEntries:
+    def test_entry_validates_vector(self):
+        with pytest.raises(ConfigError):
+            UITTEntry(upid_addr=0x1000, user_vector=64)
+
+    def test_append_and_read(self):
+        uitt = UITT(SharedMemory(), base_addr=0x4000)
+        index = uitt.append(0x1000, 5)
+        entry = uitt.read(index)
+        assert entry.upid_addr == 0x1000
+        assert entry.user_vector == 5
+
+    def test_indices_sequential(self):
+        uitt = UITT(SharedMemory(), base_addr=0x4000)
+        assert uitt.append(0x1000, 1) == 0
+        assert uitt.append(0x2000, 2) == 1
+        assert len(uitt) == 2
+
+    def test_memory_layout(self):
+        memory = SharedMemory()
+        uitt = UITT(memory, base_addr=0x4000)
+        uitt.append(0x1000, 1)
+        uitt.append(0x2000, 2)
+        assert memory.read(0x4000) == 0x1000
+        assert memory.read(0x4000 + 8) == 1
+        assert memory.read(0x4000 + UITT_ENTRY_BYTES) == 0x2000
+
+    def test_capacity_enforced(self):
+        uitt = UITT(SharedMemory(), base_addr=0x4000, capacity=2)
+        uitt.append(0x1000, 1)
+        uitt.append(0x2000, 2)
+        with pytest.raises(ConfigError):
+            uitt.append(0x3000, 3)
+
+    def test_read_unregistered_index_rejected(self):
+        uitt = UITT(SharedMemory(), base_addr=0x4000)
+        with pytest.raises(ConfigError):
+            uitt.read(0)
+
+    def test_entry_addr_bounds(self):
+        uitt = UITT(SharedMemory(), base_addr=0x4000, capacity=4)
+        with pytest.raises(ConfigError):
+            uitt.entry_addr(4)

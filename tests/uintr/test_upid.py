@@ -1,0 +1,91 @@
+"""UPID (Table 1): field packing and posting protocol."""
+
+import pytest
+
+from repro.cpu.cache import SharedMemory
+from repro.uintr.upid import UPID, UPID_BYTES
+
+
+@pytest.fixture
+def upid():
+    return UPID(SharedMemory(), addr=0x1000)
+
+
+class TestFields:
+    def test_initially_clear(self, upid):
+        assert not upid.outstanding
+        assert not upid.suppressed
+        assert upid.notification_vector == 0
+        assert upid.notification_destination == 0
+        assert upid.pir == 0
+
+    def test_on_bit(self, upid):
+        upid.set_outstanding(True)
+        assert upid.outstanding
+        upid.set_outstanding(False)
+        assert not upid.outstanding
+
+    def test_sn_bit_independent_of_on(self, upid):
+        upid.set_outstanding(True)
+        upid.set_suppressed(True)
+        assert upid.outstanding and upid.suppressed
+        upid.set_suppressed(False)
+        assert upid.outstanding
+
+    def test_notification_vector_bits_16_23(self, upid):
+        upid.set_notification_vector(0xEC)
+        assert upid.notification_vector == 0xEC
+        # Raw layout check against Table 1.
+        assert (upid.memory.read(0x1000) >> 16) & 0xFF == 0xEC
+
+    def test_ndst_bits_32_63(self, upid):
+        upid.set_notification_destination(27)
+        assert upid.notification_destination == 27
+        assert (upid.memory.read(0x1000) >> 32) == 27
+
+    def test_fields_do_not_clobber_each_other(self, upid):
+        upid.set_notification_vector(0xEC)
+        upid.set_notification_destination(5)
+        upid.set_outstanding(True)
+        upid.set_suppressed(True)
+        assert upid.notification_vector == 0xEC
+        assert upid.notification_destination == 5
+        assert upid.outstanding and upid.suppressed
+
+
+class TestPosting:
+    def test_post_vector_sets_pir_and_on(self, upid):
+        upid.post_vector(5)
+        assert upid.pir == 1 << 5
+        assert upid.outstanding
+
+    def test_post_multiple_vectors_accumulate(self, upid):
+        upid.post_vector(1)
+        upid.post_vector(9)
+        assert upid.pir == (1 << 1) | (1 << 9)
+
+    def test_post_rejects_wide_vector(self, upid):
+        with pytest.raises(ValueError):
+            upid.post_vector(64)
+
+    def test_take_pir_clears(self, upid):
+        upid.post_vector(3)
+        assert upid.take_pir() == 1 << 3
+        assert upid.pir == 0
+
+    def test_clear_resets_everything(self, upid):
+        upid.post_vector(3)
+        upid.set_suppressed(True)
+        upid.clear()
+        assert upid.pir == 0 and not upid.outstanding and not upid.suppressed
+
+    def test_pir_lives_in_second_word(self, upid):
+        upid.post_vector(0)
+        assert upid.memory.read(0x1000 + 8) == 1
+        assert UPID_BYTES == 16
+
+    def test_writer_core_recorded_for_coherence(self):
+        memory = SharedMemory()
+        upid = UPID(memory, 0x2000)
+        upid.post_vector(1, core_id=3)
+        assert memory.last_writer(0x2008) == 3

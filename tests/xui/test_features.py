@@ -1,0 +1,80 @@
+"""xUI feature façade: safepoint mode, timer arming, forwarding setup."""
+
+import pytest
+
+from tests.conftest import COUNTER_ADDR, build_spin_receiver, build_count_to
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.cpu.delivery import FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.xui import (
+    arm_oneshot_timer,
+    arm_periodic_timer,
+    disable_safepoint_mode,
+    enable_safepoint_mode,
+    setup_device_forwarding,
+)
+
+
+class TestSafepointMode:
+    def test_requires_tracking(self):
+        system = MultiCoreSystem([build_spin_receiver()], [FlushStrategy()])
+        with pytest.raises(ConfigError):
+            enable_safepoint_mode(system.cores[0])
+
+    def test_enable_disable(self):
+        system = MultiCoreSystem([build_spin_receiver()], [TrackedStrategy()])
+        core = system.cores[0]
+        enable_safepoint_mode(core)
+        assert core.uintr.safepoint_mode
+        disable_safepoint_mode(core)
+        assert not core.uintr.safepoint_mode
+
+
+class TestTimerHelpers:
+    def test_arm_periodic_delivers(self):
+        system = MultiCoreSystem([build_count_to(30_000)], [TrackedStrategy()])
+        arm_periodic_timer(system, 0, period_cycles=5000)
+        system.run(2_000_000, until_halted=[0])
+        assert system.cores[0].stats.interrupts_delivered >= 3
+
+    def test_arm_periodic_validates_period(self):
+        system = MultiCoreSystem([build_count_to(100)], [TrackedStrategy()])
+        with pytest.raises(ConfigError):
+            arm_periodic_timer(system, 0, period_cycles=0)
+
+    def test_arm_oneshot_delivers_once(self):
+        system = MultiCoreSystem([build_count_to(30_000)], [TrackedStrategy()])
+        arm_oneshot_timer(system, 0, deadline_cycle=4000)
+        system.run(2_000_000, until_halted=[0])
+        assert system.cores[0].stats.interrupts_delivered == 1
+
+    def test_arm_oneshot_past_deadline_rejected(self):
+        system = MultiCoreSystem([build_count_to(100)], [TrackedStrategy()])
+        system.run(50)
+        with pytest.raises(ProtocolError):
+            arm_oneshot_timer(system, 0, deadline_cycle=0)
+
+
+class TestForwardingHelper:
+    def test_device_interrupts_reach_handler(self):
+        system = MultiCoreSystem([build_spin_receiver()], [TrackedStrategy()])
+        setup_device_forwarding(system, 0, vector=40, user_vector=3)
+        for i in range(4):
+            system.raise_device_interrupt(0, 40, delay=1000 + 1500 * i)
+        system.run(20_000)
+        core = system.cores[0]
+        assert core.stats.interrupts_delivered == 4
+        assert system.shared.read(COUNTER_ADDR) == 4
+        assert system.apics[0].forwarded_fast == 4
+
+    def test_forwarded_device_cheaper_than_uipi(self):
+        """Forwarded interrupts skip notification processing (§4.5): no
+        UPID reads appear in the trace."""
+        system = MultiCoreSystem([build_spin_receiver()], [TrackedStrategy()], trace=True)
+        setup_device_forwarding(system, 0, vector=40, user_vector=3)
+        system.raise_device_interrupt(0, 40, delay=500)
+        system.run(10_000)
+        assert system.cores[0].stats.interrupts_delivered == 1
+        assert system.trace.first("notif_clear_on") is None  # no UPID path
+        assert system.trace.first("delivery_done") is not None

@@ -1,0 +1,149 @@
+"""The Skyloft UINV-overload trick (§7 "Hacking around UIPI limitations").
+
+Skyloft gets timer interrupts at user level on *unmodified* UIPI hardware:
+
+1. set UINV (the vector the core treats as a UIPI notification) to the
+   local APIC timer's vector, so timer interrupts enter the user path;
+2. set the SN bit in the thread's own UPID and ``senduipi`` to *itself* —
+   with SN set, the PIR bit is posted but no IPI is sent;
+3. when the APIC timer fires, notification processing finds the posted PIR
+   and delivers; the handler repeats the self-senduipi before returning.
+
+The paper lists the costs: the kernel loses its APIC timer, and all other
+user-interrupt use is disabled.  These tests reproduce the trick and its
+limitations on the cycle tier — the motivation for the KB timer (§4.3).
+"""
+
+import pytest
+
+from tests.conftest import COUNTER_ADDR
+
+from repro.cpu import isa
+from repro.cpu.delivery import FlushStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+from repro.uintr.upid import UPID
+
+APIC_TIMER_VECTOR = 0x20
+
+
+def skyloft_program(iterations=40_000):
+    """Work loop; the handler re-posts the self-UIPI before every uiret."""
+    builder = ProgramBuilder("skyloft")
+    builder.emit(isa.senduipi(0))  # initial self-post (SN set: PIR only)
+    builder.emit(isa.movi(1, 0))
+    builder.emit(isa.movi(2, iterations))
+    builder.label("loop")
+    builder.emit(isa.addi(1, 1, 1))
+    builder.emit(isa.blt(1, 2, "loop"))
+    builder.emit(isa.halt())
+    # Custom handler: count, re-arm the PIR via self-senduipi, return.
+    builder.label("handler")
+    builder.handler("handler")
+    builder.emit(isa.movi(12, COUNTER_ADDR))
+    builder.emit(isa.load(11, 12, 0))
+    builder.emit(isa.addi(11, 11, 1))
+    builder.emit(isa.store(11, 12, 0))
+    builder.emit(isa.senduipi(0))  # the per-interrupt re-post
+    builder.emit(isa.uiret())
+    return builder.build()
+
+
+def build_skyloft_system(iterations=40_000, period=6000):
+    system = MultiCoreSystem([skyloft_program(iterations)], [FlushStrategy()])
+    core = system.cores[0]
+    # Route the thread's senduipi index 0 at its *own* UPID.
+    upid_addr = system.register_handler(0)
+    system.register_sender(0, upid_addr, user_vector=1)
+    upid = UPID(system.shared, upid_addr)
+    # Step 1: overload UINV onto the APIC timer vector.
+    core.apic.uipi_notification_vector = APIC_TIMER_VECTOR
+    upid.set_notification_vector(APIC_TIMER_VECTOR)
+    # Step 2: SN so the self-senduipi posts without notifying.
+    upid.set_suppressed(True)
+    # Arm the kernel's APIC timer.
+    core.apic_timer.enabled = True
+    core.apic_timer.vector = APIC_TIMER_VECTOR
+    core.apic_timer.arm_periodic(period, now=0)
+    return system, upid
+
+
+class TestSkyloftTrick:
+    def test_timer_interrupts_reach_user_handler(self):
+        system, _ = build_skyloft_system()
+        system.run(3_000_000, until_halted=[0])
+        core = system.cores[0]
+        assert core.halted
+        expected = system.cycle // 6000
+        assert core.stats.interrupts_delivered >= expected - 2
+        assert system.shared.read(COUNTER_ADDR) == core.stats.interrupts_delivered
+
+    def test_without_self_post_the_first_tick_is_lost(self):
+        """Limitation: the PIR must be pre-posted; a timer tick that finds
+        an empty PIR delivers a spurious vector-less interrupt."""
+        builder = ProgramBuilder("no_post")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 20_000))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+        system = MultiCoreSystem([builder.build()], [FlushStrategy()])
+        core = system.cores[0]
+        upid_addr = system.register_handler(0)
+        upid = UPID(system.shared, upid_addr)
+        core.apic.uipi_notification_vector = APIC_TIMER_VECTOR
+        upid.set_notification_vector(APIC_TIMER_VECTOR)
+        upid.set_suppressed(True)
+        core.apic_timer.enabled = True
+        core.apic_timer.vector = APIC_TIMER_VECTOR
+        core.apic_timer.arm_periodic(6000, now=0)
+        system.run(2_000_000, until_halted=[0])
+        # Interrupts still fire (the handler runs) but the UIRR never held
+        # a posted vector — the discriminating information is lost.
+        assert core.uintr.uirr == 0
+
+    def test_normal_apic_timer_goes_to_kernel(self):
+        """Without the trick, APIC-timer ticks are kernel interrupts: the
+        user handler never runs (this is the limitation xUI lifts)."""
+        builder = ProgramBuilder("plain")
+        builder.emit(isa.movi(1, 0))
+        builder.emit(isa.movi(2, 20_000))
+        builder.label("loop")
+        builder.emit(isa.addi(1, 1, 1))
+        builder.emit(isa.blt(1, 2, "loop"))
+        builder.emit(isa.halt())
+        builder.emit_default_handler(counter_addr=COUNTER_ADDR)
+        system = MultiCoreSystem([builder.build()], [FlushStrategy()])
+        core = system.cores[0]
+        system.register_handler(0)
+        core.apic_timer.enabled = True
+        core.apic_timer.vector = APIC_TIMER_VECTOR  # UINV untouched (0xEC)
+        core.apic_timer.arm_periodic(5000, now=0)
+        system.run(2_000_000, until_halted=[0])
+        assert core.stats.interrupts_delivered == 0
+        assert len(core.apic.kernel_queue) > 0
+
+    def test_trick_disables_other_uipis(self):
+        """Limitation: with SN permanently set, a remote sender's UIPIs are
+        posted but never notified — regular user IPIs stop working."""
+        system, upid = build_skyloft_system(iterations=30_000)
+        # A second core tries to send a normal UIPI at the Skyloft thread.
+        sender = ProgramBuilder("remote")
+        sender.emit(isa.senduipi(0))
+        sender.emit(isa.halt())
+        system2 = MultiCoreSystem(
+            [skyloft_program(30_000), sender.build()], [FlushStrategy(), FlushStrategy()]
+        )
+        core = system2.cores[0]
+        upid_addr = system2.register_handler(0)
+        system2.register_sender(0, upid_addr, user_vector=1)  # self route
+        system2.register_sender(1, upid_addr, user_vector=2)  # remote route
+        upid2 = UPID(system2.shared, upid_addr)
+        core.apic.uipi_notification_vector = APIC_TIMER_VECTOR
+        upid2.set_notification_vector(APIC_TIMER_VECTOR)
+        upid2.set_suppressed(True)
+        system2.run(400_000, until_halted=[0, 1])
+        # The remote vector was posted into the PIR but no IPI was sent.
+        assert system2.apics[0].accepted == 0
