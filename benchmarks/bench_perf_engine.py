@@ -1,0 +1,63 @@
+"""Perf-engine benchmark: serial vs. parallel, cold vs. warm cache.
+
+Times a reduced Figure 4 grid through every execution mode of the perf
+subsystem and asserts the accelerated modes reproduce the serial/uncached
+table exactly.  Speedup floors: warm cache must beat serial by >= 5x on any
+machine (a hit skips simulation entirely); the parallel-cold >= 2x floor is
+asserted only when the host actually has multiple CPUs to fan out over.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+from repro.apps import microbench as mb
+from repro.experiments.fig4_overheads import run_fig4
+from repro.perf.selftest import SELFTEST_INTERVAL, SELFTEST_ITERATIONS, _env
+from repro.perf.cache import ENV_CACHE_DIR, ENV_CACHE_ENABLED
+
+
+def _reduced_grid(jobs: int):
+    benchmarks = {
+        "count_loop": partial(mb.make_count_loop, SELFTEST_ITERATIONS),
+        "fib": partial(mb.make_fib, n=14),
+    }
+    return run_fig4(interval=SELFTEST_INTERVAL, benchmarks=benchmarks, jobs=jobs)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_perf_engine_modes(benchmark, tmp_path):
+    with _env(**{ENV_CACHE_ENABLED: "0"}):
+        serial, t_serial = _timed(lambda: _reduced_grid(jobs=1))
+        parallel, t_parallel = _timed(lambda: _reduced_grid(jobs=4))
+    with _env(**{ENV_CACHE_ENABLED: "1", ENV_CACHE_DIR: str(tmp_path / "cache")}):
+        cold, t_cold = _timed(lambda: _reduced_grid(jobs=1))
+        # The benchmarked quantity is the warm-cache replay.
+        warm = benchmark.pedantic(_reduced_grid, args=(1,), rounds=1, iterations=1)
+        _, t_warm = _timed(lambda: _reduced_grid(jobs=1))
+
+    assert parallel == serial, "parallel table differs from serial"
+    assert cold == serial, "cold-cache table differs from serial"
+    assert warm == serial, "warm-cache table differs from serial"
+
+    warm_speedup = t_serial / max(t_warm, 1e-9)
+    parallel_speedup = t_serial / max(t_parallel, 1e-9)
+    print(
+        f"\nserial {t_serial:.2f}s | parallel(j4) {t_parallel:.2f}s "
+        f"({parallel_speedup:.1f}x) | cold cache {t_cold:.2f}s | "
+        f"warm cache {t_warm:.3f}s ({warm_speedup:.0f}x)"
+    )
+    assert warm_speedup >= 5.0, f"warm cache only {warm_speedup:.1f}x over serial"
+    # The >= 2x floor needs real cores to fan out over; on fewer the run
+    # still verifies equality and records the (non-)speedup above.
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_speedup >= 2.0, (
+            f"parallel cold only {parallel_speedup:.1f}x over serial"
+        )

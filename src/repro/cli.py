@@ -5,17 +5,23 @@ Usage::
     python -m repro list
     python -m repro quickstart [--tracked]
     python -m repro costs [--from-cycle-model]
-    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full]
+    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full] [--jobs N]
+    python -m repro perf-selftest [--jobs N]
 
 ``--full`` runs closer to benchmark scale; the default is a quick variant
-(seconds to a couple of minutes per experiment).
+(seconds to a couple of minutes per experiment).  ``--jobs N`` fans
+independent sweep points over N worker processes (0 = one per CPU); results
+are bit-identical to the serial path.  Cycle-tier outcomes are memoized in a
+persistent cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=0``), and
+``perf-selftest`` verifies both properties at reduced scale.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from functools import partial
+from typing import Callable, Dict, Optional
 
 from repro.analysis.tables import format_paper_comparison, format_series, format_table
 
@@ -69,13 +75,13 @@ def _cmd_costs(args) -> int:
     return 0
 
 
-def _run_table2(full: bool) -> None:
+def _run_table2(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.characterize import run_table2
 
     print(format_paper_comparison(run_table2(quick=not full), title=EXPERIMENTS["table2"]))
 
 
-def _run_fig2(full: bool) -> None:
+def _run_fig2(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.characterize import run_fig2_timeline
 
     timeline = run_fig2_timeline()
@@ -88,16 +94,16 @@ def _run_fig2(full: bool) -> None:
     )
 
 
-def _run_fig4(full: bool) -> None:
+def _run_fig4(full: bool, jobs: Optional[int] = None) -> None:
     from repro.apps import microbench as mb
     from repro.experiments.fig4_overheads import CONFIGURATIONS, run_fig4
 
     benchmarks = (
         None
         if full
-        else {"count_loop": lambda: mb.make_count_loop(14_000)}
+        else {"count_loop": partial(mb.make_count_loop, 14_000)}
     )
-    results = run_fig4(benchmarks=benchmarks)
+    results = run_fig4(benchmarks=benchmarks, jobs=jobs)
     rows = [
         [bench, configuration, cells[configuration]["per_event_cycles"], cells[configuration]["overhead_percent"]]
         for bench, cells in results.items()
@@ -112,20 +118,16 @@ def _run_fig4(full: bool) -> None:
     )
 
 
-def _run_fig5(full: bool) -> None:
+def _run_fig5(full: bool, jobs: Optional[int] = None) -> None:
     from repro.apps import microbench as mb
     from repro.experiments.fig5_safepoints import run_fig5
 
     programs = (
         None
         if full
-        else {
-            "base64": lambda instrument=None: mb.make_base64(
-                iterations=2500, instrument=instrument
-            )
-        }
+        else {"base64": partial(mb.make_base64, iterations=2500)}
     )
-    results = run_fig5(quanta=[10_000] if not full else None, programs=programs)
+    results = run_fig5(quanta=[10_000] if not full else None, programs=programs, jobs=jobs)
     rows = [
         [program, mechanism, quantum, overhead]
         for program, mechanisms in results.items()
@@ -141,11 +143,11 @@ def _run_fig5(full: bool) -> None:
     )
 
 
-def _run_fig6(full: bool) -> None:
+def _run_fig6(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.fig6_timer_cost import run_fig6
 
     results = run_fig6(
-        core_counts=[1, 8, 22], intervals=[10_000.0, 2_000_000.0]
+        core_counts=[1, 8, 22], intervals=[10_000.0, 2_000_000.0], jobs=jobs
     )
     for interface, by_interval in results.items():
         print(
@@ -159,7 +161,7 @@ def _run_fig6(full: bool) -> None:
         print()
 
 
-def _run_fig7(full: bool) -> None:
+def _run_fig7(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.fig7_rocksdb import run_fig7
 
     loads = [20_000, 100_000, 200_000] if not full else None
@@ -178,13 +180,14 @@ def _run_fig7(full: bool) -> None:
     )
 
 
-def _run_fig8(full: bool) -> None:
+def _run_fig8(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.fig8_l3fwd import run_fig8
 
     results = run_fig8(
         nic_counts=[1, 4] if not full else None,
         load_fractions=[0.0, 0.4] if not full else None,
         duration_seconds=0.01,
+        jobs=jobs,
     )
     rows = [
         [mechanism, nics, point.offered_load, point.free_fraction, point.p95_latency_us]
@@ -202,7 +205,7 @@ def _run_fig8(full: bool) -> None:
     )
 
 
-def _run_fig9(full: bool) -> None:
+def _run_fig9(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.fig9_dsa import run_fig9
 
     results = run_fig9(
@@ -225,10 +228,12 @@ def _run_fig9(full: bool) -> None:
     )
 
 
-def _run_sec35(full: bool) -> None:
+def _run_sec35(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.characterize import run_flush_vs_drain, run_flushed_uops_linearity
 
-    latency = run_flush_vs_drain(footprints_kb=[16, 256], samples=3 if not full else 6)
+    latency = run_flush_vs_drain(
+        footprints_kb=[16, 256], samples=3 if not full else 6, jobs=jobs
+    )
     print(
         format_series(
             latency, x_label="footprint KB", y_label="latency cy", title="§3.5 exp 1"
@@ -245,10 +250,10 @@ def _run_sec35(full: bool) -> None:
     )
 
 
-def _run_sec61(full: bool) -> None:
+def _run_sec61(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.characterize import run_max_latency
 
-    results = run_max_latency(chain_lengths=[10, 50])
+    results = run_max_latency(chain_lengths=[10, 50], jobs=jobs)
     print(
         format_series(
             results, x_label="chain length", y_label="worst-case cy", title=EXPERIMENTS["sec61"]
@@ -256,13 +261,13 @@ def _run_sec61(full: bool) -> None:
     )
 
 
-def _run_sec2(full: bool) -> None:
+def _run_sec2(full: bool, jobs: Optional[int] = None) -> None:
     from repro.experiments.sec2_costs import run_mechanism_costs
 
     print(format_paper_comparison(run_mechanism_costs(quick=not full), title=EXPERIMENTS["sec2"]))
 
 
-_RUNNERS: Dict[str, Callable[[bool], None]] = {
+_RUNNERS: Dict[str, Callable[..., None]] = {
     "table2": _run_table2,
     "fig2": _run_fig2,
     "fig4": _run_fig4,
@@ -278,12 +283,34 @@ _RUNNERS: Dict[str, Callable[[bool], None]] = {
 
 
 def _cmd_experiment(args) -> int:
+    from repro.common.errors import ConfigError
+
     runner = _RUNNERS.get(args.name)
     if runner is None:
         print(f"unknown experiment {args.name!r}; try: python -m repro list", file=sys.stderr)
         return 2
-    runner(args.full)
+    try:
+        runner(args.full, jobs=args.jobs)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
+
+
+def _cmd_perf_selftest(args) -> int:
+    from repro.common.errors import ConfigError
+    from repro.perf.selftest import run_selftest
+
+    try:
+        result = run_selftest(jobs=args.jobs if args.jobs is not None else 2, report=print)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result["ok"]:
+        print("perf-selftest: OK")
+        return 0
+    print("perf-selftest: FAILED", file=sys.stderr)
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -310,7 +337,27 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", help="experiment id (see: python -m repro list)")
     experiment.add_argument("--full", action="store_true", help="benchmark-scale run")
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan sweep points over N worker processes (0 = one per CPU)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
+
+    selftest = sub.add_parser(
+        "perf-selftest",
+        help="verify parallel/cached runs match the serial path (reduced scale)",
+    )
+    selftest.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel phase (default 2)",
+    )
+    selftest.set_defaults(func=_cmd_perf_selftest)
     return parser
 
 

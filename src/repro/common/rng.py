@@ -9,9 +9,23 @@ semantics, keyed by name, so runs are reproducible end to end.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict
 
 import numpy as np
+
+
+def derive_seed(root_seed: int, *parts: object) -> int:
+    """Derive a per-point child seed from ``root_seed`` and identity parts.
+
+    Sweep points that run in worker processes each construct their own
+    :class:`RngStreams` from a derived seed, so serial and parallel execution
+    of the same sweep draw identical variates regardless of point order.
+    The derivation hashes the textual identity of the parts, so it is stable
+    across processes and sessions (unlike ``hash()``).
+    """
+    text = repr((int(root_seed),) + parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(text).digest()[:8], "little") % (2**63)
 
 
 class RngStreams:

@@ -108,6 +108,13 @@ class SharedMemory:
         for observer in self._write_observers:
             observer(core_id, addr)
 
+    def snapshot_words(self) -> Tuple[Tuple[int, int], ...]:
+        """The current memory image as sorted (addr, value) pairs.
+
+        Used by the result cache to fold a workload's initial memory image
+        into its content hash."""
+        return tuple(sorted(self._words.items()))
+
     def add_write_observer(self, observer) -> None:
         """Register ``observer(core_id, addr)`` called on every write."""
         self._write_observers.append(observer)

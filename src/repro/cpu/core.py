@@ -193,11 +193,12 @@ class Core:
 
     def _commit_stage(self) -> None:
         budget = self.params.retire_width
-        while budget > 0 and self.rob:
-            head = self.rob[0]
+        rob = self.rob
+        while budget > 0 and rob:
+            head = rob[0]
             if head.state != ST_DONE:
                 break
-            self.rob.popleft()
+            rob.popleft()
             budget -= 1
             self._commit_uop(head)
             if self.halted:
@@ -307,8 +308,11 @@ class Core:
     # ------------------------------------------------------------------
 
     def _complete_stage(self) -> None:
-        while self.exec_heap and self.exec_heap[0][0] <= self.cycle:
-            _, _, uop = heapq.heappop(self.exec_heap)
+        exec_heap = self.exec_heap
+        cycle = self.cycle
+        heappop = heapq.heappop
+        while exec_heap and exec_heap[0][0] <= cycle:
+            _, _, uop = heappop(exec_heap)
             if uop.squashed:
                 continue
             uop.state = ST_DONE
@@ -319,7 +323,7 @@ class Core:
                     continue
                 dependent.wait_count -= 1
                 if dependent.wait_count == 0:
-                    self._mark_ready(dependent, max(self.cycle, dependent.frontend_ready))
+                    self._mark_ready(dependent, max(cycle, dependent.frontend_ready))
             if uop.is_branch:
                 self._resolve_branch(uop)
             elif uop.op is Op.UIRET:
@@ -469,8 +473,10 @@ class Core:
             return
         budget = self.params.issue_width
         deferred: List[Tuple[int, int, UOp]] = []
-        while budget > 0 and self.ready_heap and self.ready_heap[0][0] <= self.cycle:
-            _, seq, uop = heapq.heappop(self.ready_heap)
+        ready_heap = self.ready_heap
+        cycle = self.cycle
+        while budget > 0 and ready_heap and ready_heap[0][0] <= cycle:
+            _, seq, uop = heapq.heappop(ready_heap)
             if uop.squashed or uop.state != ST_READY:
                 continue
             if uop.is_serializing and (not self.rob or self.rob[0] is not uop):

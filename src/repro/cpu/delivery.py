@@ -39,6 +39,14 @@ class DeliveryStrategy:
     def attach(self, core: "Core") -> None:
         self.core = core
 
+    def cache_fingerprint(self) -> tuple:
+        """Stable identity for result-cache keys (see ``repro.perf.cache``).
+
+        Subclasses with behaviour-affecting parameters must extend this
+        tuple, or distinct configurations would collide on one cache entry.
+        """
+        return (type(self).__qualname__, self.name)
+
     # -- hooks -----------------------------------------------------------
     def on_cycle(self) -> None:
         """Called at the top of every core cycle."""
@@ -108,6 +116,9 @@ class DrainStrategy(DeliveryStrategy):
         super().__init__()
         self.extra_pad = extra_pad
         self._pending: Optional[PendingInterrupt] = None
+
+    def cache_fingerprint(self) -> tuple:
+        return super().cache_fingerprint() + (self.extra_pad,)
 
     def on_cycle(self) -> None:
         core = self.core

@@ -31,7 +31,7 @@ from repro.cpu.config import TimingParams
 from repro.cpu.isa import Op, RegNames
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MicroOp:
     """One MSROM micro-op.
 

@@ -119,13 +119,27 @@ class MultiCoreSystem:
         """Step up to ``max_cycles``; stop early when the given cores halt.
 
         Returns the number of cycles stepped.
+
+        This is the cycle tier's hottest loop; :meth:`step` is inlined and
+        the per-cycle lookups hoisted.  ``self.cycle`` stays current while
+        timeline callbacks run (they schedule relative to it).
         """
-        watch = list(until_halted) if until_halted is not None else None
+        watch = (
+            [self.cores[i] for i in until_halted] if until_halted is not None else None
+        )
         start = self.cycle
+        cores = self.cores
+        timeline = self._timeline
+        heappop = heapq.heappop
         for _ in range(max_cycles):
-            if watch is not None and all(self.cores[i].halted for i in watch):
+            if watch is not None and all(core.halted for core in watch):
                 break
-            self.step()
+            cycle = self.cycle
+            while timeline and timeline[0][0] <= cycle:
+                heappop(timeline)[2]()
+            for core in cores:
+                core.step(cycle)
+            self.cycle = cycle + 1
         return self.cycle - start
 
     # ------------------------------------------------------------------

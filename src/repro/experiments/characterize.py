@@ -7,6 +7,8 @@ paper's measured values as the calibration targets.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional
 
 from repro.common.errors import SimulationError
@@ -17,7 +19,17 @@ from repro.cpu.delivery import DrainStrategy, FlushStrategy, TrackedStrategy
 from repro.cpu.multicore import MultiCoreSystem
 from repro.cpu.program import ProgramBuilder
 from repro.experiments import cycletier
+from repro.perf import SweepRunner
+from repro.perf.cache import default_cache
 from repro.uintr.upid import UPID
+
+#: Strategy constructors for sweep points, resolved by label so points stay
+#: picklable plain data.
+STRATEGY_FACTORIES = {
+    "flush": FlushStrategy,
+    "drain": partial(DrainStrategy, extra_pad=0),
+    "tracked": TrackedStrategy,
+}
 
 #: Paper values these measurements are calibrated against.
 PAPER_TABLE2 = {
@@ -41,9 +53,14 @@ def _unit_cost_loop(instruction_factory, count: int) -> float:
         builder.emit(instruction_factory())
     builder.emit(isa.halt())
     program = builder.build()
-    system = MultiCoreSystem([program], [FlushStrategy()])
-    system.run(cycletier.MAX_CYCLES, until_halted=[0])
-    return system.cycle / count
+
+    def live() -> Dict[str, int]:
+        system = MultiCoreSystem([program], [FlushStrategy()])
+        system.run(cycletier.MAX_CYCLES, until_halted=[0])
+        return {"cycles": system.cycle}
+
+    payload = {"kind": "unit_cost_loop", "program": program, "count": count}
+    return default_cache().memoize(payload, live)["cycles"] / count
 
 
 def measure_senduipi_cost(count: int = 50) -> float:
@@ -58,14 +75,25 @@ def measure_senduipi_cost(count: int = 50) -> float:
     receiver.emit(isa.addi(1, 1, 1))
     receiver.emit(isa.jmp("loop"))
     receiver.emit_default_handler()
-    system = MultiCoreSystem(
-        [sender.build(), receiver.build()], [FlushStrategy(), FlushStrategy()]
-    )
-    upid_addr = system.register_handler(1)
-    system.register_sender(0, upid_addr, 1)
-    UPID(system.shared, upid_addr).set_suppressed(True)
-    system.run(cycletier.MAX_CYCLES, until_halted=[0])
-    return system.cycle / count
+    sender_program = sender.build()
+    receiver_program = receiver.build()
+
+    def live() -> Dict[str, int]:
+        system = MultiCoreSystem(
+            [sender_program, receiver_program], [FlushStrategy(), FlushStrategy()]
+        )
+        upid_addr = system.register_handler(1)
+        system.register_sender(0, upid_addr, 1)
+        UPID(system.shared, upid_addr).set_suppressed(True)
+        system.run(cycletier.MAX_CYCLES, until_halted=[0])
+        return {"cycles": system.cycle}
+
+    payload = {
+        "kind": "senduipi_cost",
+        "programs": [sender_program, receiver_program],
+        "count": count,
+    }
+    return default_cache().memoize(payload, live)["cycles"] / count
 
 
 def measure_end_to_end_latency(samples: int = 10, gap: int = 4000) -> float:
@@ -84,30 +112,36 @@ def measure_end_to_end_latency(samples: int = 10, gap: int = 4000) -> float:
     receiver.emit(isa.addi(1, 1, 1))
     receiver.emit(isa.jmp("loop"))
     receiver.emit_default_handler()
-    system = MultiCoreSystem(
-        [sender.build(), receiver.build()],
-        [FlushStrategy(), FlushStrategy()],
-        trace=True,
-    )
-    system.connect_uipi(0, 1, user_vector=1)
-    system.run(cycletier.MAX_CYCLES, until_halted=[0])
-    system.run(8000)
-    sends = [e.time for e in system.trace.events if e.kind == "senduipi_start" and e.detail.get("core") == 0]
-    entries = [e.time for e in system.trace.events if e.kind == "handler_fetch" and e.detail.get("core") == 1]
-    if not sends or not entries:
-        raise SimulationError("end-to-end measurement saw no deliveries")
-    latencies = []
-    entry_iter = iter(entries)
-    entry = next(entry_iter, None)
-    for send in sends:
-        while entry is not None and entry < send:
-            entry = next(entry_iter, None)
-        if entry is None:
-            break
-        latencies.append(entry - send)
-    if not latencies:
-        raise SimulationError("could not pair sends with handler entries")
-    return sum(latencies) / len(latencies)
+    sender_program = sender.build()
+    receiver_program = receiver.build()
+
+    def live() -> Dict[str, float]:
+        # The measurement needs the live trace, but the *derived* latency is
+        # deterministic, so the scalar itself is cacheable.
+        system = MultiCoreSystem(
+            [sender_program, receiver_program],
+            [FlushStrategy(), FlushStrategy()],
+            trace=True,
+        )
+        system.connect_uipi(0, 1, user_vector=1)
+        system.run(cycletier.MAX_CYCLES, until_halted=[0])
+        system.run(8000)
+        sends = [e.time for e in system.trace.events if e.kind == "senduipi_start" and e.detail.get("core") == 0]
+        entries = [e.time for e in system.trace.events if e.kind == "handler_fetch" and e.detail.get("core") == 1]
+        if not sends or not entries:
+            raise SimulationError("end-to-end measurement saw no deliveries")
+        latencies = _pair_latencies(sends, entries)
+        if not latencies:
+            raise SimulationError("could not pair sends with handler entries")
+        return {"latency": sum(latencies) / len(latencies)}
+
+    payload = {
+        "kind": "e2e_latency",
+        "programs": [sender_program, receiver_program],
+        "samples": samples,
+        "gap": gap,
+    }
+    return default_cache().memoize(payload, live)["latency"]
 
 
 def measure_interrupt_costs(quick: bool = True) -> Dict[str, float]:
@@ -224,10 +258,60 @@ def run_fig2_timeline() -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _FlushDrainPoint:
+    """One picklable (strategy label, footprint) point of the §3.5 sweep."""
+
+    label: str
+    footprint_kb: int
+    samples: int
+    interval: int
+
+
+def _run_flush_drain_point(point: _FlushDrainPoint) -> float:
+    num_nodes = point.footprint_kb * 1024 // 64
+    # Size the run generously: large footprints run at DRAM speed.
+    workload = mb.make_pointer_chase(
+        num_nodes=num_nodes,
+        stride=64,
+        iterations=max(2000, point.samples * point.interval // 12),
+    )
+
+    def live() -> Dict[str, float]:
+        run = cycletier.run_with_uipi_timer(
+            workload,
+            STRATEGY_FACTORIES[point.label](),
+            interval=point.interval,
+            trace=True,
+            expected_cycles=point.samples * point.interval + 20_000,
+        )
+        trace = run.system.trace
+        arrivals = [e.time for e in trace.events if e.kind == "ipi_arrival"]
+        handlers = [
+            e.time
+            for e in trace.events
+            if e.kind == "handler_fetch" and e.detail.get("core") == 0
+        ]
+        latencies = _pair_latencies(arrivals, handlers)
+        if latencies:
+            return {"latency": sum(latencies) / len(latencies)}
+        return {"latency": float("nan")}
+
+    payload = {
+        "kind": "flush_vs_drain",
+        "program": workload.program,
+        "memory": cycletier.memory_image(workload),
+        "strategy": STRATEGY_FACTORIES[point.label](),
+        "schedule": {"interval": point.interval, "samples": point.samples},
+    }
+    return default_cache().memoize(payload, live)["latency"]
+
+
 def run_flush_vs_drain(
     footprints_kb: Optional[List[int]] = None,
     samples: int = 6,
     interval: int = 6000,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Experiment 1 of §3.5: e2e latency vs. pointer-chase footprint.
 
@@ -236,33 +320,15 @@ def run_flush_vs_drain(
     Returns mean delivery latencies keyed by strategy then footprint (KB).
     """
     footprints_kb = footprints_kb or [16, 64, 256, 1024]
+    points = [
+        _FlushDrainPoint(label, footprint, samples, interval)
+        for label in ("flush", "drain")
+        for footprint in footprints_kb
+    ]
+    latencies = SweepRunner(jobs).map(_run_flush_drain_point, points)
     results: Dict[str, Dict[int, float]] = {"flush": {}, "drain": {}}
-    for label, factory in (("flush", FlushStrategy), ("drain", lambda: DrainStrategy(extra_pad=0))):
-        for footprint in footprints_kb:
-            num_nodes = footprint * 1024 // 64
-            # Size the run generously: large footprints run at DRAM speed.
-            workload = mb.make_pointer_chase(
-                num_nodes=num_nodes, stride=64, iterations=max(2000, samples * interval // 12)
-            )
-            run = cycletier.run_with_uipi_timer(
-                workload,
-                factory(),
-                interval=interval,
-                trace=True,
-                expected_cycles=samples * interval + 20_000,
-            )
-            trace = run.system.trace
-            arrivals = [e.time for e in trace.events if e.kind == "ipi_arrival"]
-            handlers = [
-                e.time
-                for e in trace.events
-                if e.kind == "handler_fetch" and e.detail.get("core") == 0
-            ]
-            latencies = _pair_latencies(arrivals, handlers)
-            if latencies:
-                results[label][footprint] = sum(latencies) / len(latencies)
-            else:
-                results[label][footprint] = float("nan")
+    for point, latency in zip(points, latencies):
+        results[point.label][point.footprint_kb] = latency
     return results
 
 
@@ -279,18 +345,29 @@ def run_flushed_uops_linearity(
         iterations = int(count * interval * 1.5) + 4000
         workload = mb.make_count_loop(iterations)
         base = cycletier.run_baseline(workload)
-        base_squashed = base.system.cores[0].stats.squashed_uops
+        base_squashed = base.stats.squashed_uops
         sender = mb.make_uipi_timer_core(interval, count)
-        system = MultiCoreSystem(
-            [mb.make_count_loop(iterations).program, sender.program],
-            [FlushStrategy(), FlushStrategy()],
-        )
-        system.connect_uipi(1, 0, user_vector=1)
-        system.run(cycletier.MAX_CYCLES, until_halted=[0])
-        core = system.cores[0]
-        results[core.stats.interrupts_delivered] = (
-            core.stats.squashed_uops - base_squashed
-        )
+
+        def live() -> Dict[str, int]:
+            system = MultiCoreSystem(
+                [mb.make_count_loop(iterations).program, sender.program],
+                [FlushStrategy(), FlushStrategy()],
+            )
+            system.connect_uipi(1, 0, user_vector=1)
+            system.run(cycletier.MAX_CYCLES, until_halted=[0])
+            core = system.cores[0]
+            return {
+                "interrupts": core.stats.interrupts_delivered,
+                "squashed": core.stats.squashed_uops,
+            }
+
+        payload = {
+            "kind": "flushed_uops_linearity",
+            "programs": [workload.program, sender.program],
+            "schedule": {"interval": interval, "count": count},
+        }
+        loaded = default_cache().memoize(payload, live)
+        results[loaded["interrupts"]] = loaded["squashed"] - base_squashed
     return results
 
 
@@ -299,39 +376,70 @@ def run_flushed_uops_linearity(
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _MaxLatencyPoint:
+    """One picklable (strategy label, chain length) point of the §6.1 sweep."""
+
+    label: str
+    chain_length: int
+    interval: int
+
+
+def _run_max_latency_point(point: _MaxLatencyPoint) -> float:
+    workload = mb.make_sp_dependence_chain(
+        chain_length=point.chain_length, iterations=40, stride=4096
+    )
+
+    def live() -> Dict[str, float]:
+        run = cycletier.run_with_uipi_timer(
+            workload,
+            STRATEGY_FACTORIES[point.label](),
+            interval=point.interval,
+            trace=True,
+            expected_cycles=40 * point.chain_length * 220 + 40_000,
+        )
+        trace = run.system.trace
+        arrivals = [e.time for e in trace.events if e.kind == "ipi_arrival"]
+        # Delivery completion (not handler fetch): with tracking, the
+        # delivery micro-ops can be fetched immediately yet stall on the
+        # stack-pointer dependence until the chain resolves.
+        done = [
+            e.time
+            for e in trace.events
+            if e.kind == "delivery_done" and e.detail.get("core") == 0
+        ]
+        latencies = _pair_latencies(arrivals, done)
+        return {"latency": max(latencies) if latencies else float("nan")}
+
+    payload = {
+        "kind": "max_latency",
+        "program": workload.program,
+        "memory": cycletier.memory_image(workload),
+        "strategy": STRATEGY_FACTORIES[point.label](),
+        "schedule": {"interval": point.interval},
+    }
+    return default_cache().memoize(payload, live)["latency"]
+
+
 def run_max_latency(
-    chain_lengths: Optional[List[int]] = None, interval: int = 8000
+    chain_lengths: Optional[List[int]] = None,
+    interval: int = 8000,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Worst-case delivery latency with a miss chain feeding the stack
     pointer (§6.1): tracked delivery is delayed by the dependence (up to
     thousands of cycles); flush squashes the chain and stays an order of
     magnitude lower."""
     chain_lengths = chain_lengths or [10, 50]
+    points = [
+        _MaxLatencyPoint(label, chain, interval)
+        for label in ("tracked", "flush")
+        for chain in chain_lengths
+    ]
+    latencies = SweepRunner(jobs).map(_run_max_latency_point, points)
     results: Dict[str, Dict[int, float]] = {"tracked": {}, "flush": {}}
-    for label, factory in (("tracked", TrackedStrategy), ("flush", FlushStrategy)):
-        for chain in chain_lengths:
-            workload = mb.make_sp_dependence_chain(
-                chain_length=chain, iterations=40, stride=4096
-            )
-            run = cycletier.run_with_uipi_timer(
-                workload,
-                factory(),
-                interval=interval,
-                trace=True,
-                expected_cycles=40 * chain * 220 + 40_000,
-            )
-            trace = run.system.trace
-            arrivals = [e.time for e in trace.events if e.kind == "ipi_arrival"]
-            # Delivery completion (not handler fetch): with tracking, the
-            # delivery micro-ops can be fetched immediately yet stall on the
-            # stack-pointer dependence until the chain resolves.
-            done = [
-                e.time
-                for e in trace.events
-                if e.kind == "delivery_done" and e.detail.get("core") == 0
-            ]
-            latencies = _pair_latencies(arrivals, done)
-            results[label][chain] = max(latencies) if latencies else float("nan")
+    for point, latency in zip(points, latencies):
+        results[point.label][point.chain_length] = latency
     return results
 
 

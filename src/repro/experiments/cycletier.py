@@ -4,18 +4,28 @@ Builds multi-core systems around a measured workload, runs them to
 completion, and computes per-interrupt receiver overheads the way the
 paper's Figure 4 experiment does: run the benchmark with and without
 periodic interrupts and divide the extra cycles by the number delivered.
+
+Every entry point here is memoized through the persistent result cache
+(``repro.perf.cache``): the cycle tier is deterministic, so an outcome is a
+pure function of (program bytes, memory image, config, delivery strategy,
+interrupt schedule) and can be replayed from disk.  Cache hits return a
+:class:`RunResult` carrying the recorded counters but no live ``system``;
+``trace=True`` runs bypass the cache because callers need the live trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
-from repro.common.errors import SimulationError
+from repro.common.errors import ConfigError, SimulationError
 from repro.apps.microbench import Workload, make_uipi_timer_core
+from repro.cpu.cache import SharedMemory
 from repro.cpu.config import SystemConfig
+from repro.cpu.core import CoreStats
 from repro.cpu.delivery import DeliveryStrategy, FlushStrategy, TrackedStrategy
 from repro.cpu.multicore import MultiCoreSystem
+from repro.perf.cache import ResultCache, default_cache
 
 #: Default interrupt interval: 5 us at 2 GHz (the paper's headline quantum).
 DEFAULT_INTERVAL = 10_000
@@ -25,38 +35,115 @@ MAX_CYCLES = 50_000_000
 
 @dataclass
 class RunResult:
-    """Outcome of one cycle-tier run."""
+    """Outcome of one cycle-tier run.
+
+    ``stats`` is always populated (a snapshot on live runs, reconstructed
+    counters on cache hits); ``system`` is only present for live runs.
+    """
 
     cycles: int
     interrupts_delivered: int
     committed_instructions: int
-    system: MultiCoreSystem
+    system: Optional[MultiCoreSystem] = None
+    stats: Optional[CoreStats] = None
 
     @property
     def core(self):
+        if self.system is None:
+            raise SimulationError(
+                "this RunResult was replayed from the result cache and has no "
+                "live system; disable the cache (REPRO_CACHE=0) to inspect cores"
+            )
         return self.system.cores[0]
+
+
+def memory_image(workload: Workload):
+    """The workload's initial memory image, for content-addressed cache keys.
+
+    ``init_memory`` is an opaque callable; hashing its *effect* (the words it
+    writes into a fresh :class:`SharedMemory`) is both stable and exact.
+    """
+    staging = SharedMemory()
+    workload.install(staging)
+    return staging.snapshot_words()
+
+
+def _result_from_cached(value: Dict[str, Any]) -> RunResult:
+    return RunResult(
+        cycles=value["cycles"],
+        interrupts_delivered=value["interrupts_delivered"],
+        committed_instructions=value["committed_instructions"],
+        system=None,
+        stats=CoreStats(**value["stats"]),
+    )
+
+
+def _result_to_cached(result: RunResult) -> Dict[str, Any]:
+    return {
+        "cycles": result.cycles,
+        "interrupts_delivered": result.interrupts_delivered,
+        "committed_instructions": result.committed_instructions,
+        "stats": dict(result.stats.__dict__),
+    }
+
+
+def _cached_run(
+    cache: Optional[ResultCache],
+    payload: Dict[str, Any],
+    live: Callable[[], RunResult],
+) -> RunResult:
+    if cache is None:
+        cache = default_cache()
+    if not cache.enabled:
+        return live()
+    try:
+        key = cache.key_for(payload)
+    except ConfigError:
+        # An input we cannot hash stably (e.g. an ad-hoc strategy closure
+        # from a test) is simply not cacheable; simulate it live.
+        return live()
+    hit = cache.get(key)
+    if hit is not None:
+        return _result_from_cached(hit)
+    result = live()
+    cache.put(key, _result_to_cached(result))
+    return result
 
 
 def run_baseline(
     workload: Workload,
     config: Optional[SystemConfig] = None,
     max_cycles: int = MAX_CYCLES,
+    cache: Optional[ResultCache] = None,
 ) -> RunResult:
     """Run the workload alone (no interrupts) to completion."""
-    system = MultiCoreSystem([workload.program], [FlushStrategy()], config=config)
-    workload.install(system.shared)
-    system.run(max_cycles, until_halted=[0])
-    core = system.cores[0]
-    if not core.halted:
-        raise SimulationError(
-            f"workload {workload.name!r} did not halt within {max_cycles} cycles"
+    resolved = config or SystemConfig.sapphire_rapids_like()
+
+    def live() -> RunResult:
+        system = MultiCoreSystem([workload.program], [FlushStrategy()], config=resolved)
+        workload.install(system.shared)
+        system.run(max_cycles, until_halted=[0])
+        core = system.cores[0]
+        if not core.halted:
+            raise SimulationError(
+                f"workload {workload.name!r} did not halt within {max_cycles} cycles"
+            )
+        return RunResult(
+            cycles=system.cycle,
+            interrupts_delivered=0,
+            committed_instructions=core.stats.committed_instructions,
+            system=system,
+            stats=core.stats.snapshot(),
         )
-    return RunResult(
-        cycles=system.cycle,
-        interrupts_delivered=0,
-        committed_instructions=core.stats.committed_instructions,
-        system=system,
-    )
+
+    payload = {
+        "kind": "baseline",
+        "program": workload.program,
+        "memory": memory_image(workload),
+        "config": resolved,
+        "max_cycles": max_cycles,
+    }
+    return _cached_run(cache, payload, live)
 
 
 def run_with_uipi_timer(
@@ -67,29 +154,51 @@ def run_with_uipi_timer(
     expected_cycles: Optional[int] = None,
     max_cycles: int = MAX_CYCLES,
     trace: bool = False,
+    cache: Optional[ResultCache] = None,
 ) -> RunResult:
     """Run the workload on core 0 with a dedicated UIPI timer core (core 1)."""
-    baseline = expected_cycles or run_baseline(workload, config).cycles
+    resolved = config or SystemConfig.sapphire_rapids_like()
+    baseline = (
+        expected_cycles
+        or run_baseline(workload, resolved, max_cycles=max_cycles, cache=cache).cycles
+    )
     count = baseline // interval + 16
     sender = make_uipi_timer_core(interval, count)
-    system = MultiCoreSystem(
-        [workload.program, sender.program],
-        [strategy, FlushStrategy()],
-        config=config,
-        trace=trace,
-    )
-    workload.install(system.shared)
-    system.connect_uipi(sender_core_id=1, receiver_core_id=0, user_vector=1)
-    system.run(max_cycles, until_halted=[0])
-    core = system.cores[0]
-    if not core.halted:
-        raise SimulationError(f"workload {workload.name!r} wedged under interrupts")
-    return RunResult(
-        cycles=system.cycle,
-        interrupts_delivered=core.stats.interrupts_delivered,
-        committed_instructions=core.stats.committed_instructions,
-        system=system,
-    )
+
+    def live() -> RunResult:
+        system = MultiCoreSystem(
+            [workload.program, sender.program],
+            [strategy, FlushStrategy()],
+            config=resolved,
+            trace=trace,
+        )
+        workload.install(system.shared)
+        system.connect_uipi(sender_core_id=1, receiver_core_id=0, user_vector=1)
+        system.run(max_cycles, until_halted=[0])
+        core = system.cores[0]
+        if not core.halted:
+            raise SimulationError(f"workload {workload.name!r} wedged under interrupts")
+        return RunResult(
+            cycles=system.cycle,
+            interrupts_delivered=core.stats.interrupts_delivered,
+            committed_instructions=core.stats.committed_instructions,
+            system=system,
+            stats=core.stats.snapshot(),
+        )
+
+    if trace:
+        return live()
+    payload = {
+        "kind": "uipi_timer",
+        "program": workload.program,
+        "sender_program": sender.program,
+        "memory": memory_image(workload),
+        "strategy": strategy,
+        "schedule": {"interval": interval, "count": count},
+        "config": resolved,
+        "max_cycles": max_cycles,
+    }
+    return _cached_run(cache, payload, live)
 
 
 def run_with_kb_timer(
@@ -99,24 +208,43 @@ def run_with_kb_timer(
     strategy_factory: Callable[[], DeliveryStrategy] = TrackedStrategy,
     max_cycles: int = MAX_CYCLES,
     trace: bool = False,
+    cache: Optional[ResultCache] = None,
 ) -> RunResult:
     """Run the workload with its core's own KB timer firing each interval."""
-    system = MultiCoreSystem(
-        [workload.program], [strategy_factory()], config=config, trace=trace
-    )
-    workload.install(system.shared)
-    system.enable_kb_timer(0)
-    system.cores[0].uintr.kb_timer.arm_periodic(interval, now=0)
-    system.run(max_cycles, until_halted=[0])
-    core = system.cores[0]
-    if not core.halted:
-        raise SimulationError(f"workload {workload.name!r} wedged under KB timer")
-    return RunResult(
-        cycles=system.cycle,
-        interrupts_delivered=core.stats.interrupts_delivered,
-        committed_instructions=core.stats.committed_instructions,
-        system=system,
-    )
+    resolved = config or SystemConfig.sapphire_rapids_like()
+    strategy = strategy_factory()
+
+    def live() -> RunResult:
+        system = MultiCoreSystem(
+            [workload.program], [strategy], config=resolved, trace=trace
+        )
+        workload.install(system.shared)
+        system.enable_kb_timer(0)
+        system.cores[0].uintr.kb_timer.arm_periodic(interval, now=0)
+        system.run(max_cycles, until_halted=[0])
+        core = system.cores[0]
+        if not core.halted:
+            raise SimulationError(f"workload {workload.name!r} wedged under KB timer")
+        return RunResult(
+            cycles=system.cycle,
+            interrupts_delivered=core.stats.interrupts_delivered,
+            committed_instructions=core.stats.committed_instructions,
+            system=system,
+            stats=core.stats.snapshot(),
+        )
+
+    if trace:
+        return live()
+    payload = {
+        "kind": "kb_timer",
+        "program": workload.program,
+        "memory": memory_image(workload),
+        "strategy": strategy,
+        "schedule": {"kb_interval": interval},
+        "config": resolved,
+        "max_cycles": max_cycles,
+    }
+    return _cached_run(cache, payload, live)
 
 
 def per_event_overhead(base_cycles: int, loaded: RunResult) -> float:

@@ -12,15 +12,24 @@ percent slowdown.  Three configurations isolate xUI's mechanisms (§6.1):
 
 Paper shape: per-event cost 645 -> 231 -> 105 cycles; at a 5 us interval
 total overhead drops ~6.9x (6.86% -> 1.06%).
+
+The grid is declared as picklable point lists and executed through
+:class:`repro.perf.SweepRunner`: one baseline per benchmark, then every
+(benchmark, configuration) cell as an independent point.  With ``jobs > 1``
+cells fan out over worker processes; every cell is deterministic, so the
+table is bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.apps import microbench as mb
 from repro.cpu.delivery import FlushStrategy, TrackedStrategy
 from repro.experiments import cycletier
+from repro.perf import SweepRunner
 
 #: Paper reference values (per-event receiver cycles, Figure 4 averages).
 PAPER_PER_EVENT = {
@@ -33,11 +42,15 @@ CONFIGURATIONS = ("uipi_sw_timer", "xui_sw_timer_tracking", "xui_kb_timer_tracki
 
 
 def default_benchmarks(scale: float = 1.0) -> Dict[str, Callable[[], mb.Workload]]:
-    """The Figure 4 benchmark set, scaled for runtime."""
+    """The Figure 4 benchmark set, scaled for runtime.
+
+    Factories are ``functools.partial`` objects over module-level builders,
+    so the sweep engine can ship them to worker processes.
+    """
     return {
-        "fib": lambda: mb.make_fib(n=max(10, int(17 + (scale - 1) * 2))),
-        "linpack": lambda: mb.make_linpack(iterations=int(8000 * scale)),
-        "memops": lambda: mb.make_memops(iterations=int(8000 * scale)),
+        "fib": partial(mb.make_fib, n=max(10, int(17 + (scale - 1) * 2))),
+        "linpack": partial(mb.make_linpack, iterations=int(8000 * scale)),
+        "memops": partial(mb.make_memops, iterations=int(8000 * scale)),
     }
 
 
@@ -45,45 +58,83 @@ def run_configuration(
     workload_factory: Callable[[], mb.Workload],
     configuration: str,
     interval: int = cycletier.DEFAULT_INTERVAL,
+    baseline_cycles: Optional[int] = None,
 ) -> Dict[str, float]:
-    """Run one benchmark x configuration cell; returns its metrics."""
-    base = cycletier.run_baseline(workload_factory())
+    """Run one benchmark x configuration cell; returns its metrics.
+
+    ``baseline_cycles`` lets sweep drivers share one baseline run per
+    benchmark across all of its cells.
+    """
+    if configuration not in CONFIGURATIONS:
+        raise ValueError(f"unknown configuration {configuration!r}")
+    if baseline_cycles is None:
+        baseline_cycles = cycletier.run_baseline(workload_factory()).cycles
     if configuration == "uipi_sw_timer":
         loaded = cycletier.run_with_uipi_timer(
-            workload_factory(), FlushStrategy(), interval=interval, expected_cycles=base.cycles
+            workload_factory(), FlushStrategy(), interval=interval,
+            expected_cycles=baseline_cycles,
         )
     elif configuration == "xui_sw_timer_tracking":
         loaded = cycletier.run_with_uipi_timer(
-            workload_factory(), TrackedStrategy(), interval=interval, expected_cycles=base.cycles
+            workload_factory(), TrackedStrategy(), interval=interval,
+            expected_cycles=baseline_cycles,
         )
-    elif configuration == "xui_kb_timer_tracking":
+    else:  # xui_kb_timer_tracking
         loaded = cycletier.run_with_kb_timer(workload_factory(), interval=interval)
-    else:
-        raise ValueError(f"unknown configuration {configuration!r}")
     return {
-        "baseline_cycles": float(base.cycles),
+        "baseline_cycles": float(baseline_cycles),
         "loaded_cycles": float(loaded.cycles),
         "interrupts": float(loaded.interrupts_delivered),
-        "per_event_cycles": cycletier.per_event_overhead(base.cycles, loaded),
-        "overhead_percent": cycletier.slowdown_percent(base.cycles, loaded.cycles),
+        "per_event_cycles": cycletier.per_event_overhead(baseline_cycles, loaded),
+        "overhead_percent": cycletier.slowdown_percent(baseline_cycles, loaded.cycles),
     }
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One picklable (benchmark, configuration) sweep point."""
+
+    bench: str
+    configuration: str
+    interval: int
+    factory: Callable[[], mb.Workload]
+    baseline_cycles: Optional[int] = None
+
+
+def _baseline_point(factory: Callable[[], mb.Workload]) -> int:
+    return cycletier.run_baseline(factory()).cycles
+
+
+def _run_cell(cell: _Cell) -> Dict[str, float]:
+    return run_configuration(
+        cell.factory,
+        cell.configuration,
+        interval=cell.interval,
+        baseline_cycles=cell.baseline_cycles,
+    )
 
 
 def run_fig4(
     interval: int = cycletier.DEFAULT_INTERVAL,
     benchmarks: Optional[Dict[str, Callable[[], mb.Workload]]] = None,
     configurations: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """The full Figure 4 grid: benchmark -> configuration -> metrics."""
     benchmarks = benchmarks or default_benchmarks()
     configurations = configurations or list(CONFIGURATIONS)
+    runner = SweepRunner(jobs)
+    bench_items = list(benchmarks.items())
+    baselines = runner.map(_baseline_point, [f for _, f in bench_items])
+    cells = [
+        _Cell(bench, configuration, interval, factory, base)
+        for (bench, factory), base in zip(bench_items, baselines)
+        for configuration in configurations
+    ]
+    metrics = runner.map(_run_cell, cells)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for bench_name, factory in benchmarks.items():
-        results[bench_name] = {}
-        for configuration in configurations:
-            results[bench_name][configuration] = run_configuration(
-                factory, configuration, interval=interval
-            )
+    for cell, cell_metrics in zip(cells, metrics):
+        results.setdefault(cell.bench, {})[cell.configuration] = cell_metrics
     return results
 
 
@@ -91,6 +142,7 @@ def run_interval_sweep(
     workload_factory: Callable[[], mb.Workload],
     intervals: Optional[List[int]] = None,
     configurations: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Total overhead (%) vs. interrupt interval — the Figure 4 x-axis.
 
@@ -99,11 +151,17 @@ def run_interval_sweep(
     """
     intervals = intervals or [5_000, 10_000, 20_000, 40_000]
     configurations = configurations or list(CONFIGURATIONS)
+    runner = SweepRunner(jobs)
+    baseline = _baseline_point(workload_factory)
+    cells = [
+        _Cell("sweep", configuration, interval, workload_factory, baseline)
+        for interval in intervals
+        for configuration in configurations
+    ]
+    metrics = runner.map(_run_cell, cells)
     results: Dict[str, Dict[int, float]] = {c: {} for c in configurations}
-    for interval in intervals:
-        for configuration in configurations:
-            cell = run_configuration(workload_factory, configuration, interval=interval)
-            results[configuration][interval] = cell["overhead_percent"]
+    for cell, cell_metrics in zip(cells, metrics):
+        results[cell.configuration][cell.interval] = cell_metrics["overhead_percent"]
     return results
 
 

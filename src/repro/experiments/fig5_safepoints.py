@@ -13,10 +13,17 @@ mechanisms:
   *and* near zero cost (paper: 1.2-1.5% at 5 us).
 
 Overhead is percent slowdown against the uninstrumented, un-preempted run.
+
+The (program, mechanism, quantum) grid executes through
+:class:`repro.perf.SweepRunner` as independent picklable points, and the
+polling/safepoint system builds are memoized in the persistent result cache
+like the ``cycletier`` entry points.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from repro.apps import microbench as mb
@@ -28,6 +35,8 @@ from repro.compiler.instrument import (
 from repro.cpu.delivery import FlushStrategy, TrackedStrategy
 from repro.cpu.multicore import MultiCoreSystem
 from repro.experiments import cycletier
+from repro.perf import SweepRunner
+from repro.perf.cache import default_cache
 
 MECHANISMS = ("polling", "uipi", "hw_safepoints")
 
@@ -36,16 +45,15 @@ PAPER_AT_5US = {"polling": (8.5, 11.0), "hw_safepoints": (1.2, 1.5)}
 
 
 def default_programs(scale: float = 1.0) -> Dict[str, Callable[..., mb.Workload]]:
-    """Figure 5's two programs, parameterized by instrumenter."""
+    """Figure 5's two programs, parameterized by instrumenter.
+
+    ``functools.partial`` factories keep the sweep points picklable.
+    """
     return {
         # Sized so baselines span several preemption quanta (tens of
         # thousands of cycles) at the default 5 us interval.
-        "matmul": lambda instrument=None: mb.make_matmul(
-            size=max(10, int(20 * scale ** (1 / 3))), instrument=instrument
-        ),
-        "base64": lambda instrument=None: mb.make_base64(
-            iterations=max(1000, int(6000 * scale)), instrument=instrument
-        ),
+        "matmul": partial(mb.make_matmul, size=max(10, int(20 * scale ** (1 / 3)))),
+        "base64": partial(mb.make_base64, iterations=max(1000, int(6000 * scale))),
     }
 
 
@@ -55,12 +63,24 @@ def _run_polling(factory, quantum: int, baseline_cycles: int) -> int:
     # Instrumentation slows the program; budget generously for flag count.
     count = int(baseline_cycles * 1.6) // quantum + 16
     timer = mb.make_poll_timer_core(quantum, count, DEFAULT_POLL_FLAG_ADDR)
-    system = MultiCoreSystem(
-        [workload.program, timer.program], [FlushStrategy(), FlushStrategy()]
-    )
-    workload.install(system.shared)
-    system.run(cycletier.MAX_CYCLES, until_halted=[0])
-    return system.cycle
+
+    def live() -> Dict[str, int]:
+        system = MultiCoreSystem(
+            [workload.program, timer.program], [FlushStrategy(), FlushStrategy()]
+        )
+        workload.install(system.shared)
+        system.run(cycletier.MAX_CYCLES, until_halted=[0])
+        return {"cycles": system.cycle}
+
+    payload = {
+        "kind": "fig5_polling",
+        "program": workload.program,
+        "timer_program": timer.program,
+        "memory": cycletier.memory_image(workload),
+        "schedule": {"quantum": quantum, "count": count},
+        "max_cycles": cycletier.MAX_CYCLES,
+    }
+    return default_cache().memoize(payload, live)["cycles"]
 
 
 def _run_uipi(factory, quantum: int, baseline_cycles: int) -> int:
@@ -74,43 +94,81 @@ def _run_uipi(factory, quantum: int, baseline_cycles: int) -> int:
 def _run_safepoints(factory, quantum: int) -> int:
     """Safepoint-instrumented program, KB timer, tracking, safepoint mode."""
     workload = factory(instrument=SafepointInstrumenter())
-    system = MultiCoreSystem([workload.program], [TrackedStrategy()])
-    workload.install(system.shared)
-    system.enable_kb_timer(0)
-    core = system.cores[0]
-    core.uintr.safepoint_mode = True
-    core.uintr.kb_timer.arm_periodic(quantum, now=0)
-    system.run(cycletier.MAX_CYCLES, until_halted=[0])
-    if not core.halted:
-        raise RuntimeError(f"{workload.name} wedged under safepoint preemption")
-    return system.cycle
+
+    def live() -> Dict[str, int]:
+        system = MultiCoreSystem([workload.program], [TrackedStrategy()])
+        workload.install(system.shared)
+        system.enable_kb_timer(0)
+        core = system.cores[0]
+        core.uintr.safepoint_mode = True
+        core.uintr.kb_timer.arm_periodic(quantum, now=0)
+        system.run(cycletier.MAX_CYCLES, until_halted=[0])
+        if not core.halted:
+            raise RuntimeError(f"{workload.name} wedged under safepoint preemption")
+        return {"cycles": system.cycle}
+
+    payload = {
+        "kind": "fig5_safepoints",
+        "program": workload.program,
+        "memory": cycletier.memory_image(workload),
+        "strategy": TrackedStrategy(),
+        "schedule": {"kb_interval": quantum, "safepoint_mode": True},
+        "max_cycles": cycletier.MAX_CYCLES,
+    }
+    return default_cache().memoize(payload, live)["cycles"]
+
+
+@dataclass(frozen=True)
+class _Point:
+    """One picklable (program, mechanism, quantum) sweep point."""
+
+    program: str
+    mechanism: str
+    quantum: int
+    factory: Callable[..., mb.Workload]
+    baseline_cycles: int
+
+
+def _baseline_point(factory: Callable[..., mb.Workload]) -> int:
+    return cycletier.run_baseline(factory(instrument=None)).cycles
+
+
+def _run_point(point: _Point) -> int:
+    if point.mechanism == "polling":
+        return _run_polling(point.factory, point.quantum, point.baseline_cycles)
+    if point.mechanism == "uipi":
+        return _run_uipi(point.factory, point.quantum, point.baseline_cycles)
+    if point.mechanism == "hw_safepoints":
+        return _run_safepoints(point.factory, point.quantum)
+    raise ValueError(f"unknown mechanism {point.mechanism!r}")
 
 
 def run_fig5(
     quanta: Optional[List[int]] = None,
     programs: Optional[Dict[str, Callable[..., mb.Workload]]] = None,
     mechanisms: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """program -> mechanism -> quantum -> overhead percent."""
     quanta = quanta or [10_000, 20_000, 50_000]  # 5/10/25 us
     programs = programs or default_programs()
     mechanisms = mechanisms or list(MECHANISMS)
+    for mechanism in mechanisms:
+        if mechanism not in MECHANISMS:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+    runner = SweepRunner(jobs)
+    program_items = list(programs.items())
+    baselines = runner.map(_baseline_point, [f for _, f in program_items])
+    points = [
+        _Point(name, mechanism, quantum, factory, base)
+        for (name, factory), base in zip(program_items, baselines)
+        for mechanism in mechanisms
+        for quantum in quanta
+    ]
+    cycles_per_point = runner.map(_run_point, points)
     results: Dict[str, Dict[str, Dict[int, float]]] = {}
-    for name, factory in programs.items():
-        baseline = cycletier.run_baseline(factory(instrument=None)).cycles
-        results[name] = {}
-        for mechanism in mechanisms:
-            results[name][mechanism] = {}
-            for quantum in quanta:
-                if mechanism == "polling":
-                    cycles = _run_polling(factory, quantum, baseline)
-                elif mechanism == "uipi":
-                    cycles = _run_uipi(factory, quantum, baseline)
-                elif mechanism == "hw_safepoints":
-                    cycles = _run_safepoints(factory, quantum)
-                else:
-                    raise ValueError(f"unknown mechanism {mechanism!r}")
-                results[name][mechanism][quantum] = cycletier.slowdown_percent(
-                    baseline, cycles
-                )
+    for point, cycles in zip(points, cycles_per_point):
+        results.setdefault(point.program, {}).setdefault(point.mechanism, {})[
+            point.quantum
+        ] = cycletier.slowdown_percent(point.baseline_cycles, cycles)
     return results

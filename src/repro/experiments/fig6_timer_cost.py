@@ -13,11 +13,13 @@ the core entirely (utilization 0) because every core has its own KB timer.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.kernel.timers import NanosleepTimer, OSIntervalTimer
 from repro.notify.costs import CostModel
+from repro.perf import SweepRunner
 from repro.sim.account import CycleAccount
 from repro.sim.simulator import Simulator
 
@@ -65,25 +67,45 @@ def timer_core_utilization(
     return account.busy_fraction(duration_cycles)
 
 
+@dataclass(frozen=True)
+class _Point:
+    """One picklable (interface, interval, core-count) sweep point."""
+
+    interface: str
+    interval: float
+    cores: int
+    costs: Optional[CostModel]
+
+
+def _run_point(point: _Point) -> float:
+    return timer_core_utilization(
+        point.interface, point.cores, point.interval, costs=point.costs
+    )
+
+
 def run_fig6(
     interfaces: Optional[List[str]] = None,
     core_counts: Optional[List[int]] = None,
     intervals: Optional[List[float]] = None,
     costs: Optional[CostModel] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[float, Dict[int, float]]]:
     """interface -> interval -> num_app_cores -> timer-core utilization."""
     interfaces = interfaces or list(INTERFACES)
     core_counts = core_counts or [1, 2, 4, 8, 16, 22, 27]
     intervals = intervals or [10_000.0, 50_000.0, 200_000.0, 2_000_000.0]  # 5us..1ms
+    points = [
+        _Point(interface, interval, cores, costs)
+        for interface in interfaces
+        for interval in intervals
+        for cores in core_counts
+    ]
+    utilizations = SweepRunner(jobs).map(_run_point, points)
     results: Dict[str, Dict[float, Dict[int, float]]] = {}
-    for interface in interfaces:
-        results[interface] = {}
-        for interval in intervals:
-            results[interface][interval] = {}
-            for cores in core_counts:
-                results[interface][interval][cores] = timer_core_utilization(
-                    interface, cores, interval, costs=costs
-                )
+    for point, utilization in zip(points, utilizations):
+        results.setdefault(point.interface, {}).setdefault(point.interval, {})[
+            point.cores
+        ] = utilization
     return results
 
 

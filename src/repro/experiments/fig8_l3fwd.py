@@ -25,6 +25,7 @@ from repro.net.nic import NIC
 from repro.net.pktgen import PacketGenerator
 from repro.notify.costs import CostModel
 from repro.notify.mechanisms import Mechanism
+from repro.perf import SweepRunner
 from repro.sim.simulator import Simulator
 
 MECHANISMS = (Mechanism.POLLING, Mechanism.XUI_DEVICE)
@@ -108,23 +109,51 @@ def run_point(
     )
 
 
+@dataclass(frozen=True)
+class _SweepPoint:
+    """One picklable (mechanism, NIC count, load) sweep point.
+
+    ``run_point`` builds its own :class:`RngStreams` from ``seed``, so
+    worker processes draw exactly the variates the serial path would.
+    """
+
+    mechanism: Mechanism
+    num_nics: int
+    load_fraction: float
+    duration_seconds: float
+    seed: int
+
+
+def _run_sweep_point(point: _SweepPoint) -> Fig8Point:
+    return run_point(
+        point.mechanism,
+        point.num_nics,
+        point.load_fraction,
+        duration_seconds=point.duration_seconds,
+        seed=point.seed,
+    )
+
+
 def run_fig8(
     nic_counts: Optional[List[int]] = None,
     load_fractions: Optional[List[float]] = None,
     duration_seconds: float = 0.02,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[int, List[Fig8Point]]]:
     """mechanism -> nic count -> load sweep (the Figure 8 panels)."""
     nic_counts = nic_counts or [1, 2, 4, 8]
     load_fractions = load_fractions or [0.0, 0.2, 0.4, 0.6, 0.8]
+    points = [
+        _SweepPoint(mechanism, nics, load, duration_seconds, seed)
+        for mechanism in MECHANISMS
+        for nics in nic_counts
+        for load in load_fractions
+    ]
+    sweep = SweepRunner(jobs).map(_run_sweep_point, points)
     results: Dict[str, Dict[int, List[Fig8Point]]] = {}
-    for mechanism in MECHANISMS:
-        results[mechanism.value] = {}
-        for nics in nic_counts:
-            results[mechanism.value][nics] = [
-                run_point(
-                    mechanism, nics, load, duration_seconds=duration_seconds, seed=seed
-                )
-                for load in load_fractions
-            ]
+    for point, measured in zip(points, sweep):
+        results.setdefault(point.mechanism.value, {}).setdefault(
+            point.num_nics, []
+        ).append(measured)
     return results

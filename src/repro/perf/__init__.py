@@ -1,0 +1,29 @@
+"""Performance subsystem: the parallel sweep engine and the persistent
+cycle-tier result cache.
+
+The cycle tier simulates at ~10^4-10^5 cycles/sec in pure Python, and every
+figure runner re-simulates identical (program, core-config, delivery-strategy)
+points serially on every invocation.  Both layers here exploit the same
+property — each sweep point is independent and deterministic — so fan-out and
+content-addressed memoization cannot change any result:
+
+- :class:`repro.perf.engine.SweepRunner` fans independent sweep points out
+  over a ``ProcessPoolExecutor`` (``jobs > 1``) with a serial fallback that
+  keeps semantics unchanged.
+- :class:`repro.perf.cache.ResultCache` memoizes cycle-tier outcomes on disk,
+  keyed by a stable content hash of every simulation input plus a model
+  version salt derived from the ``repro.cpu``/``repro.sim`` sources, so a
+  stale entry can never survive a model edit.
+"""
+
+from repro.perf.cache import ResultCache, default_cache, model_version_salt
+from repro.perf.engine import SweepRunner, resolve_jobs, run_sweep
+
+__all__ = [
+    "ResultCache",
+    "SweepRunner",
+    "default_cache",
+    "model_version_salt",
+    "resolve_jobs",
+    "run_sweep",
+]

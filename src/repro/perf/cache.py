@@ -1,0 +1,277 @@
+"""Persistent, content-addressed cache for cycle-tier results.
+
+The cycle tier is deterministic: given the µ-ISA program bytes, the memory
+image, the :class:`~repro.cpu.config.SystemConfig`, the delivery strategy and
+the interrupt schedule, the outcome (cycle count, per-event costs, flush and
+squash counters) is a pure function.  :class:`ResultCache` memoizes those
+outcomes on disk so repeated figure runs and
+``CostModel.from_cycle_model()`` skip re-simulation entirely.
+
+Keys are SHA-256 digests of a *canonical* encoding of every simulation input
+(:func:`canonical`) plus a **model version salt** — a hash over the
+``repro.cpu`` and ``repro.uintr`` sources (:func:`model_version_salt`).  Any
+edit to the cycle model changes the salt, so stale entries can never leak
+across model versions; they simply stop being addressable.
+
+Environment knobs:
+
+- ``REPRO_CACHE_DIR`` — cache location (default ``~/.cache/repro-xui``).
+- ``REPRO_CACHE=0`` (or ``off``/``false``) — disable the cache entirely.
+
+Corrupt or unreadable entries are treated as misses: the point is
+re-simulated and the entry rewritten, with a warning logged — a damaged
+cache can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import ConfigError
+
+log = logging.getLogger(__name__)
+
+#: Bumped on incompatible changes to the key or payload encoding.
+CACHE_FORMAT_VERSION = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_ENABLED = "REPRO_CACHE"
+
+_DISABLED_VALUES = {"0", "off", "false", "no"}
+
+#: Packages whose sources define the cycle model; editing any of them must
+#: invalidate every cached cycle-tier outcome.
+_MODEL_PACKAGES = ("cpu", "uintr")
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding
+# ---------------------------------------------------------------------------
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical form.
+
+    Handles the vocabulary simulation inputs are made of: primitives,
+    containers, enums, dataclasses (``Program``, ``Instruction``,
+    ``SystemConfig``, ...), ``functools.partial``, plain callables (by
+    qualified name), and objects exposing ``cache_fingerprint()`` (delivery
+    strategies).  Raises :class:`ConfigError` for anything else, so an
+    unhashable input is a loud error instead of a silent wrong key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["float", repr(obj)]
+    if isinstance(obj, bytes):
+        return ["bytes", obj.hex()]
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__qualname__, canonical(obj.value)]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [
+            [f.name, canonical(getattr(obj, f.name))] for f in dataclasses.fields(obj)
+        ]
+        return ["dataclass", type(obj).__qualname__, fields]
+    if isinstance(obj, dict):
+        items = [[canonical(key), canonical(value)] for key, value in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["dict", items]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonical(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        members = sorted(
+            (canonical(item) for item in obj),
+            key=lambda c: json.dumps(c, sort_keys=True),
+        )
+        return ["set", members]
+    if isinstance(obj, functools.partial):
+        return [
+            "partial",
+            canonical(obj.func),
+            canonical(obj.args),
+            canonical(obj.keywords),
+        ]
+    fingerprint = getattr(obj, "cache_fingerprint", None)
+    if fingerprint is not None and callable(fingerprint):
+        return ["fingerprint", type(obj).__qualname__, canonical(fingerprint())]
+    if callable(obj):
+        module = getattr(obj, "__module__", "")
+        qualname = getattr(obj, "__qualname__", None)
+        if qualname is None or "<locals>" in qualname or "<lambda>" in qualname:
+            raise ConfigError(
+                f"cannot build a stable cache key from local callable {obj!r}"
+            )
+        return ["callable", module, qualname]
+    raise ConfigError(f"cannot build a stable cache key from {type(obj).__qualname__}")
+
+
+@functools.lru_cache(maxsize=1)
+def model_version_salt() -> str:
+    """Hash of the cycle-model sources (``repro.cpu`` + ``repro.uintr``).
+
+    Computed once per process.  Any source edit to the model changes this
+    salt, and with it every cache key derived from it.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(f"format={CACHE_FORMAT_VERSION}".encode())
+    for package in _MODEL_PACKAGES:
+        for path in sorted((root / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The on-disk store
+# ---------------------------------------------------------------------------
+
+
+def cache_enabled_by_env() -> bool:
+    return os.environ.get(ENV_CACHE_ENABLED, "1").strip().lower() not in _DISABLED_VALUES
+
+
+def cache_dir_from_env() -> Path:
+    configured = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if configured:
+        return Path(configured)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro-xui"
+
+
+class ResultCache:
+    """A content-addressed JSON store of simulation outcomes.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` and are written
+    atomically (temp file + ``os.replace``), so concurrent sweep workers may
+    race on the same point without corrupting each other.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        enabled: bool = True,
+        salt: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else cache_dir_from_env()
+        self.enabled = enabled
+        self._salt = salt
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def salt(self) -> str:
+        if self._salt is None:
+            self._salt = model_version_salt()
+        return self._salt
+
+    # -- keys -----------------------------------------------------------
+    def key_for(self, payload: Any) -> str:
+        """The content hash of ``payload`` under the current model salt."""
+        body = json.dumps(
+            [CACHE_FORMAT_VERSION, self.salt, canonical(payload)],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- store ----------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored value for ``key``, or None (miss / disabled / corrupt)."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            log.warning("result cache: unreadable entry %s (%s); re-simulating", path, exc)
+            self.misses += 1
+            return None
+        try:
+            value = json.loads(raw)
+            if not isinstance(value, dict):
+                raise ValueError("cache entry is not an object")
+        except ValueError as exc:
+            log.warning("result cache: corrupt entry %s (%s); re-simulating", path, exc)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Atomically store ``value`` under ``key`` (best effort)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(value, handle, separators=(",", ":"))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            # An unwritable cache slows things down; it must not fail runs.
+            log.warning("result cache: cannot write %s (%s)", path, exc)
+
+    def memoize(
+        self, payload: Any, compute: Callable[[], Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Return the cached value for ``payload``, computing it on a miss."""
+        if not self.enabled:
+            return compute()
+        key = self.key_for(payload)
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> int:
+        """Delete every entry under this cache root; returns entries removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def default_cache() -> ResultCache:
+    """The process-default cache, honouring the ``REPRO_CACHE*`` environment.
+
+    Constructed per call (cheap — the salt is memoized) so tests and the
+    selftest can retarget it by mutating the environment.
+    """
+    return ResultCache(root=cache_dir_from_env(), enabled=cache_enabled_by_env())

@@ -1,0 +1,116 @@
+"""The parallel sweep engine.
+
+Every figure sweep in ``repro.experiments`` is a grid of independent,
+deterministic points: the outcome of one (program, configuration, interval)
+cell depends only on its own arguments.  :class:`SweepRunner` exploits that
+to fan points out over a :class:`concurrent.futures.ProcessPoolExecutor`
+while guaranteeing the results are *exactly* what the serial path produces:
+
+- point functions are pure (module-level callables over picklable points),
+  so a worker process computes the same bits the parent would;
+- results come back in submission order (``Executor.map``), so assembling
+  the result tables is order-independent of completion;
+- anything that cannot be pickled — ad-hoc lambda factories from tests, for
+  example — silently falls back to the serial path, as does ``jobs=1`` and a
+  pool that fails to start.  The fallback *is* the reference semantics.
+
+Stochastic points must carry their own seed (see
+:func:`repro.common.rng.derive_seed`) and build their own
+:class:`~repro.common.rng.RngStreams` internally, so serial and parallel
+execution draw identical variates.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.common.errors import ConfigError
+
+PointT = TypeVar("PointT")
+ResultT = TypeVar("ResultT")
+
+#: Environment variable consulted when no explicit job count is given —
+#: lets ``pytest benchmarks/`` and scripts opt into parallelism globally.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve an effective job count.
+
+    Explicit ``jobs`` wins; otherwise the ``REPRO_JOBS`` environment
+    variable; otherwise 1 (serial).  ``jobs=0`` / ``REPRO_JOBS=0`` means
+    "one worker per CPU".
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigError(f"{JOBS_ENV} must be an integer, got {env!r}")
+    if jobs < 0:
+        raise ConfigError(f"jobs must be non-negative, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _picklable(*objects: Any) -> bool:
+    try:
+        pickle.dumps(objects)
+        return True
+    except Exception:
+        return False
+
+
+class SweepRunner:
+    """Maps a point function over a sweep, serially or across processes.
+
+    The contract is that of ``[fn(p) for p in points]`` — same results, same
+    order — with wall-clock as the only degree of freedom.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        #: How the last :meth:`map` call actually executed ("serial" or
+        #: "parallel") — observable so tests can assert the fallback fired.
+        self.last_mode: str = "serial"
+
+    def map(
+        self,
+        fn: Callable[[PointT], ResultT],
+        points: Iterable[PointT],
+    ) -> List[ResultT]:
+        """Run ``fn`` over every point; results in point order."""
+        items: Sequence[PointT] = list(points)
+        if self.jobs <= 1 or len(items) <= 1 or not _picklable(fn, items):
+            return self._serial(fn, items)
+        workers = min(self.jobs, len(items))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(fn, items))
+        except (OSError, BrokenProcessPool):
+            # Pool could not start (or died): the serial path is always safe.
+            return self._serial(fn, items)
+        self.last_mode = "parallel"
+        return results
+
+    def _serial(
+        self, fn: Callable[[PointT], ResultT], items: Sequence[PointT]
+    ) -> List[ResultT]:
+        self.last_mode = "serial"
+        return [fn(point) for point in items]
+
+
+def run_sweep(
+    fn: Callable[[PointT], ResultT],
+    points: Iterable[PointT],
+    jobs: Optional[int] = None,
+) -> List[ResultT]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(jobs).map(fn, points)

@@ -1,0 +1,98 @@
+"""Reduced-scale determinism selftest for the perf subsystem.
+
+Runs a small Figure 4 grid four ways — serial uncached, parallel uncached,
+cold cache, warm cache — and asserts every table is identical to the serial
+reference.  This is the tier-2 smoke gate behind
+``python -m repro perf-selftest``: it proves the sweep engine's fan-out and
+the persistent cache cannot change any experiment result on this machine.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from functools import partial
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.apps import microbench as mb
+from repro.perf.cache import ENV_CACHE_DIR, ENV_CACHE_ENABLED
+
+#: Reduced-scale grid: one benchmark, short interval so a handful of
+#: interrupts land within the ~8k-cycle run.
+SELFTEST_ITERATIONS = 8_000
+SELFTEST_INTERVAL = 2_500
+
+
+@contextmanager
+def _env(**overrides: str) -> Iterator[None]:
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _reduced_fig4(jobs: int) -> Dict[str, Any]:
+    from repro.experiments.fig4_overheads import run_fig4
+
+    benchmarks = {"count_loop": partial(mb.make_count_loop, SELFTEST_ITERATIONS)}
+    return run_fig4(interval=SELFTEST_INTERVAL, benchmarks=benchmarks, jobs=jobs)
+
+
+def _timed(fn: Callable[[], Any]) -> tuple:
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_selftest(jobs: int = 2, report: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
+    """Run the determinism checks; returns pass/fail plus wall-clock numbers.
+
+    ``report`` (e.g. ``print``) receives one progress line per phase.
+    """
+    say = report or (lambda _message: None)
+
+    with _env(**{ENV_CACHE_ENABLED: "0"}):
+        say(f"serial reference (jobs=1, cache off, {SELFTEST_ITERATIONS}-iteration grid)...")
+        serial, t_serial = _timed(lambda: _reduced_fig4(jobs=1))
+        say(f"  {t_serial:.2f}s")
+        say(f"parallel (jobs={jobs}, cache off)...")
+        parallel, t_parallel = _timed(lambda: _reduced_fig4(jobs=jobs))
+        say(f"  {t_parallel:.2f}s")
+
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-cache-") as tmp:
+        with _env(**{ENV_CACHE_ENABLED: "1", ENV_CACHE_DIR: tmp}):
+            say("cold cache (jobs=1, fresh cache dir)...")
+            cold, t_cold = _timed(lambda: _reduced_fig4(jobs=1))
+            say(f"  {t_cold:.2f}s")
+            say("warm cache (jobs=1, same cache dir)...")
+            warm, t_warm = _timed(lambda: _reduced_fig4(jobs=1))
+            say(f"  {t_warm:.2f}s")
+
+    checks = {
+        "parallel_matches_serial": parallel == serial,
+        "cold_cache_matches_serial": cold == serial,
+        "warm_cache_matches_serial": warm == serial,
+    }
+    result = {
+        "ok": all(checks.values()),
+        "checks": checks,
+        "seconds": {
+            "serial": t_serial,
+            "parallel": t_parallel,
+            "cold_cache": t_cold,
+            "warm_cache": t_warm,
+        },
+        "warm_speedup": (t_serial / t_warm) if t_warm > 0 else float("inf"),
+    }
+    for name, passed in checks.items():
+        say(f"{'PASS' if passed else 'FAIL'}  {name}")
+    say(f"warm-cache speedup over serial: {result['warm_speedup']:.1f}x")
+    return result

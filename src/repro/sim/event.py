@@ -10,7 +10,7 @@ from typing import Any, Callable, Optional
 from repro.common.errors import SimulationError
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -38,8 +38,15 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
+        #: The raw heap; the simulator main loop iterates it directly to
+        #: avoid the peek/pop double scan on the hot path.
         self._heap: list[Event] = []
         self._counter = itertools.count()
+
+    @property
+    def heap(self) -> list[Event]:
+        """The underlying heap (may contain cancelled events)."""
+        return self._heap
 
     def __len__(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)

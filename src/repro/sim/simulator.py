@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.common.errors import SimulationError
@@ -49,12 +50,17 @@ class Simulator:
         return self._queue.peek_time()
 
     def step(self) -> bool:
-        """Run the next event; return False if the calendar was empty."""
-        if not self._queue:
+        """Run the next live event; return False if the calendar was empty.
+
+        Cancelled events are discarded without touching the clock or
+        ``events_processed`` — only callbacks that actually fire count.
+        """
+        heap = self._queue.heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return False
-        event = self._queue.pop()
-        if event.cancelled:
-            return True
+        event = heapq.heappop(heap)
         self._now = event.time
         self.events_processed += 1
         event.callback()
@@ -66,24 +72,33 @@ class Simulator:
         Returns the simulation time when the loop stopped.  With ``until``
         set, the clock is advanced to ``until`` even if the calendar drained
         earlier, so back-to-back ``run`` calls observe contiguous time.
+
+        The loop works on the heap directly: one cancelled-head scan per
+        iteration instead of the peek/pop double scan, and cancelled events
+        are dropped without counting toward ``events_processed`` or
+        ``max_events``.
         """
         if self._running:
             raise SimulationError("simulator loop is not reentrant")
         self._running = True
         fired = 0
+        heap = self._queue.heap
+        heappop = heapq.heappop
         try:
             while True:
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap and heap[0].cancelled:
+                    heappop(heap)
+                if not heap:
                     if until is not None and until > self._now:
                         self._now = until
                     break
-                if until is not None and next_time > until:
+                event = heap[0]
+                if until is not None and event.time > until:
                     self._now = until
                     break
-                event = self._queue.pop()
+                heappop(heap)
                 self._now = event.time
                 self.events_processed += 1
                 fired += 1
@@ -91,3 +106,12 @@ class Simulator:
         finally:
             self._running = False
         return self._now
+
+    def run_until(self, time: float) -> float:
+        """Run to the absolute time bound ``time``; the clock lands exactly
+        on it.  A bound in the past is an error (the clock never rewinds)."""
+        if time < self._now:
+            raise SimulationError(
+                f"run_until({time}) is in the past (now={self._now})"
+            )
+        return self.run(until=time)

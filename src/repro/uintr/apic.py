@@ -39,7 +39,7 @@ class InterruptKind(Enum):
     KERNEL = "kernel"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PendingInterrupt:
     """An interrupt accepted by the local APIC, waiting for the core."""
 

@@ -8,6 +8,8 @@ behaviour.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cpu import isa
@@ -15,6 +17,23 @@ from repro.cpu.config import SystemConfig
 from repro.cpu.delivery import FlushStrategy, TrackedStrategy
 from repro.cpu.multicore import MultiCoreSystem
 from repro.cpu.program import Program, ProgramBuilder
+from repro.perf.cache import ENV_CACHE_DIR
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session temp dir.
+
+    Keeps test runs hermetic: no reads from (or writes to) the developer's
+    ``~/.cache/repro-xui``, while still exercising the cache code paths.
+    """
+    saved = os.environ.get(ENV_CACHE_DIR)
+    os.environ[ENV_CACHE_DIR] = str(tmp_path_factory.mktemp("repro-result-cache"))
+    yield
+    if saved is None:
+        os.environ.pop(ENV_CACHE_DIR, None)
+    else:
+        os.environ[ENV_CACHE_DIR] = saved
 
 #: Memory word the default test handler increments.
 COUNTER_ADDR = 0x20_0000

@@ -1,0 +1,42 @@
+"""Determinism regression: parallel and cached runs replay the serial tables."""
+
+from functools import partial
+
+import pytest
+
+from repro.apps import microbench as mb
+from repro.experiments.fig4_overheads import run_fig4
+from repro.perf.cache import ENV_CACHE_DIR, ENV_CACHE_ENABLED
+
+ITERATIONS = 5_000
+INTERVAL = 2_000
+
+
+def _reduced_fig4(jobs):
+    benchmarks = {"count_loop": partial(mb.make_count_loop, ITERATIONS)}
+    return run_fig4(interval=INTERVAL, benchmarks=benchmarks, jobs=jobs)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    return _reduced_fig4(jobs=1)
+
+
+class TestDeterminism:
+    def test_parallel_table_identical(self, serial_reference, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_ENABLED, "0")
+        assert _reduced_fig4(jobs=4) == serial_reference
+
+    def test_cache_hit_rerun_identical(self, serial_reference, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_ENABLED, "1")
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "cache"))
+        cold = _reduced_fig4(jobs=1)
+        warm = _reduced_fig4(jobs=1)
+        assert cold == serial_reference
+        assert warm == serial_reference
+        # The rerun actually hit the cache: entries exist on disk.
+        assert list((tmp_path / "cache").glob("*/*.json"))
+
+    def test_serial_rerun_identical(self, serial_reference, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_ENABLED, "0")
+        assert _reduced_fig4(jobs=1) == serial_reference

@@ -1,0 +1,86 @@
+"""The parallel sweep engine: job resolution, fallback, and equivalence."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.perf.engine import JOBS_ENV, SweepRunner, resolve_jobs, run_sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _stringify(x):
+    return f"<{x}>"
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-2)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "lots")
+        with pytest.raises(ConfigError):
+            resolve_jobs(None)
+
+
+class TestSweepRunner:
+    def test_serial_map(self):
+        runner = SweepRunner(jobs=1)
+        assert runner.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert runner.last_mode == "serial"
+
+    def test_parallel_matches_serial(self):
+        points = list(range(12))
+        serial = SweepRunner(jobs=1).map(_square, points)
+        runner = SweepRunner(jobs=2)
+        assert runner.map(_square, points) == serial
+
+    def test_parallel_preserves_point_order(self):
+        points = [5, 1, 9, 3]
+        assert SweepRunner(jobs=2).map(_stringify, points) == [
+            "<5>",
+            "<1>",
+            "<9>",
+            "<3>",
+        ]
+
+    def test_lambda_falls_back_to_serial(self):
+        runner = SweepRunner(jobs=4)
+        assert runner.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert runner.last_mode == "serial"
+
+    def test_unpicklable_point_falls_back_to_serial(self):
+        runner = SweepRunner(jobs=4)
+        results = runner.map(_stringify, [lambda: None, lambda: None])
+        assert len(results) == 2
+        assert runner.last_mode == "serial"
+
+    def test_single_point_stays_serial(self):
+        runner = SweepRunner(jobs=4)
+        assert runner.map(_square, [7]) == [49]
+        assert runner.last_mode == "serial"
+
+    def test_empty_points(self):
+        assert SweepRunner(jobs=4).map(_square, []) == []
+
+    def test_run_sweep_convenience(self):
+        assert run_sweep(_square, [2, 4], jobs=1) == [4, 16]

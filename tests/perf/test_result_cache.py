@@ -1,0 +1,133 @@
+"""The persistent result cache: keys, invalidation, and corruption handling."""
+
+import dataclasses
+import json
+import logging
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.config import CoreParams, SystemConfig
+from repro.cpu.delivery import DrainStrategy, FlushStrategy, TrackedStrategy
+from repro.perf.cache import ResultCache, canonical, model_version_salt
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(None) is None
+        assert canonical(True) is True
+        assert canonical(42) == 42
+        assert canonical("x") == "x"
+
+    def test_floats_exact(self):
+        assert canonical(0.1) == ["float", "0.1"]
+
+    def test_dict_order_insensitive(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_dataclasses_by_fields(self):
+        params = CoreParams.sapphire_rapids_like()
+        assert canonical(params) == canonical(CoreParams.sapphire_rapids_like())
+        mutated = dataclasses.replace(params, rob_size=params.rob_size + 1)
+        assert canonical(params) != canonical(mutated)
+
+    def test_strategies_by_fingerprint(self):
+        assert canonical(FlushStrategy()) == canonical(FlushStrategy())
+        assert canonical(FlushStrategy()) != canonical(TrackedStrategy())
+        assert canonical(DrainStrategy(extra_pad=0)) != canonical(
+            DrainStrategy(extra_pad=13)
+        )
+
+    def test_local_callables_rejected(self):
+        with pytest.raises(ConfigError):
+            canonical(lambda: None)
+
+
+class TestInvalidation:
+    def test_core_params_mutation_misses(self, cache):
+        config = SystemConfig.sapphire_rapids_like()
+        key = cache.key_for({"config": config})
+        cache.put(key, {"cycles": 123})
+        mutated = dataclasses.replace(
+            config, core=dataclasses.replace(config.core, rob_size=64)
+        )
+        other_key = cache.key_for({"config": mutated})
+        assert other_key != key
+        assert cache.get(other_key) is None
+
+    def test_fake_model_salt_misses(self, tmp_path):
+        payload = {"kind": "x", "value": 7}
+        real = ResultCache(root=tmp_path / "c")
+        key = real.key_for(payload)
+        real.put(key, {"cycles": 9})
+        fake = ResultCache(root=tmp_path / "c", salt="deadbeef")
+        assert fake.key_for(payload) != key
+        assert fake.get(fake.key_for(payload)) is None
+
+    def test_salt_defaults_to_model_sources(self, tmp_path):
+        assert ResultCache(root=tmp_path).salt == model_version_salt()
+        assert len(model_version_salt()) == 64
+
+
+class TestStore:
+    def test_roundtrip(self, cache):
+        key = cache.key_for({"a": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"cycles": 5, "stats": {"x": 1}})
+        assert cache.get(key) == {"cycles": 5, "stats": {"x": 1}}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_memoize_computes_once(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"cycles": 11}
+
+        assert cache.memoize({"p": 1}, compute) == {"cycles": 11}
+        assert cache.memoize({"p": 1}, compute) == {"cycles": 11}
+        assert len(calls) == 1
+
+    def test_disabled_cache_always_computes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, enabled=False)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"cycles": 3}
+
+        cache.memoize({"p": 1}, compute)
+        cache.memoize({"p": 1}, compute)
+        assert len(calls) == 2
+        assert not any(tmp_path.glob("*/*.json"))
+
+    def test_corrupt_entry_falls_back_with_warning(self, cache, caplog):
+        key = cache.key_for({"p": 2})
+        cache.put(key, {"cycles": 8})
+        path = cache._path(key)
+        path.write_text("{ not json !!")
+        with caplog.at_level(logging.WARNING, logger="repro.perf.cache"):
+            assert cache.get(key) is None
+        assert any("corrupt" in record.message for record in caplog.records)
+        # The corrupt file was dropped; memoize re-simulates and heals it.
+        assert cache.memoize({"p": 2}, lambda: {"cycles": 8}) == {"cycles": 8}
+        assert json.loads(path.read_text()) == {"cycles": 8}
+
+    def test_non_object_entry_is_corrupt(self, cache, caplog):
+        key = cache.key_for({"p": 3})
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("[1, 2, 3]")
+        with caplog.at_level(logging.WARNING, logger="repro.perf.cache"):
+            assert cache.get(key) is None
+
+    def test_clear(self, cache):
+        for n in range(3):
+            cache.put(cache.key_for({"n": n}), {"cycles": n})
+        assert cache.clear() == 3
+        assert cache.get(cache.key_for({"n": 0})) is None

@@ -105,3 +105,65 @@ class TestRunBounds:
             sim.schedule(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 4
+
+
+class TestCancelledFastPath:
+    def test_cancelled_events_not_counted(self):
+        sim = Simulator()
+        fired = []
+        for i in (1, 3):
+            sim.schedule(float(i), lambda: fired.append(sim.now))
+        for i in (2, 4):
+            sim.schedule(float(i), lambda: fired.append(-1.0)).cancel()
+        sim.run()
+        assert fired == [1.0, 3.0]
+        assert sim.events_processed == 2
+
+    def test_cancelled_events_do_not_consume_max_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1)).cancel()
+        sim.schedule(2.0, lambda: fired.append(2)).cancel()
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(max_events=1)
+        assert fired == [3]
+        assert sim.events_processed == 1
+
+    def test_step_skips_cancelled_without_counting(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1)).cancel()
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [2]
+        assert sim.events_processed == 1
+        assert sim.step() is False
+
+    def test_cancelled_head_leaves_clock_alone_when_drained(self):
+        sim = Simulator()
+        sim.schedule(9.0, lambda: None).cancel()
+        sim.run()
+        assert sim.now == 0.0
+        assert sim.events_processed == 0
+
+
+class TestRunUntilGuard:
+    def test_run_until_lands_exactly_on_bound(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        assert sim.run_until(40.0) == 40.0
+        assert sim.now == 40.0
+        assert sim.pending() == 1
+
+    def test_run_until_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run_until(2.0)
+
+    def test_run_until_at_now_is_noop(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.run_until(sim.now) == sim.now

@@ -51,3 +51,42 @@ class TestQuickCommands:
         assert main(["experiment", "fig9"]) == 0
         out = capsys.readouterr().out
         assert "busy_spin" in out and "xui" in out
+
+
+class TestPerfOptions:
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["experiment", "fig4", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_jobs_defaults_to_none(self):
+        args = build_parser().parse_args(["experiment", "fig4"])
+        assert args.jobs is None
+
+    def test_experiment_fig6_with_jobs(self, capsys):
+        assert main(["experiment", "fig6", "--jobs", "2"]) == 0
+        assert "setitimer" in capsys.readouterr().out
+
+    def test_perf_selftest_ok(self, capsys, monkeypatch):
+        import repro.perf.selftest as selftest
+
+        seen = {}
+
+        def fake_run_selftest(jobs, report=None):
+            seen["jobs"] = jobs
+            return {"ok": True, "checks": {}, "seconds": {}, "warm_speedup": 1.0}
+
+        monkeypatch.setattr(selftest, "run_selftest", fake_run_selftest)
+        assert main(["perf-selftest", "--jobs", "3"]) == 0
+        assert seen["jobs"] == 3
+        assert "perf-selftest: OK" in capsys.readouterr().out
+
+    def test_perf_selftest_failure_exit_code(self, capsys, monkeypatch):
+        import repro.perf.selftest as selftest
+
+        monkeypatch.setattr(
+            selftest,
+            "run_selftest",
+            lambda jobs, report=None: {"ok": False},
+        )
+        assert main(["perf-selftest"]) == 1
+        assert "FAILED" in capsys.readouterr().err
