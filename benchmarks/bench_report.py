@@ -1,0 +1,195 @@
+"""Cold-path engine benchmark: cycle-skipping engine vs. naive stepper.
+
+Times uncached (``REPRO_CACHE=0``) cycle-tier runs twice — once under the
+cycle-skipping fast engine and once under the naive per-cycle stepper
+(``REPRO_FAST=0``) — and emits ``BENCH_cycletier.json`` at the repo root
+with wall-clock, simulated cycles/sec, skip fraction, and the fast-vs-naive
+speedup per bench.
+
+Equality is the contract: every bench compares its full result (cycle
+counts, stats snapshots, experiment tables) between the two engines and
+fails if they differ in any byte.  The memory-stall-heavy benches
+(DRAM-resident pointer chase, and the Figure 4 interval sweep in the
+paper's headline ``xui_kb_timer_tracking`` configuration) carry a >= 3x
+speedup gate; dense compute benches are reported ungated — a pipeline
+that is busy every cycle has nothing to skip, and the report says so
+rather than hiding it.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_report.py``) or via
+pytest (``python -m pytest benchmarks/bench_report.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+from repro.apps import microbench as mb
+from repro.common.counters import ENV_FAST, GLOBAL_COUNTERS
+from repro.experiments import cycletier
+from repro.experiments.fig4_overheads import run_interval_sweep
+from repro.perf.cache import ENV_CACHE_ENABLED
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cycletier.json"
+
+#: Acceptance floor for the gated (memory-stall-heavy) benches.
+GATED_SPEEDUP = 3.0
+
+#: DRAM-resident pointer chase: 4096 nodes x 64 B = 256 KiB, past the L2,
+#: so every hop is a long memory stall the fast engine can skip across.
+PTR_NODES = 4096
+
+
+def _pointer_chase() -> mb.Workload:
+    return mb.make_pointer_chase(PTR_NODES, stride=64)
+
+
+def _bench_pointer_chase_baseline() -> Any:
+    result = cycletier.run_baseline(_pointer_chase())
+    return {"cycles": result.cycles, "stats": dict(result.stats.__dict__)}
+
+
+def _bench_pointer_chase_kb_timer() -> Any:
+    result = cycletier.run_with_kb_timer(_pointer_chase(), interval=10_000)
+    return {
+        "cycles": result.cycles,
+        "interrupts": result.interrupts_delivered,
+        "stats": dict(result.stats.__dict__),
+    }
+
+
+def _bench_fig4_interval_sweep() -> Any:
+    return run_interval_sweep(
+        partial(mb.make_pointer_chase, PTR_NODES),
+        intervals=[5_000, 10_000],
+        configurations=["xui_kb_timer_tracking"],
+        jobs=1,
+    )
+
+
+def _bench_count_loop_kb_timer() -> Any:
+    result = cycletier.run_with_kb_timer(mb.make_count_loop(60_000), interval=5_000)
+    return {
+        "cycles": result.cycles,
+        "interrupts": result.interrupts_delivered,
+        "stats": dict(result.stats.__dict__),
+    }
+
+
+def _bench_memops_baseline() -> Any:
+    result = cycletier.run_baseline(mb.make_memops(iterations=2_000))
+    return {"cycles": result.cycles, "stats": dict(result.stats.__dict__)}
+
+
+#: (name, runner, gated): gated benches must clear :data:`GATED_SPEEDUP`.
+BENCHES: Tuple[Tuple[str, Callable[[], Any], bool], ...] = (
+    ("pointer_chase_baseline", _bench_pointer_chase_baseline, True),
+    ("fig4_interval_sweep", _bench_fig4_interval_sweep, True),
+    ("pointer_chase_kb_timer", _bench_pointer_chase_kb_timer, False),
+    ("count_loop_kb_timer", _bench_count_loop_kb_timer, False),
+    ("memops_baseline", _bench_memops_baseline, False),
+)
+
+
+@contextmanager
+def _env(**overrides: str) -> Iterator[None]:
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _timed(fn: Callable[[], Any], repeats: int = 2) -> Tuple[Any, float, Dict[str, float]]:
+    """Run ``fn`` cold ``repeats`` times; keep the best wall clock.
+
+    Best-of-N because the container these run in is shared: a single timing
+    can be off by 2x from scheduler noise, and the engines are compared by
+    ratio."""
+    g = GLOBAL_COUNTERS
+    result = None
+    elapsed = float("inf")
+    telemetry: Dict[str, float] = {}
+    for _ in range(repeats):
+        g.reset()
+        start = time.perf_counter()
+        result = fn()
+        this_time = time.perf_counter() - start
+        if this_time < elapsed:
+            elapsed = this_time
+            telemetry = {
+                "simulated_cycles": g.cycles_stepped + g.cycles_skipped,
+                "skip_fraction": g.skip_fraction,
+            }
+    return result, elapsed, telemetry
+
+
+def run_report(report: Callable[[str], None] = print) -> Dict[str, Any]:
+    """Run every bench fast + naive; write and return the report payload."""
+    benches: Dict[str, Any] = {}
+    ok = True
+    for name, runner, gated in BENCHES:
+        report(f"{name}: fast engine...")
+        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "1"}):
+            fast, t_fast, fast_counters = _timed(runner)
+        report(f"  {t_fast:.2f}s ({fast_counters['skip_fraction']:.0%} cycles skipped)")
+        report(f"{name}: naive stepper (REPRO_FAST=0)...")
+        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "0"}):
+            naive, t_naive, naive_counters = _timed(runner)
+        report(f"  {t_naive:.2f}s")
+
+        equal = fast == naive
+        speedup = t_naive / t_fast if t_fast > 0 else float("inf")
+        cycles = naive_counters["simulated_cycles"]
+        entry = {
+            "gated": gated,
+            "results_identical": equal,
+            "wall_fast_s": round(t_fast, 4),
+            "wall_naive_s": round(t_naive, 4),
+            "speedup": round(speedup, 2),
+            "simulated_cycles": cycles,
+            "cycles_per_sec_fast": round(cycles / t_fast) if t_fast > 0 else None,
+            "cycles_per_sec_naive": round(cycles / t_naive) if t_naive > 0 else None,
+            "skip_fraction": round(fast_counters["skip_fraction"], 4),
+        }
+        benches[name] = entry
+        if not equal:
+            ok = False
+            report(f"  FAIL  {name}: fast and naive results differ")
+        elif gated and speedup < GATED_SPEEDUP:
+            ok = False
+            report(f"  FAIL  {name}: {speedup:.2f}x < {GATED_SPEEDUP}x gate")
+        else:
+            gate = f" (gate >= {GATED_SPEEDUP}x)" if gated else ""
+            report(f"  PASS  {name}: {speedup:.2f}x, results identical{gate}")
+
+    payload = {
+        "report": "cold cycle-tier runs, cycle-skipping engine vs naive stepper",
+        "gate_speedup": GATED_SPEEDUP,
+        "ok": ok,
+        "benches": benches,
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    report(f"wrote {REPORT_PATH}")
+    return payload
+
+
+def test_cold_engine_report():
+    """Pytest entry: the full report, asserting equality plus gated speedups."""
+    payload = run_report()
+    assert payload["ok"], json.dumps(payload["benches"], indent=2)
+
+
+if __name__ == "__main__":
+    sys.exit(0 if run_report()["ok"] else 1)

@@ -5,7 +5,7 @@ Usage::
     python -m repro list
     python -m repro quickstart [--tracked]
     python -m repro costs [--from-cycle-model]
-    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full] [--jobs N]
+    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full] [--jobs N] [--verbose]
     python -m repro perf-selftest [--jobs N]
 
 ``--full`` runs closer to benchmark scale; the default is a quick variant
@@ -13,7 +13,9 @@ Usage::
 independent sweep points over N worker processes (0 = one per CPU); results
 are bit-identical to the serial path.  Cycle-tier outcomes are memoized in a
 persistent cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=0``), and
-``perf-selftest`` verifies both properties at reduced scale.
+``perf-selftest`` verifies both properties at reduced scale.  Cold runs use
+the cycle-skipping fast engine by default; ``REPRO_FAST=0`` falls back to
+the naive stepper, and ``--verbose`` prints skip/uop-cache/event telemetry.
 """
 
 from __future__ import annotations
@@ -282,18 +284,44 @@ _RUNNERS: Dict[str, Callable[..., None]] = {
 }
 
 
+def _print_engine_counters() -> None:
+    from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
+
+    g = GLOBAL_COUNTERS
+    total_cycles = g.cycles_stepped + g.cycles_skipped
+    rows = [
+        ["engine", "fast (cycle-skipping)" if fast_engine_enabled() else "naive (REPRO_FAST=0)"],
+        ["cycles stepped", f"{g.cycles_stepped:,}"],
+        ["cycles skipped", f"{g.cycles_skipped:,}"],
+        ["skip fraction", f"{g.skip_fraction:.1%}" if total_cycles else "n/a"],
+        ["uop cache hits", f"{g.uop_cache_hits:,}"],
+        ["uop cache misses", f"{g.uop_cache_misses:,}"],
+        ["uop hit rate", f"{g.uop_hit_rate:.1%}" if (g.uop_cache_hits + g.uop_cache_misses) else "n/a"],
+        ["events fired", f"{g.events_fired:,}"],
+        ["events fast-forwarded", f"{g.events_fast_forwarded:,}"],
+    ]
+    print()
+    print(format_table(["engine counter", "value"], rows, title="Engine telemetry (this process)"))
+    print("(runs fanned out with --jobs execute in worker processes and are not counted)")
+
+
 def _cmd_experiment(args) -> int:
+    from repro.common.counters import GLOBAL_COUNTERS
     from repro.common.errors import ConfigError
 
     runner = _RUNNERS.get(args.name)
     if runner is None:
         print(f"unknown experiment {args.name!r}; try: python -m repro list", file=sys.stderr)
         return 2
+    if args.verbose:
+        GLOBAL_COUNTERS.reset()
     try:
         runner(args.full, jobs=args.jobs)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.verbose:
+        _print_engine_counters()
     return 0
 
 
@@ -343,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="fan sweep points over N worker processes (0 = one per CPU)",
+    )
+    experiment.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print fast-engine telemetry (cycle skip / uop cache / event counters)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

@@ -1,0 +1,74 @@
+"""Process-global engine telemetry and the fast-engine switch.
+
+The cycle-skipping core engine and the event-tier fast-forward path
+(`REPRO_FAST`) change *how* the simulators advance time, never *what* they
+compute.  The counters here record how much work each shortcut saved so
+``python -m repro experiment <id> --verbose`` can report it; they are kept
+out of :class:`repro.cpu.core.CoreStats` on purpose — simulated results
+(including stats snapshots) must be byte-identical between the naive and
+skipping engines, so engine telemetry cannot live next to model counters.
+
+``REPRO_FAST=0`` (or ``off``/``false``/``no``) forces the naive cycle
+stepper and the unbatched event loop; anything else (including unset)
+enables the fast engine.  The flag is read per ``run()`` call so tests can
+toggle it between runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+ENV_FAST = "REPRO_FAST"
+
+_DISABLED_VALUES = {"0", "off", "false", "no"}
+
+
+def fast_engine_enabled() -> bool:
+    """Is the cycle-skipping / event fast-forward engine enabled?"""
+    return os.environ.get(ENV_FAST, "1").strip().lower() not in _DISABLED_VALUES
+
+
+@dataclass
+class EngineCounters:
+    """How much work the fast engine avoided (process-wide accumulator)."""
+
+    #: Core cycles actually stepped through the pipeline stages.
+    cycles_stepped: int = 0
+    #: Core cycles accounted in bulk because the pipeline was quiescent.
+    cycles_skipped: int = 0
+    #: Decoded-template hits / misses in the per-core micro-op caches.
+    uop_cache_hits: int = 0
+    uop_cache_misses: int = 0
+    #: Event-tier callbacks fired.
+    events_fired: int = 0
+    #: Event-tier clock jumps (heap head strictly in the future).
+    events_fast_forwarded: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    @property
+    def uop_hit_rate(self) -> float:
+        total = self.uop_cache_hits + self.uop_cache_misses
+        return self.uop_cache_hits / total if total else 0.0
+
+    @property
+    def skip_fraction(self) -> float:
+        total = self.cycles_stepped + self.cycles_skipped
+        return self.cycles_skipped / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["uop_hit_rate"] = self.uop_hit_rate
+        out["skip_fraction"] = self.skip_fraction
+        return out
+
+
+#: The process-global accumulator.  ``Core.run`` / ``MultiCoreSystem.run`` /
+#: ``Simulator.run`` add their per-run deltas here; parallel sweep workers
+#: accumulate in their own processes, so with ``--jobs N`` only in-process
+#: runs are visible.
+GLOBAL_COUNTERS = EngineCounters()

@@ -29,6 +29,35 @@ ST_READY = 1  # eligible for issue
 ST_EXECUTING = 2
 ST_DONE = 3
 
+# TESTUI is gated to the ROB head (not a stall) so it observes the
+# architectural UIF, which CLUI/STUI update at commit.
+_SERIALIZING_OPS = frozenset((Op.MSR_WRITE, Op.STUI, Op.TESTUI))
+_BRANCH_OPS = frozenset((Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP, Op.CALL, Op.RET))
+_COND_BRANCH_OPS = frozenset((Op.BEQ, Op.BNE, Op.BLT, Op.BGE))
+
+
+def _classify_op(op: Op) -> str:
+    if op in INT_ALU_OPS:
+        return "int"
+    if op in MUL_OPS or op in DIV_OPS:
+        return "mul"
+    if op in FP_OPS:
+        return "fp"
+    if op in (Op.LOAD, Op.STORE):
+        return "mem"
+    if op in _BRANCH_OPS:
+        return "branch"
+    return "other"
+
+
+#: Per-op decode metadata, folded into one dict so the µop hot path pays a
+#: single enum-hash lookup instead of a chain of frozenset membership tests:
+#: ``(is_serializing, is_branch, is_cond_branch, fu_class)``.
+OP_META: Dict[Op, tuple] = {
+    op: (op in _SERIALIZING_OPS, op in _BRANCH_OPS, op in _COND_BRANCH_OPS, _classify_op(op))
+    for op in Op
+}
+
 
 class UOp:
     """One in-flight micro-op (a ROB entry)."""
@@ -68,6 +97,10 @@ class UOp:
         "macro_first",
         "actual_taken",
         "actual_target",
+        "is_serializing",
+        "is_branch",
+        "is_cond_branch",
+        "fu_class",
     )
 
     def __init__(
@@ -93,6 +126,13 @@ class UOp:
     ) -> None:
         self.seq = seq
         self.op = op
+        # Classified once at dispatch; read many times per µop on the
+        # complete/issue/squash paths.
+        meta = OP_META[op]
+        self.is_serializing = meta[0]
+        self.is_branch = meta[1]
+        self.is_cond_branch = meta[2]
+        self.fu_class = meta[3]
         self.pc = pc
         self.instr = instr
         self.semantic = semantic
@@ -128,20 +168,6 @@ class UOp:
         self.actual_taken = False
         self.actual_target: Optional[int] = None
 
-    @property
-    def is_serializing(self) -> bool:
-        # TESTUI is gated to the ROB head (not a stall) so it observes the
-        # architectural UIF, which CLUI/STUI update at commit.
-        return self.op in (Op.MSR_WRITE, Op.STUI, Op.TESTUI)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP, Op.CALL, Op.RET)
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE)
-
     def source_value(self, reg: int, arch_regs: List[int]) -> int:
         """Operand value: the in-flight producer's result, or the committed register."""
         producer = self.producers.get(reg)
@@ -169,33 +195,30 @@ class FunctionalUnits:
             "branch": 2,
             "other": params.issue_width,
         }
+        # Per-op latency resolved once against this core's parameters; the
+        # issue hot path reads the table instead of re-deriving per µop.
+        self._latency: Dict[Op, int] = {op: self._latency_of(op) for op in Op}
 
     @staticmethod
     def classify(op: Op) -> str:
-        if op in INT_ALU_OPS:
-            return "int"
-        if op in MUL_OPS or op in DIV_OPS:
-            return "mul"
-        if op in FP_OPS:
-            return "fp"
-        if op in (Op.LOAD, Op.STORE):
-            return "mem"
-        if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP, Op.CALL, Op.RET):
-            return "branch"
-        return "other"
+        return OP_META[op][3]
 
-    def try_acquire(self, op: Op, cycle: int) -> bool:
+    def try_acquire(self, op: Op, cycle: int, unit: Optional[str] = None) -> bool:
+        # Keyed on the cycle *value*, not on call count, so the bandwidth
+        # table resets correctly when the cycle-skipping engine jumps the
+        # clock over quiescent stretches.
         if cycle != self._cycle:
             self._cycle = cycle
             self._used.clear()
-        unit = self.classify(op)
+        if unit is None:
+            unit = OP_META[op][3]
         used = self._used.get(unit, 0)
         if used >= self._limits[unit]:
             return False
         self._used[unit] = used + 1
         return True
 
-    def latency(self, op: Op) -> int:
+    def _latency_of(self, op: Op) -> int:
         params = self.params
         if op in MUL_OPS:
             return params.mul_latency
@@ -206,6 +229,9 @@ class FunctionalUnits:
         if op in FP_OPS:
             return params.fp_latency
         return params.int_alu_latency
+
+    def latency(self, op: Op) -> int:
+        return self._latency[op]
 
 
 class LoadStoreQueues:

@@ -37,9 +37,14 @@ class SetAssociativeCache:
 
     def lookup(self, addr: int) -> bool:
         """Check presence and update LRU; fill on miss.  True on hit."""
-        line = self.line_of(addr)
-        index = line % self._num_sets
-        tags = self._sets[index]
+        line = addr >> self._line_shift
+        tags = self._sets[line % self._num_sets]
+        if tags and tags[-1] == line:
+            # MRU fast path: repeated accesses to the same line (hot loops,
+            # streaming) skip the remove/append shuffle, which for the tail
+            # entry is a no-op reorder anyway.
+            self.hits += 1
+            return True
         if line in tags:
             tags.remove(line)
             tags.append(line)
@@ -99,12 +104,12 @@ class SharedMemory:
         return addr // cls.LINE_BYTES
 
     def read(self, addr: int) -> int:
-        return self._words.get(self.word_addr(addr), 0)
+        return self._words.get(addr & ~0x7, 0)
 
     def write(self, addr: int, value: int, core_id: Optional[int] = None) -> None:
-        self._words[self.word_addr(addr)] = value
+        self._words[addr & ~0x7] = value
         if core_id is not None:
-            self._last_writer[self.line_of(addr)] = core_id
+            self._last_writer[addr // 64] = core_id
         for observer in self._write_observers:
             observer(core_id, addr)
 
@@ -134,6 +139,13 @@ class MemoryHierarchy:
     costs arise from the directory: reading a line whose last writer is a
     different core forces an L1 miss at ``remote_dirty_latency`` even if a
     stale copy was cached locally.
+
+    The hierarchy is *synchronous*: a memory access's full latency is fixed
+    at issue time and carried by the µop's completion entry in the core's
+    ``exec_heap``.  The cycle-skipping engine depends on this — with no
+    asynchronous memory responses, every future memory event is visible as
+    an exec-heap completion time, so ``Core.next_activity_cycle`` needs no
+    separate memory-system clause.
     """
 
     def __init__(

@@ -12,8 +12,9 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
 from repro.common.errors import ConfigError, ProtocolError, SimulationError
 from repro.cpu.backend import (
     ST_DONE,
@@ -43,6 +44,16 @@ MASK64 = (1 << 64) - 1
 CHAIN_KEY = -1
 #: Store-to-load forwarding latency.
 FORWARD_LATENCY = 5
+#: "No activity in sight" sentinel for :meth:`Core.next_activity_cycle`.
+FAR_FUTURE = 1 << 62
+#: Cap on the adaptive horizon-scan backoff: after a long busy streak the
+#: fast engine re-checks for skip opportunities at most once per CAP stepped
+#: cycles.  The backoff ramps at a quarter of the streak so workloads with
+#: short, frequent stalls (streaming copies) still detect quiescence within
+#: a couple of cycles, while truly dense code (spin loops, tight ALU chains)
+#: amortizes the scan 1:CAP.  Bounds both the wasted scans on dense code and
+#: the quiescence-detection delay on stall-heavy code.
+NA_BACKOFF_CAP = 16
 
 
 @dataclass
@@ -109,6 +120,24 @@ class Core:
         self.cycle = 0
         self.halted = False
 
+        # Engine telemetry (NOT part of CoreStats: simulated results must be
+        # byte-identical between the naive and cycle-skipping engines, so
+        # skip accounting lives outside the model counters).
+        self.engine_cycles_skipped = 0
+        #: Cached next-activity horizon, maintained by MultiCoreSystem.run.
+        self._next_activity = 0
+        #: First cycle of the current idle stretch (-1 when active); idle
+        #: accounting is deferred until the core next steps (lazy flush).
+        self._idle_anchor = -1
+        #: Adaptive horizon-scan backoff: consecutive "no skip possible"
+        #: answers from :meth:`next_activity_cycle`, and how many stepped
+        #: cycles to skip re-asking.  A busy pipeline (dense compute) would
+        #: otherwise pay the horizon scan every cycle for nothing; stepping
+        #: without asking is always safe, merely conservative.
+        self._na_streak = 0
+        self._na_backoff = 0
+        self._prog_len = len(program)
+
         # Back-end state
         self.rob: Deque[UOp] = deque()
         self.reg_producer: Dict[int, UOp] = {}
@@ -122,9 +151,11 @@ class Core:
         self.fetch_pc = program.entry_index
         self.fetch_stall_until = 0
         self.wait_reason: Optional[str] = None  # "uiret" | "halt" | "drain"
-        self.inject_queue: List[MicroOp] = []
+        # Queues hold interned routine templates (tuples shared across
+        # expansions); they are rebound on reset, never mutated in place.
+        self.inject_queue: Sequence[MicroOp] = ()
         self.inject_pos = 0
-        self.macro_queue: List[MicroOp] = []
+        self.macro_queue: Sequence[MicroOp] = ()
         self.macro_pos = 0
         self.macro_pc = -1
         self.interrupt_path = False
@@ -153,8 +184,14 @@ class Core:
             return
         self.cycle = cycle
         self.stats.cycles += 1
-        self._check_kb_timer()
-        self.strategy.on_cycle()
+        # Timer checks fire only when a timer is armed, and strategies that
+        # declare ``always_poll = False`` are polled only while an interrupt
+        # is pending — both are pure no-ops otherwise.
+        if self.uintr.kb_timer.armed or self.apic_timer.armed:
+            self._check_kb_timer()
+        strategy = self.strategy
+        if strategy.always_poll or self.apic._pending:
+            strategy.on_cycle()
         self._commit_stage()
         if self.halted:
             return
@@ -163,13 +200,192 @@ class Core:
         self._fetch_stage()
 
     def run(self, max_cycles: int) -> int:
-        """Single-core convenience loop (multi-core runs use MultiCoreSystem)."""
+        """Single-core convenience loop (multi-core runs use MultiCoreSystem).
+
+        With the fast engine enabled (default; ``REPRO_FAST=0`` opts out)
+        the loop jumps the clock over provably quiescent stretches — see
+        :meth:`next_activity_cycle`.  Results are byte-identical to the
+        naive stepper; only wall-clock changes.
+        """
         start = self.cycle
-        for cycle in range(self.cycle, self.cycle + max_cycles):
-            if self.halted:
-                break
-            self.step(cycle)
+        end = start + max_cycles
+        stepped = 0
+        skipped = 0
+        hits0 = self.uop_cache.hits
+        misses0 = self.uop_cache.misses
+        if fast_engine_enabled():
+            cycle = start
+            backoff = 0
+            streak = self._na_streak
+            while cycle < end:
+                if self.halted:
+                    break
+                self.step(cycle)
+                stepped += 1
+                if self.halted:
+                    break
+                if backoff > 0:
+                    # The pipeline has been busy every recent cycle; step on
+                    # without re-scanning the horizon (always safe).
+                    backoff -= 1
+                    cycle += 1
+                    continue
+                nxt = self.next_activity_cycle()
+                if nxt > cycle + 1:
+                    streak = 0
+                    if nxt >= end:
+                        # Quiescent through the end of the window: the naive
+                        # stepper would no-op cycles cycle+1 .. end-1.
+                        quiet = end - 1 - cycle
+                        if quiet > 0:
+                            self.note_skipped(quiet)
+                            skipped += quiet
+                            self.cycle = end - 1
+                        break
+                    quiet = nxt - 1 - cycle
+                    self.note_skipped(quiet)
+                    skipped += quiet
+                    cycle = nxt
+                else:
+                    if streak < 4 * NA_BACKOFF_CAP:
+                        streak += 1
+                    backoff = streak >> 2
+                    cycle += 1
+            self._na_streak = streak
+        else:
+            for cycle in range(start, end):
+                if self.halted:
+                    break
+                self.step(cycle)
+                stepped += 1
+        g = GLOBAL_COUNTERS
+        g.cycles_stepped += stepped
+        g.cycles_skipped += skipped
+        g.uop_cache_hits += self.uop_cache.hits - hits0
+        g.uop_cache_misses += self.uop_cache.misses - misses0
         return self.cycle - start
+
+    # ------------------------------------------------------------------
+    # Cycle skipping (the fast engine)
+    # ------------------------------------------------------------------
+
+    def note_skipped(self, cycles: int) -> None:
+        """Account ``cycles`` quiescent cycles without stepping them.
+
+        A quiescent cycle in the naive stepper touches exactly two counters:
+        ``stats.cycles`` (every stepped cycle) and
+        ``stats.serialize_stall_cycles`` (the issue stage increments it every
+        cycle a serializing µop is in flight).  Reproducing both keeps the
+        stats snapshot byte-identical.
+        """
+        self.stats.cycles += cycles
+        self.engine_cycles_skipped += cycles
+        if self._serialize_until >= 0:
+            self.stats.serialize_stall_cycles += cycles
+
+    def next_activity_cycle(self) -> int:
+        """The earliest future cycle at which stepping this core could change
+        any state — i.e. cycles strictly between :attr:`cycle` + 1 and the
+        returned value are provably no-ops and may be skipped.
+
+        Activity sources, mirroring the stage conditions in :meth:`step`:
+
+        - commit: the ROB head is already done (retires next cycle);
+        - completion: the ``exec_heap`` head's completion time (memory
+          responses surface here too — the hierarchy is synchronous, so a
+          miss's latency is fixed at issue);
+        - issue: the ``ready_heap`` head's ready time (ignored while a
+          serializing µop stalls issue; its completion re-enables issue and
+          is covered by the exec head);
+        - fetch: the fetch stage could dispatch (not waiting on
+          uiret/halt/drain, PC in range or microcode queued, back-end room)
+          at ``max(cycle+1, fetch_stall_until)``;
+        - timers: an armed KB/APIC timer's next deadline;
+        - delivery: a pending deliverable interrupt, or whatever the
+          strategy reports via ``DeliveryStrategy.next_activity_cycle``
+          (the base class conservatively disables skipping for strategies
+          that have not opted in).
+        """
+        cycle = self.cycle
+        horizon = cycle + 1
+        rob = self.rob
+        if rob and rob[0].state == ST_DONE:
+            return horizon
+        nxt = FAR_FUTURE
+        exec_heap = self.exec_heap
+        if exec_heap:
+            t = exec_heap[0][0]
+            if t <= horizon:
+                return horizon
+            if t < nxt:
+                nxt = t
+        if self._serialize_until < 0:
+            ready_heap = self.ready_heap
+            if ready_heap:
+                t = ready_heap[0][0]
+                if t <= horizon:
+                    # The head is due, but issue may still be unable to act on
+                    # it: stale entries (squashed / already issued) are merely
+                    # dropped, and blocked entries (a serializing µop waiting
+                    # for the ROB head, a conservative load waiting on older
+                    # store addresses) are re-deferred every cycle.  Both are
+                    # woken only by commit/completion progress, which the ROB
+                    # and exec-heap clauses above already cover — so scan past
+                    # them, mirroring ``_issue_stage``'s own filters, and force
+                    # a step only if a genuinely issuable µop is due.
+                    rob_head = rob[0] if rob else None
+                    for rt, _, ruop in ready_heap:
+                        if rt > horizon:
+                            if rt < nxt:
+                                nxt = rt
+                            continue
+                        if ruop.squashed or ruop.state != ST_READY:
+                            continue  # stale: dropped whenever popped
+                        if ruop.is_serializing and ruop is not rob_head:
+                            continue  # deferred until it reaches the ROB head
+                        if (
+                            ruop.op is Op.LOAD
+                            and (ruop.pc, ruop.is_micro) in self._conservative_loads
+                            and self.lsq.has_unresolved_older_store(ruop)
+                        ):
+                            continue  # deferred until older stores resolve
+                        return horizon
+                elif t < nxt:
+                    nxt = t
+        if (
+            self.wait_reason is None
+            and (
+                self.inject_pos < len(self.inject_queue)
+                or self.macro_pos < len(self.macro_queue)
+                or 0 <= self.fetch_pc < self._prog_len
+            )
+            and self._backend_has_room()
+        ):
+            t = self.fetch_stall_until
+            if t <= horizon:
+                return horizon
+            if t < nxt:
+                nxt = t
+        t = self.uintr.kb_timer.next_fire_cycle()
+        if t is not None:
+            if t <= horizon:
+                return horizon
+            if t < nxt:
+                nxt = t
+        t = self.apic_timer.next_fire_cycle()
+        if t is not None:
+            if t <= horizon:
+                return horizon
+            if t < nxt:
+                nxt = t
+        # Interrupt delivery can act on any cycle while something is pending
+        # and deliverable; be conservative and step through those windows.
+        if self.apic.has_pending() and self.uintr.uif and self.delivery_state is None:
+            return horizon
+        t = self.strategy.next_activity_cycle()
+        if t is not None and t < nxt:
+            nxt = t
+        return nxt if nxt > horizon else horizon
 
     # ------------------------------------------------------------------
     # KB timer (§4.3)
@@ -491,7 +707,7 @@ class Core:
                 # older store addresses (store-set-style dependence predictor).
                 deferred.append((self.cycle + 1, seq, uop))
                 continue
-            if not self.fus.try_acquire(uop.op, self.cycle):
+            if not self.fus.try_acquire(uop.op, self.cycle, uop.fu_class):
                 deferred.append((self.cycle + 1, seq, uop))
                 continue
             self._start_execute(uop)
@@ -504,7 +720,7 @@ class Core:
     def _start_execute(self, uop: UOp) -> None:
         uop.state = ST_EXECUTING
         self.iq_count -= 1
-        latency = self.fus.latency(uop.op) + uop.extra_latency
+        latency = self.fus._latency[uop.op] + uop.extra_latency
         op = uop.op
         if op is Op.LOAD:
             latency = self._execute_load(uop)
@@ -735,11 +951,13 @@ class Core:
             budget -= 1
 
     def _backend_has_room(self) -> bool:
+        lsq = self.lsq
+        params = self.params
         return (
-            len(self.rob) < self.params.rob_size
-            and self.iq_count < self.params.iq_size
-            and self.lsq.has_load_slot()
-            and self.lsq.has_store_slot()
+            len(self.rob) < params.rob_size
+            and self.iq_count < params.iq_size
+            and len(lsq.loads) < params.lq_size
+            and len(lsq.stores) < params.sq_size
         )
 
     def _fetch_program_instruction(self) -> bool:
@@ -760,7 +978,7 @@ class Core:
             self.trace.record(self.cycle, "resume_fetch", core=self.core_id)
         op = instr.op
         if op is Op.SENDUIPI:
-            self.macro_queue = mc.senduipi_routine(self.timing, instr.imm)
+            self.macro_queue = mc.senduipi_routine_cached(self.timing, instr.imm)
             self.macro_pos = 0
             self.macro_pc = self.fetch_pc
             self._last_chain_uop = None
@@ -800,35 +1018,42 @@ class Core:
             self.fetch_pc = self.fetch_pc + 1
 
     def _dispatch_instruction(self, instr: Instruction) -> UOp:
-        extra = 0
-        if instr.op is Op.STUI:
-            extra = self.timing.stui_stall
-        dest = instr.dest_reg()
-        src_regs = instr.source_regs()
-        if instr.op is Op.UIRET:
-            # uiret restores the pre-delivery stack pointer.
-            dest = RegNames.SP
-            src_regs = (RegNames.SP,)
-        # Micro-op cache: a hit serves the decoded form and skips the decode
-        # stages; a miss decodes and fills (carrying the safepoint bit into
-        # the cached encoding, §4.4).
-        depth = self.params.frontend_depth
-        if self.uop_cache.lookup(self.fetch_pc) is not None:
-            depth = max(1, depth - self.uop_cache.hit_depth_bonus)
+        # Micro-op cache: a hit serves the *full* decoded template (register
+        # slots, immediate, target, safepoint bit, extra latency) and skips
+        # the decode stages; a miss decodes, fills the template, and pays the
+        # full front-end depth (§4.4 carries the safepoint bit into the
+        # cached encoding).
+        pc = self.fetch_pc
+        entry = self.uop_cache.lookup(pc)
+        if entry is not None:
+            depth = self.params.frontend_depth - self.uop_cache.hit_depth_bonus
+            if depth < 1:
+                depth = 1
+            dest = entry.dest
+            src_regs = entry.src_regs
+            extra = entry.extra_latency
         else:
-            self.uop_cache.fill(self.fetch_pc, instr, dest, src_regs)
+            extra = self.timing.stui_stall if instr.op is Op.STUI else 0
+            dest = instr.dest_reg()
+            src_regs = instr.source_regs()
+            if instr.op is Op.UIRET:
+                # uiret restores the pre-delivery stack pointer.
+                dest = RegNames.SP
+                src_regs = (RegNames.SP,)
+            entry = self.uop_cache.fill(pc, instr, dest, src_regs, extra_latency=extra)
+            depth = self.params.frontend_depth
         uop = UOp(
             seq=self._next_seq(),
             op=instr.op,
-            pc=self.fetch_pc,
+            pc=pc,
             frontend_ready=self.cycle + depth,
             instr=instr,
             from_interrupt=self.interrupt_path,
             dest=dest,
             src_regs=src_regs,
-            imm=instr.imm,
-            target=instr.target if isinstance(instr.target, int) else None,
-            safepoint=instr.safepoint,
+            imm=entry.imm,
+            target=entry.target,
+            safepoint=entry.safepoint,
             extra_latency=extra,
         )
         self._enter_backend(uop)
@@ -842,7 +1067,7 @@ class Core:
         macro_first: bool = False,
         macro_last: bool = False,
     ) -> UOp:
-        src_regs = tuple(r for r in (micro.src1, micro.src2) if r is not None)
+        src_regs = micro.src_regs  # precomputed on the frozen MicroOp
         pc = macro_pc if macro_pc >= 0 else (
             self.uintr.ui_return_pc if self.uintr.ui_return_pc is not None else self.fetch_pc
         )
@@ -919,7 +1144,7 @@ class Core:
         if self.uintr.handler_index is None:
             raise ProtocolError("cannot deliver a user interrupt with no handler registered")
         needs_notification = pending.kind is InterruptKind.UIPI
-        self.inject_queue = mc.receive_routine(self.timing, needs_notification)
+        self.inject_queue = mc.receive_routine_cached(self.timing, needs_notification)
         self.inject_pos = 0
         self._last_chain_uop = None
         self.interrupt_path = True

@@ -32,6 +32,11 @@ class DeliveryStrategy:
     """Base class: hooks the core calls each cycle and on pipeline events."""
 
     name = "base"
+    #: When False, the core calls :meth:`on_cycle` only while its APIC has a
+    #: pending interrupt.  A strategy may set this to False iff its
+    #: ``on_cycle`` is a pure no-op without pending interrupts; the default
+    #: (True) keeps ad-hoc subclasses polled every cycle.
+    always_poll = True
 
     def __init__(self) -> None:
         self.core: Optional["Core"] = None
@@ -65,6 +70,18 @@ class DeliveryStrategy:
     def on_drain_wait(self) -> None:
         """Called each cycle while fetch is stopped in the drain state."""
 
+    def next_activity_cycle(self) -> Optional[int]:
+        """Earliest cycle this strategy may act on its own, for the
+        cycle-skipping engine (see ``Core.next_activity_cycle``).
+
+        ``None`` means "never, except when an interrupt is pending" (the
+        core checks pending deliverability separately).  The base class
+        conservatively returns ``cycle + 1`` — unknown subclasses may do
+        arbitrary per-cycle work, so skipping is disabled until a strategy
+        explicitly opts in by overriding this.
+        """
+        return self.core.cycle + 1
+
     # -- common helpers ----------------------------------------------------
     def _deliverable(self) -> bool:
         core = self.core
@@ -81,6 +98,10 @@ class FlushStrategy(DeliveryStrategy):
     """Squash all in-flight work, then inject the interrupt microcode."""
 
     name = "flush"
+    always_poll = False  # on_cycle is a no-op without a pending interrupt
+
+    def next_activity_cycle(self) -> Optional[int]:
+        return None  # acts only on pending interrupts (checked by the core)
 
     def on_cycle(self) -> None:
         core = self.core
@@ -120,6 +141,14 @@ class DrainStrategy(DeliveryStrategy):
     def cache_fingerprint(self) -> tuple:
         return super().cache_fingerprint() + (self.extra_pad,)
 
+    def next_activity_cycle(self) -> Optional[int]:
+        # While draining, injection triggers the cycle after the ROB empties;
+        # commits only happen in stepped cycles, so re-evaluation after each
+        # step keeps this exact.  With an empty ROB the injection is imminent.
+        if self._pending is not None and not self.core.rob:
+            return self.core.cycle + 1
+        return None
+
     def on_cycle(self) -> None:
         core = self.core
         if self._pending is not None:
@@ -146,12 +175,20 @@ class TrackedStrategy(DeliveryStrategy):
     after misspeculation recovery until the first interrupt µop commits."""
 
     name = "tracked"
+    always_poll = False  # on_cycle only stages pending interrupts
 
     def __init__(self) -> None:
         super().__init__()
         self._staged: Optional[PendingInterrupt] = None
         self._awaiting_safepoint = False
         self._first_committed = False
+
+    def next_activity_cycle(self) -> Optional[int]:
+        # A staged interrupt may inject at any fetched instruction boundary
+        # (safepoint-gated); step through that window.
+        if self._staged is not None:
+            return self.core.cycle + 1
+        return None
 
     def on_cycle(self) -> None:
         core = self.core

@@ -24,8 +24,9 @@ execute time via the semantic tag.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from repro.cpu.config import TimingParams
 from repro.cpu.isa import Op, RegNames
@@ -49,6 +50,14 @@ class MicroOp:
     imm: int = 0
     extra_latency: int = 0
     chain: bool = False
+    #: Derived source-register tuple, computed once at construction so the
+    #: dispatch hot path instantiates the template by copy.
+    src_regs: Tuple[int, ...] = field(default=(), init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "src_regs", tuple(r for r in (self.src1, self.src2) if r is not None)
+        )
 
 
 # Semantic tags (shared with the core's commit logic)
@@ -176,3 +185,27 @@ def receive_routine(timing: TimingParams, needs_notification: bool) -> List[Micr
         uops.extend(notification_routine(timing))
     uops.extend(delivery_routine(timing))
     return uops
+
+
+# ---------------------------------------------------------------------------
+# Interned routine templates (decode memoization)
+# ---------------------------------------------------------------------------
+#
+# The routines above rebuild their micro-op lists on every expansion — once
+# per ``senduipi`` fetch and once per interrupt injection.  MicroOps are
+# frozen and the front-end only reads them (queues are rebound, never mutated
+# in place), so identical routines can be interned and shared: the cached
+# variants return the *same* immutable tuple for the same (timing, args).
+# ``TimingParams`` is a frozen dataclass, hence hashable.
+
+
+@lru_cache(maxsize=None)
+def senduipi_routine_cached(timing: TimingParams, uitt_index: int) -> Tuple[MicroOp, ...]:
+    """Interned :func:`senduipi_routine`; callers must not mutate the result."""
+    return tuple(senduipi_routine(timing, uitt_index))
+
+
+@lru_cache(maxsize=None)
+def receive_routine_cached(timing: TimingParams, needs_notification: bool) -> Tuple[MicroOp, ...]:
+    """Interned :func:`receive_routine`; callers must not mutate the result."""
+    return tuple(receive_routine(timing, needs_notification))

@@ -14,9 +14,10 @@ import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
 from repro.common.errors import ConfigError, SimulationError
 from repro.cpu.config import SystemConfig
-from repro.cpu.core import Core
+from repro.cpu.core import FAR_FUTURE, NA_BACKOFF_CAP, Core
 from repro.cpu.cache import SharedMemory
 from repro.cpu.delivery import DeliveryStrategy
 from repro.cpu.program import Program
@@ -78,6 +79,8 @@ class MultiCoreSystem:
     # ------------------------------------------------------------------
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        if delay != delay:  # NaN compares unequal to itself
+            raise SimulationError("cannot schedule with a NaN delay")
         if delay < 0:
             raise SimulationError("cannot schedule into the past")
         heapq.heappush(self._timeline, (self.cycle + delay, next(self._timeline_seq), callback))
@@ -118,11 +121,21 @@ class MultiCoreSystem:
     def run(self, max_cycles: int, until_halted: Optional[Sequence[int]] = None) -> int:
         """Step up to ``max_cycles``; stop early when the given cores halt.
 
-        Returns the number of cycles stepped.
+        Returns the number of cycles advanced (stepped or skipped).
 
         This is the cycle tier's hottest loop; :meth:`step` is inlined and
         the per-cycle lookups hoisted.  ``self.cycle`` stays current while
         timeline callbacks run (they schedule relative to it).
+
+        With the fast engine enabled (default; ``REPRO_FAST=0`` opts out)
+        the loop skips cores whose pipelines are provably quiescent
+        (``Core.next_activity_cycle``): an idle core is accounted without
+        stepping while active cores keep stepping, and when *every* core is
+        quiescent the global clock jumps to the earliest of the cores' next
+        activity and the timeline head.  Any timeline event (IPIs, device
+        interrupts) invalidates every core's cached horizon, since external
+        wakeups arrive through the timeline.  Results are byte-identical to
+        the naive stepper.
         """
         watch = (
             [self.cores[i] for i in until_halted] if until_halted is not None else None
@@ -131,15 +144,110 @@ class MultiCoreSystem:
         cores = self.cores
         timeline = self._timeline
         heappop = heapq.heappop
-        for _ in range(max_cycles):
-            if watch is not None and all(core.halted for core in watch):
-                break
-            cycle = self.cycle
-            while timeline and timeline[0][0] <= cycle:
-                heappop(timeline)[2]()
+        stepped = 0
+        skipped0 = sum(core.engine_cycles_skipped for core in cores)
+        hits0 = sum(core.uop_cache.hits for core in cores)
+        misses0 = sum(core.uop_cache.misses for core in cores)
+        if not fast_engine_enabled():
+            for _ in range(max_cycles):
+                if watch is not None and all(core.halted for core in watch):
+                    break
+                cycle = self.cycle
+                while timeline and timeline[0][0] <= cycle:
+                    heappop(timeline)[2]()
+                for core in cores:
+                    if not core.halted:
+                        core.step(cycle)
+                        stepped += 1
+                self.cycle = cycle + 1
+        else:
+            end = start + max_cycles
             for core in cores:
-                core.step(cycle)
-            self.cycle = cycle + 1
+                core._next_activity = 0  # conservative: step the first cycle
+            cycle = start
+            if watch is None or not all(core.halted for core in watch):
+                while cycle < end:
+                    if timeline and timeline[0][0] <= cycle:
+                        while timeline and timeline[0][0] <= cycle:
+                            heappop(timeline)[2]()
+                        # External wakeups (IPIs, device interrupts) arrive
+                        # through the timeline: re-evaluate every core.
+                        for core in cores:
+                            core._next_activity = 0
+                    min_next = FAR_FUTURE
+                    for core in cores:
+                        if core.halted:
+                            continue
+                        na = core._next_activity
+                        if na > cycle:
+                            # Quiescent: accounted lazily via the idle anchor
+                            # (a per-cycle ``note_skipped(1)`` call here would
+                            # dominate mixed dense/idle runs).
+                            if core._idle_anchor < 0:
+                                core._idle_anchor = cycle
+                            if na < min_next:
+                                min_next = na
+                            continue
+                        anchor = core._idle_anchor
+                        if anchor >= 0:
+                            core._idle_anchor = -1
+                            core.note_skipped(cycle - anchor)
+                        core.step(cycle)
+                        stepped += 1
+                        if core.halted:
+                            continue
+                        backoff = core._na_backoff
+                        if backoff > 0:
+                            # Busy streak: step on without re-scanning the
+                            # horizon (always safe, just conservative).
+                            core._na_backoff = backoff - 1
+                            na = cycle + 1
+                        else:
+                            na = core.next_activity_cycle()
+                            if na > cycle + 1:
+                                core._na_streak = 0
+                            else:
+                                streak = core._na_streak
+                                if streak < 4 * NA_BACKOFF_CAP:
+                                    streak += 1
+                                    core._na_streak = streak
+                                core._na_backoff = streak >> 2
+                        core._next_activity = na
+                        if na < min_next:
+                            min_next = na
+                    self.cycle = cycle + 1
+                    if watch is not None and all(core.halted for core in watch):
+                        break
+                    if min_next > cycle + 1:
+                        # Everything is quiet: jump to the earliest activity,
+                        # capped by the window end and the timeline head.
+                        target = min_next if min_next < end else end
+                        if timeline:
+                            head_time = timeline[0][0]
+                            if head_time < target:
+                                target = head_time
+                        if target > cycle + 1:
+                            for core in cores:
+                                if not core.halted and core._idle_anchor < 0:
+                                    core._idle_anchor = cycle + 1
+                            self.cycle = target
+                            cycle = target
+                            continue
+                    cycle += 1
+            # Flush outstanding idle windows: the naive stepper accounts
+            # every non-halted core through the last executed iteration.
+            stop = self.cycle
+            for core in cores:
+                anchor = core._idle_anchor
+                if anchor >= 0:
+                    core._idle_anchor = -1
+                    if stop > anchor:
+                        core.note_skipped(stop - anchor)
+        g = GLOBAL_COUNTERS
+        g.cycles_stepped += stepped
+        g.cycles_skipped += sum(core.engine_cycles_skipped for core in cores) - skipped0
+        g.uop_cache_hits += sum(core.uop_cache.hits for core in cores) - hits0
+        g.uop_cache_misses += sum(core.uop_cache.misses for core in cores) - misses0
         return self.cycle - start
 
     # ------------------------------------------------------------------

@@ -67,6 +67,17 @@ class KBTimerState:
             self.armed = False
         return True
 
+    def next_fire_cycle(self) -> Optional[int]:
+        """The earliest integer cycle at which :meth:`check_fire` returns
+        True, or None when the timer cannot fire on its own.
+
+        Used by the cycle-skipping engine: a quiescent core may jump the
+        clock, but never past an armed timer's deadline.
+        """
+        if not (self.enabled and self.armed):
+            return None
+        return -int(-self.deadline // 1)  # ceil for float deadlines
+
     def save(self) -> "KBTimerState":
         """Snapshot for context switch (kernel reads kb_timer_state_MSR)."""
         return KBTimerState(

@@ -21,13 +21,20 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.common.errors import ConfigError
-from repro.cpu.isa import Instruction
+from repro.cpu.isa import Instruction, Op
 
 
 @dataclass(frozen=True)
 class UopCacheEntry:
     """One cached decoded micro-op (the 'encoding' of §4.4, with its
-    safepoint bit)."""
+    safepoint bit).
+
+    The entry is the *full* decoded template: everything
+    ``Core._dispatch_instruction`` needs to instantiate a µop — operation,
+    register slots, immediate, branch target, extra issue latency, and the
+    safepoint bit — so a hit skips re-deriving the decoded form entirely and
+    builds the µop by cheap copy.
+    """
 
     pc: int
     dest: Optional[int]
@@ -36,6 +43,10 @@ class UopCacheEntry:
     target: Optional[int]
     safepoint: bool
     op_name: str
+    #: The operation itself (op_name is kept for display/back-compat).
+    op: Optional[Op] = None
+    #: Extra issue latency baked into the decoded form (e.g. the stui stall).
+    extra_latency: int = 0
 
 
 class UopCache:
@@ -59,7 +70,14 @@ class UopCache:
 
     def lookup(self, pc: int) -> Optional[UopCacheEntry]:
         """Serve the decoded form of ``pc`` if cached (LRU update)."""
-        entries = self._set_for(pc)
+        entries = self._sets[pc % self.num_sets]
+        if entries:
+            # Hot loops re-fetch the same PC back to back: the MRU entry sits
+            # at the tail, so serve it without the pop/append LRU shuffle.
+            entry = entries[-1]
+            if entry.pc == pc:
+                self.hits += 1
+                return entry
         for index, entry in enumerate(entries):
             if entry.pc == pc:
                 entries.append(entries.pop(index))
@@ -68,7 +86,9 @@ class UopCache:
         self.misses += 1
         return None
 
-    def fill(self, pc: int, instruction: Instruction, dest, src_regs) -> UopCacheEntry:
+    def fill(
+        self, pc: int, instruction: Instruction, dest, src_regs, extra_latency: int = 0
+    ) -> UopCacheEntry:
         """Insert the decoded form of ``instruction`` (called on the decode
         path); carries the safepoint prefix into the cached encoding."""
         entry = UopCacheEntry(
@@ -79,6 +99,8 @@ class UopCache:
             target=instruction.target if isinstance(instruction.target, int) else None,
             safepoint=instruction.safepoint,
             op_name=instruction.op.name,
+            op=instruction.op,
+            extra_latency=extra_latency,
         )
         entries = self._set_for(pc)
         entries[:] = [e for e in entries if e.pc != pc]

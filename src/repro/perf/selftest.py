@@ -1,10 +1,11 @@
 """Reduced-scale determinism selftest for the perf subsystem.
 
-Runs a small Figure 4 grid four ways — serial uncached, parallel uncached,
-cold cache, warm cache — and asserts every table is identical to the serial
-reference.  This is the tier-2 smoke gate behind
-``python -m repro perf-selftest``: it proves the sweep engine's fan-out and
-the persistent cache cannot change any experiment result on this machine.
+Runs a small Figure 4 grid five ways — serial uncached, parallel uncached,
+cold cache, warm cache, and naive engine (``REPRO_FAST=0``) — and asserts
+every table is identical to the serial reference.  This is the tier-2 smoke
+gate behind ``python -m repro perf-selftest``: it proves the sweep engine's
+fan-out, the persistent cache, and the cycle-skipping fast engine cannot
+change any experiment result on this machine.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from functools import partial
 from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.apps import microbench as mb
+from repro.common.counters import ENV_FAST
 from repro.perf.cache import ENV_CACHE_DIR, ENV_CACHE_ENABLED
 
 #: Reduced-scale grid: one benchmark, short interval so a handful of
@@ -76,10 +78,16 @@ def run_selftest(jobs: int = 2, report: Optional[Callable[[str], None]] = None) 
             warm, t_warm = _timed(lambda: _reduced_fig4(jobs=1))
             say(f"  {t_warm:.2f}s")
 
+    with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "0"}):
+        say("naive engine (REPRO_FAST=0, jobs=1, cache off)...")
+        naive, t_naive = _timed(lambda: _reduced_fig4(jobs=1))
+        say(f"  {t_naive:.2f}s")
+
     checks = {
         "parallel_matches_serial": parallel == serial,
         "cold_cache_matches_serial": cold == serial,
         "warm_cache_matches_serial": warm == serial,
+        "naive_engine_matches_serial": naive == serial,
     }
     result = {
         "ok": all(checks.values()),
@@ -89,6 +97,7 @@ def run_selftest(jobs: int = 2, report: Optional[Callable[[str], None]] = None) 
             "parallel": t_parallel,
             "cold_cache": t_cold,
             "warm_cache": t_warm,
+            "naive_engine": t_naive,
         },
         "warm_speedup": (t_serial / t_warm) if t_warm > 0 else float("inf"),
     }

@@ -24,24 +24,40 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Invoked once when the event transitions to cancelled; the owning
+    #: queue uses it to track how much dead weight the heap is carrying.
+    on_cancel: Optional[Callable[[], Any]] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.on_cancel is not None:
+                self.on_cancel()
 
 
 class EventQueue:
     """A priority queue of :class:`Event` with lazy cancellation.
 
     Cancelled events stay in the heap until they surface, so cancellation is
-    O(1); ``len()`` counts only live (non-cancelled) events.
+    O(1); ``len()`` counts only live (non-cancelled) events.  When cancelled
+    entries come to dominate (heavy timer re-arming), the queue compacts
+    itself in place — an amortized sweep that keeps pop costs proportional
+    to live events instead of total scheduled events.
     """
+
+    #: Compact only past this many dead entries (small heaps never bother).
+    COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
         #: The raw heap; the simulator main loop iterates it directly to
         #: avoid the peek/pop double scan on the hot path.
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        #: Dead entries still buried in the heap (approximate upper bound:
+        #: direct heap consumers may drop cancelled entries without
+        #: decrementing; compaction resets it to the truth).
+        self._cancelled = 0
 
     @property
     def heap(self) -> list[Event]:
@@ -58,9 +74,33 @@ class EventQueue:
     def push(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
         if time != time:  # NaN check
             raise SimulationError("event time is NaN")
-        event = Event(time=time, sequence=next(self._counter), callback=callback, name=name)
+        event = Event(
+            time=time,
+            sequence=next(self._counter),
+            callback=callback,
+            name=name,
+            on_cancel=self._note_cancelled,
+        )
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled > self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop all cancelled entries and restore the heap invariant.
+
+        Rebuilds *in place*: the simulator main loop holds a direct
+        reference to the heap list, so the list object must survive.
+        """
+        self._heap[:] = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
@@ -76,3 +116,5 @@ class EventQueue:
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            if self._cancelled > 0:
+                self._cancelled -= 1

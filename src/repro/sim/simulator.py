@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.common.counters import GLOBAL_COUNTERS
 from repro.common.errors import SimulationError
 from repro.sim.event import Event, EventQueue
 
@@ -30,6 +31,8 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
         """Schedule ``callback`` at absolute ``time``."""
+        if time != time:  # NaN: silently passes any ordered comparison
+            raise SimulationError(f"cannot schedule event {name!r} at NaN time")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event {name!r} at {time} before now={self._now}"
@@ -38,6 +41,8 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[[], Any], name: str = "") -> Event:
         """Schedule ``callback`` after ``delay`` time units."""
+        if delay != delay:  # NaN: silently passes the < 0 check below
+            raise SimulationError(f"cannot schedule event {name!r} with NaN delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule event {name!r} with negative delay {delay}")
         return self._queue.push(self._now + delay, callback, name)
@@ -55,12 +60,19 @@ class Simulator:
         Cancelled events are discarded without touching the clock or
         ``events_processed`` — only callbacks that actually fire count.
         """
-        heap = self._queue.heap
+        queue = self._queue
+        heap = queue.heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            if queue._cancelled > 0:
+                queue._cancelled -= 1
         if not heap:
             return False
         event = heapq.heappop(heap)
+        g = GLOBAL_COUNTERS
+        if event.time > self._now:
+            g.events_fast_forwarded += 1
+        g.events_fired += 1
         self._now = event.time
         self.events_processed += 1
         event.callback()
@@ -77,12 +89,19 @@ class Simulator:
         iteration instead of the peek/pop double scan, and cancelled events
         are dropped without counting toward ``events_processed`` or
         ``max_events``.
+
+        Fast-forward structure: the clock jumps straight to the next live
+        event's timestamp (counted in ``GLOBAL_COUNTERS`` when it actually
+        moves time forward), and a batch of same-timestamp events is drained
+        in one inner loop without re-checking the ``until`` bound per event.
         """
         if self._running:
             raise SimulationError("simulator loop is not reentrant")
         self._running = True
         fired = 0
-        heap = self._queue.heap
+        jumps = 0
+        queue = self._queue
+        heap = queue.heap
         heappop = heapq.heappop
         try:
             while True:
@@ -90,21 +109,44 @@ class Simulator:
                     break
                 while heap and heap[0].cancelled:
                     heappop(heap)
+                    if queue._cancelled > 0:
+                        queue._cancelled -= 1
                 if not heap:
                     if until is not None and until > self._now:
                         self._now = until
                     break
                 event = heap[0]
-                if until is not None and event.time > until:
+                now = event.time
+                if until is not None and now > until:
                     self._now = until
                     break
+                if now > self._now:
+                    jumps += 1
                 heappop(heap)
-                self._now = event.time
+                self._now = now
                 self.events_processed += 1
                 fired += 1
                 event.callback()
+                # Batch-drain everything scheduled for this same instant
+                # (callbacks may add more; heap order keeps FIFO ties).
+                while heap and (max_events is None or fired < max_events):
+                    event = heap[0]
+                    if event.cancelled:
+                        heappop(heap)
+                        if queue._cancelled > 0:
+                            queue._cancelled -= 1
+                        continue
+                    if event.time != now:
+                        break
+                    heappop(heap)
+                    self.events_processed += 1
+                    fired += 1
+                    event.callback()
         finally:
             self._running = False
+            g = GLOBAL_COUNTERS
+            g.events_fired += fired
+            g.events_fast_forwarded += jumps
         return self._now
 
     def run_until(self, time: float) -> float:

@@ -1,0 +1,74 @@
+"""Engine telemetry: the REPRO_FAST switch and the global counters."""
+
+import pytest
+
+from repro.common.counters import (
+    ENV_FAST,
+    GLOBAL_COUNTERS,
+    EngineCounters,
+    fast_engine_enabled,
+)
+from repro.sim.simulator import Simulator
+
+
+class TestFastSwitch:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAST, raising=False)
+        assert fast_engine_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "off", "OFF", "false", " no "])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FAST, value)
+        assert fast_engine_enabled() is False
+
+    @pytest.mark.parametrize("value", ["1", "on", "yes", "anything"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FAST, value)
+        assert fast_engine_enabled() is True
+
+
+class TestEngineCounters:
+    def test_reset_zeroes_everything(self):
+        counters = EngineCounters(cycles_stepped=5, cycles_skipped=7, events_fired=3)
+        counters.reset()
+        assert counters.as_dict() == EngineCounters().as_dict()
+
+    def test_rates(self):
+        counters = EngineCounters(
+            cycles_stepped=25, cycles_skipped=75, uop_cache_hits=9, uop_cache_misses=1
+        )
+        assert counters.skip_fraction == pytest.approx(0.75)
+        assert counters.uop_hit_rate == pytest.approx(0.9)
+
+    def test_rates_empty_are_zero(self):
+        counters = EngineCounters()
+        assert counters.skip_fraction == 0.0
+        assert counters.uop_hit_rate == 0.0
+
+    def test_as_dict_includes_rates(self):
+        d = EngineCounters().as_dict()
+        assert "skip_fraction" in d and "uop_hit_rate" in d
+
+
+class TestEventTierTelemetry:
+    def test_run_counts_fires_and_jumps(self):
+        GLOBAL_COUNTERS.reset()
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.schedule(10.0, lambda: None)  # same instant: one jump, two fires
+        sim.schedule(25.0, lambda: None)
+        sim.run()
+        assert GLOBAL_COUNTERS.events_fired == 3
+        assert GLOBAL_COUNTERS.events_fast_forwarded == 2
+        GLOBAL_COUNTERS.reset()
+
+    def test_step_counts_jump_only_when_time_moves(self):
+        GLOBAL_COUNTERS.reset()
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(4.0, lambda: None)
+        sim.step()
+        sim.step()
+        assert GLOBAL_COUNTERS.events_fired == 2
+        assert GLOBAL_COUNTERS.events_fast_forwarded == 1
+        GLOBAL_COUNTERS.reset()

@@ -4,7 +4,7 @@ import pytest
 
 from tests.conftest import COUNTER_ADDR, build_sender, build_spin_receiver
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, SimulationError
 from repro.cpu import isa
 from repro.cpu.delivery import FlushStrategy
 from repro.cpu.multicore import UIPI_NOTIFICATION_VECTOR, MultiCoreSystem
@@ -120,3 +120,15 @@ class TestRunControl:
         system = MultiCoreSystem([build_spin_receiver()], [FlushStrategy()])
         assert system.run(500) == 500
         assert system.cycle == 500
+
+
+class TestTimelineHygiene:
+    def test_nan_delay_rejected(self):
+        system = MultiCoreSystem([build_spin_receiver()], [FlushStrategy()])
+        with pytest.raises(SimulationError, match="NaN"):
+            system.schedule(float("nan"), lambda: None)
+
+    def test_negative_delay_rejected(self):
+        system = MultiCoreSystem([build_spin_receiver()], [FlushStrategy()])
+        with pytest.raises(SimulationError):
+            system.schedule(-1, lambda: None)

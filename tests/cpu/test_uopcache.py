@@ -133,3 +133,39 @@ class TestUopCacheInCore:
         assert core.safepoint_at(1) is True
         assert core.safepoint_at(0) is False
         assert core.safepoint_at(99) is False
+
+
+class TestFullTemplate:
+    """The entry is the complete decoded form: op and extra issue latency
+    ride along so a hit needs no re-derivation (cheap-copy instantiation)."""
+
+    def test_op_and_latency_cached(self):
+        cache = UopCache()
+        instruction = isa.addi(1, 1, 1)
+        cache.fill(9, instruction, dest=1, src_regs=(1,), extra_latency=7)
+        entry = cache.lookup(9)
+        assert entry.op is instruction.op
+        assert entry.op_name == instruction.op.name
+        assert entry.extra_latency == 7
+
+    def test_extra_latency_defaults_to_zero(self):
+        cache = UopCache()
+        cache.fill(3, isa.nop(), dest=None, src_regs=())
+        assert cache.lookup(3).extra_latency == 0
+
+    def test_mru_fast_path_counts_hit(self):
+        """Back-to-back lookups of the hottest PC take the tail fast path
+        and still count as hits with correct LRU state."""
+        cache = UopCache(sets=1, ways=4)
+        for pc in (1, 2, 3):
+            cache.fill(pc, isa.nop(), dest=None, src_regs=())
+        before = cache.hits
+        assert cache.lookup(3).pc == 3  # MRU tail
+        assert cache.lookup(3).pc == 3
+        assert cache.hits == before + 2
+        # LRU order unchanged by the fast path: filling a 4th then 5th PC
+        # still evicts 1 (the coldest), not 3.
+        cache.fill(4, isa.nop(), dest=None, src_regs=())
+        cache.fill(5, isa.nop(), dest=None, src_regs=())
+        assert cache.lookup(1) is None
+        assert cache.lookup(3) is not None

@@ -73,6 +73,25 @@ class TestInvalidation:
         assert ResultCache(root=tmp_path).salt == model_version_salt()
         assert len(model_version_salt()) == 64
 
+    def test_salt_is_content_hash_of_model_sources(self):
+        """The salt is exactly a hash over the ``repro.cpu``/``repro.uintr``
+        source bytes: any model edit (e.g. a change to the cycle engine)
+        yields a different salt and so invalidates every older entry."""
+        import hashlib
+        from pathlib import Path
+
+        import repro
+        from repro.perf.cache import CACHE_FORMAT_VERSION, _MODEL_PACKAGES
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        digest.update(f"format={CACHE_FORMAT_VERSION}".encode())
+        for package in _MODEL_PACKAGES:
+            for path in sorted((root / package).glob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+        assert model_version_salt() == digest.hexdigest()
+
 
 class TestStore:
     def test_roundtrip(self, cache):

@@ -67,3 +67,58 @@ class TestCancellation:
         queue.push(5.0, lambda: None)
         head.cancel()
         assert queue.peek_time() == 5.0
+
+
+class TestCompaction:
+    """Amortized sweep of cancelled entries (heavy timer re-arming)."""
+
+    def _flood(self, queue, live=10, dead=200):
+        keepers = [queue.push(float(1000 + i), lambda: None) for i in range(live)]
+        victims = [queue.push(float(i), lambda: None) for i in range(dead)]
+        return keepers, victims
+
+    def test_mass_cancellation_compacts_heap(self):
+        queue = EventQueue()
+        keepers, victims = self._flood(queue)
+        assert len(queue.heap) == 210
+        for event in victims:
+            event.cancel()
+        # The sweep triggered once cancelled entries dominated: the heap
+        # physically shrank well below the 210 scheduled (a small dead tail
+        # under the compaction threshold may legitimately remain).
+        assert len(queue.heap) < 100
+        assert len(queue) == len(keepers)
+
+    def test_small_queues_never_compact(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below COMPACT_MIN_CANCELLED the dead entries just wait to surface.
+        assert len(queue.heap) == 10
+        assert len(queue) == 0
+
+    def test_compaction_preserves_order_and_identity(self):
+        queue = EventQueue()
+        keepers, victims = self._flood(queue, live=5, dead=200)
+        heap_before = queue.heap
+        for event in victims:
+            event.cancel()
+        assert queue.heap is heap_before  # in-place: main loop holds a ref
+        assert [queue.pop() for _ in range(5)] == sorted(
+            keepers, key=lambda e: (e.time, e.sequence)
+        )
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue._cancelled == 1
+
+    def test_explicit_compact_resets_counter(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None).cancel()
+        queue.compact()
+        assert queue._cancelled == 0
+        assert len(queue.heap) == 0

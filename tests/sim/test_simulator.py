@@ -167,3 +167,24 @@ class TestRunUntilGuard:
         sim.schedule(5.0, lambda: None)
         sim.run()
         assert sim.run_until(sim.now) == sim.now
+
+
+class TestNaNRejection:
+    """NaN silently passes every ordered comparison, so a NaN delay would
+    sail past the negative-delay guard and corrupt the heap ordering."""
+
+    def test_schedule_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.schedule(float("nan"), lambda: None, name="bad")
+
+    def test_schedule_at_nan_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="NaN"):
+            sim.schedule_at(float("nan"), lambda: None, name="bad")
+
+    def test_valid_schedules_still_accepted(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        sim.schedule_at(5.0, lambda: None)
+        assert sim.pending() == 2
