@@ -300,6 +300,15 @@ def _print_engine_counters() -> None:
         ["events fired", f"{g.events_fired:,}"],
         ["events fast-forwarded", f"{g.events_fast_forwarded:,}"],
     ]
+    robustness = [
+        ["sweep points resumed", g.sweep_points_resumed],
+        ["sweep points salvaged", g.sweep_points_salvaged],
+        ["sweep points retried", g.sweep_points_retried],
+        ["cache corrupt entries", g.cache_corrupt_entries],
+        ["cache unwritable writes", g.cache_unwritable_writes],
+        ["cache stale tmp swept", g.cache_stale_tmp_swept],
+    ]
+    rows += [[name, f"{value:,}"] for name, value in robustness if value]
     print()
     print(format_table(["engine counter", "value"], rows, title="Engine telemetry (this process)"))
     print("(runs fanned out with --jobs execute in worker processes and are not counted)")
@@ -322,6 +331,58 @@ def _cmd_experiment(args) -> int:
         return 2
     if args.verbose:
         _print_engine_counters()
+    return 0
+
+
+def _cmd_faultsweep(args) -> int:
+    from repro.common.errors import ConfigError, InvariantViolation
+    from repro.faults import FAULT_KINDS, run_fault_matrix
+    from repro.faults.plan import CYCLE_TIER_KINDS
+
+    kinds = args.kinds.split(",") if args.kinds else list(CYCLE_TIER_KINDS)
+    unknown = [k for k in kinds if k not in FAULT_KINDS]
+    if unknown:
+        print(
+            f"error: unknown fault kind(s) {unknown}; known: {', '.join(FAULT_KINDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records = run_fault_matrix(kinds=kinds, seed=args.seed, quick=args.quick)
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION:\n{exc}", file=sys.stderr)
+        return 1
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            record["kind"],
+            record["strategy"],
+            "ok" if record["match"] else "MISMATCH",
+            record["delivered"],
+            sum(record["faults"].values()),
+            record["accounting"]["checks_run"],
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["fault kind", "strategy", "naive==fast", "delivered", "faults fired", "checks"],
+            rows,
+            title=f"Fault matrix (seed={args.seed}{', quick' if args.quick else ''})",
+        )
+    )
+    mismatches = [r for r in records if not r["match"]]
+    if mismatches:
+        print(
+            f"faultsweep: {len(mismatches)} engine mismatch(es); replay plans:",
+            file=sys.stderr,
+        )
+        for record in mismatches:
+            print(f"  {record['kind']}/{record['strategy']}: {record['plan']}", file=sys.stderr)
+        return 1
+    print("faultsweep: OK — engines agree and all invariants held")
     return 0
 
 
@@ -391,6 +452,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel phase (default 2)",
     )
     selftest.set_defaults(func=_cmd_perf_selftest)
+
+    faultsweep = sub.add_parser(
+        "faultsweep",
+        help="run the fault-injection matrix (fault kind x strategy x engine) "
+        "with invariant checking",
+    )
+    faultsweep.add_argument(
+        "--seed", type=int, default=0, metavar="N", help="fault-plan seed (default 0)"
+    )
+    faultsweep.add_argument(
+        "--quick", action="store_true", help="two faults per plan instead of four"
+    )
+    faultsweep.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated fault kinds (default: every cycle-tier kind)",
+    )
+    faultsweep.set_defaults(func=_cmd_faultsweep)
     return parser
 
 

@@ -45,6 +45,18 @@ class EngineCounters:
     events_fired: int = 0
     #: Event-tier clock jumps (heap head strictly in the future).
     events_fast_forwarded: int = 0
+    #: Result-cache entries found corrupt/unreadable and re-simulated.
+    cache_corrupt_entries: int = 0
+    #: Result-cache writes that failed (unwritable cache directory).
+    cache_unwritable_writes: int = 0
+    #: Stale ``*.tmp`` files (interrupted writes) swept on cache open.
+    cache_stale_tmp_swept: int = 0
+    #: Sweep points salvaged from completed futures after a pool crash.
+    sweep_points_salvaged: int = 0
+    #: Sweep point executions retried after a failure or timeout.
+    sweep_points_retried: int = 0
+    #: Sweep points restored from a JSONL checkpoint instead of re-running.
+    sweep_points_resumed: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -13,5 +13,20 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent or impossible state."""
 
 
+class InvariantViolation(SimulationError):
+    """A model invariant failed under fault injection (see ``repro.faults``).
+
+    Carries the replayable fault-plan dump that produced the violation, so a
+    failure observed once can be reproduced byte-identically:
+    ``FaultPlan.loads(exc.plan_dump)`` rebuilds the exact schedule.
+    """
+
+    def __init__(self, message: str, plan_dump: "str | None" = None) -> None:
+        if plan_dump is not None:
+            message = f"{message}\nreplay fault plan: {plan_dump}"
+        super().__init__(message)
+        self.plan_dump = plan_dump
+
+
 class ProtocolError(ReproError):
     """An architectural protocol was violated (e.g. uiret outside a handler)."""

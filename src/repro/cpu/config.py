@@ -49,11 +49,25 @@ class CoreParams:
             "squash_width",
             "rob_size",
             "iq_size",
+            "frontend_depth",
             "lq_size",
             "sq_size",
+            "int_alu_units",
+            "mul_units",
+            "fp_units",
+            "int_alu_latency",
+            "mul_latency",
+            "div_latency",
+            "fp_latency",
+            "fp_div_latency",
         ):
-            if getattr(self, name) <= 0:
-                raise ConfigError(f"{name} must be positive")
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.frequency_ghz != self.frequency_ghz or self.frequency_ghz <= 0:
+            raise ConfigError(
+                f"frequency_ghz must be positive, got {self.frequency_ghz}"
+            )
 
     @classmethod
     def sapphire_rapids_like(cls) -> "CoreParams":
@@ -89,9 +103,27 @@ class CacheParams:
     hit_latency: int = 4
 
     def __post_init__(self) -> None:
+        for name in ("size_bytes", "associativity", "line_bytes"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.hit_latency < 0:
+            raise ConfigError(
+                f"hit_latency must be non-negative, got {self.hit_latency}"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
         if self.size_bytes % (self.associativity * self.line_bytes) != 0:
             raise ConfigError(
                 "cache size must be a multiple of associativity * line size"
+            )
+        sets = self.size_bytes // (self.associativity * self.line_bytes)
+        if sets & (sets - 1):
+            raise ConfigError(
+                f"cache geometry yields {sets} sets; the set count must be a "
+                f"power of two (the index is taken from address bits)"
             )
 
     @property
@@ -110,6 +142,17 @@ class MemoryParams:
     #: a cross-core transfer through the shared LLC.  The UPID read in the
     #: notification microcode and the polled flag line pay this.
     remote_dirty_latency: int = 90
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l2_hit_latency",
+            "llc_hit_latency",
+            "dram_latency",
+            "remote_dirty_latency",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
 
 
 @dataclass(frozen=True)
@@ -155,8 +198,30 @@ class TimingParams:
     gem5_drain_pad: int = 13
 
     def __post_init__(self) -> None:
-        if self.ipi_wire_latency < 0:
-            raise ConfigError("ipi_wire_latency must be non-negative")
+        if self.msrom_fetch_width <= 0:
+            raise ConfigError(
+                f"msrom_fetch_width must be positive, got {self.msrom_fetch_width}"
+            )
+        if self.senduipi_uop_count <= 0:
+            raise ConfigError(
+                f"senduipi_uop_count must be positive, got {self.senduipi_uop_count}"
+            )
+        for name in (
+            "ipi_wire_latency",
+            "msrom_entry_latency",
+            "senduipi_pre_icr_stall",
+            "senduipi_icr_stall",
+            "senduipi_post_icr_stall",
+            "stui_stall",
+            "uirr_write_stall",
+            "notif_latch_stall",
+            "uif_write_stall",
+            "flush_refill_latency",
+            "gem5_drain_pad",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative, got {value}")
 
 
 @dataclass(frozen=True)

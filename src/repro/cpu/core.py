@@ -171,6 +171,12 @@ class Core:
         #: (pc, is_micro) of loads that have violated memory ordering:
         #: they wait for older store addresses on later executions.
         self._conservative_loads: set = set()
+        #: Optional invariant hook (see ``repro.faults.invariants``): called
+        #: as ``probe(event, core)`` after interrupt injection ("inject"),
+        #: after a misspeculation squash ("squash"), after a full flush
+        #: ("flush"), and at uiret commit ("uiret").  Probes must only read
+        #: state — simulated results stay byte-identical with or without one.
+        self.invariant_probe: Optional[Callable[[str, "Core"], None]] = None
 
         strategy.attach(self)
 
@@ -466,6 +472,8 @@ class Core:
             self.uintr.kb_timer.arm_oneshot(cycles_value)
 
     def _commit_uiret(self, uop: UOp) -> None:
+        if self.invariant_probe is not None:
+            self.invariant_probe("uiret", self)
         self.uintr.uif = True
         self.uintr.in_handler = False
         self.delivery_state = None
@@ -641,6 +649,8 @@ class Core:
         self.strategy.on_squash(
             new_fetch_pc, squashed_interrupt_path and not trigger_from_interrupt
         )
+        if self.invariant_probe is not None:
+            self.invariant_probe("squash", self)
 
     def flush_all(self) -> Tuple[int, int]:
         """Interrupt-style full flush; returns (resume_pc, num_squashed).
@@ -668,6 +678,8 @@ class Core:
         self.interrupt_path = False
         self.wait_reason = None
         self._current_fetch_line = -1
+        if self.invariant_probe is not None:
+            self.invariant_probe("flush", self)
         return resume_pc, num
 
     def _rebuild_rename(self) -> None:
@@ -1161,6 +1173,8 @@ class Core:
             intr_kind=pending.kind.value,
             next_pc=next_pc,
         )
+        if self.invariant_probe is not None:
+            self.invariant_probe("inject", self)
 
 
 def _signed(value: int) -> int:

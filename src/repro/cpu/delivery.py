@@ -82,6 +82,13 @@ class DeliveryStrategy:
         """
         return self.core.cycle + 1
 
+    def pending_inventory(self) -> tuple:
+        """Interrupts this strategy holds privately (taken from the APIC but
+        not yet injected).  The invariant checker's exactly-once delivery
+        accounting sums these; strategies that stage interrupts must report
+        them or held interrupts would look lost."""
+        return ()
+
     # -- common helpers ----------------------------------------------------
     def _deliverable(self) -> bool:
         core = self.core
@@ -141,6 +148,9 @@ class DrainStrategy(DeliveryStrategy):
     def cache_fingerprint(self) -> tuple:
         return super().cache_fingerprint() + (self.extra_pad,)
 
+    def pending_inventory(self) -> tuple:
+        return (self._pending,) if self._pending is not None else ()
+
     def next_activity_cycle(self) -> Optional[int]:
         # While draining, injection triggers the cycle after the ROB empties;
         # commits only happen in stepped cycles, so re-evaluation after each
@@ -182,6 +192,9 @@ class TrackedStrategy(DeliveryStrategy):
         self._staged: Optional[PendingInterrupt] = None
         self._awaiting_safepoint = False
         self._first_committed = False
+
+    def pending_inventory(self) -> tuple:
+        return (self._staged,) if self._staged is not None else ()
 
     def next_activity_cycle(self) -> Optional[int]:
         # A staged interrupt may inject at any fetched instruction boundary

@@ -1,0 +1,327 @@
+"""Fault injectors: apply a :class:`~repro.faults.plan.FaultPlan` to a tier.
+
+Two injectors share the plan format:
+
+- :class:`FaultInjector` drives the cycle tier
+  (:class:`~repro.cpu.multicore.MultiCoreSystem`).  Message faults hook the
+  per-core APIC's ``fault_interceptor``; scheduled faults go through the
+  system timeline, **never** by mutating core state directly — both the
+  naive and cycle-skipping engines process timeline events identically (the
+  fast engine invalidates every core's quiescence horizon after any
+  timeline event), which is what keeps fault runs byte-identical across
+  engines.
+- :class:`EventFaultInjector` drives the event/kernel tier: the same
+  message faults on a bare :class:`~repro.uintr.apic.LocalApic`, plus
+  ``timer_drift`` on kernel timers and ``ctx_switch`` on a
+  :class:`~repro.kernel.scheduler.CoreScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.faults.plan import CYCLE_TIER_KINDS, Fault, FaultPlan, MESSAGE_KINDS
+from repro.uintr.apic import InterruptKind, LocalApic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.multicore import MultiCoreSystem
+    from repro.kernel.scheduler import CoreScheduler
+    from repro.sim.simulator import Simulator
+
+
+@dataclass
+class InjectionCounters:
+    """What the injector actually did (faults may never trigger if the run
+    ends first — the counters make silent no-ops visible)."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    redelivered: int = 0
+    spurious: int = 0
+    upid_stalls: int = 0
+    timer_drifts: int = 0
+    timer_drift_misses: int = 0
+    misspec_storms: int = 0
+    forced_preemptions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+    def total(self) -> int:
+        return sum(self.__dict__.values())
+
+
+class _MessageFaultTable:
+    """Per-APIC interceptor state: accept-index -> action.
+
+    Indices are 1-based over *intercepted* accepts (redeliveries via
+    ``accept_now`` bypass the interceptor and therefore don't count, so a
+    delayed message can't re-trigger its own fault).
+    """
+
+    def __init__(self, faults: List[Fault]) -> None:
+        self.actions: Dict[int, Fault] = {}
+        for f in faults:
+            if f.index in self.actions:
+                raise ConfigError(
+                    f"two message faults target accept #{f.index} on core {f.core}"
+                )
+            self.actions[f.index] = f
+        self.seen = 0
+
+
+class FaultInjector:
+    """Applies a plan to a cycle-tier :class:`MultiCoreSystem`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = InjectionCounters()
+        self._installed = False
+
+    def install(self, system: "MultiCoreSystem") -> "FaultInjector":
+        """Wire interceptors and schedule timeline faults.  Call once,
+        before ``system.run`` — scheduling is relative to the current
+        cycle, so faults with ``at`` already past fire immediately."""
+        if self._installed:
+            raise SimulationError("FaultInjector.install called twice")
+        self._installed = True
+        ncores = len(system.cores)
+        by_core_msgs: Dict[int, List[Fault]] = {}
+        for fault in self.plan.faults:
+            if fault.kind not in CYCLE_TIER_KINDS:
+                raise ConfigError(
+                    f"fault kind {fault.kind!r} is not supported in the cycle "
+                    f"tier (use EventFaultInjector); cycle-tier kinds: "
+                    f"{CYCLE_TIER_KINDS}"
+                )
+            if fault.core >= ncores:
+                raise ConfigError(
+                    f"fault targets core {fault.core} but the system has {ncores}"
+                )
+            if fault.kind in MESSAGE_KINDS:
+                by_core_msgs.setdefault(fault.core, []).append(fault)
+            else:
+                self._schedule(system, fault)
+        for core_id, faults in by_core_msgs.items():
+            self._install_interceptor(system, core_id, faults)
+        return self
+
+    # -- message faults ----------------------------------------------------
+
+    def _install_interceptor(
+        self, system: "MultiCoreSystem", core_id: int, faults: List[Fault]
+    ) -> None:
+        apic = system.cores[core_id].apic
+        if apic.fault_interceptor is not None:
+            raise ConfigError(f"core {core_id} APIC already has a fault interceptor")
+        table = _MessageFaultTable(faults)
+        counters = self.counters
+
+        def interceptor(
+            vector: int, time: float, kind: Optional[InterruptKind]
+        ) -> Optional[str]:
+            table.seen += 1
+            fault = table.actions.get(table.seen)
+            if fault is None:
+                return None
+            if fault.kind == "drop_send":
+                counters.dropped += 1
+                return "drop"
+            if fault.kind == "dup_send":
+                counters.duplicated += 1
+                return "duplicate"
+            counters.delayed += 1
+
+            def redeliver() -> None:
+                counters.redelivered += 1
+                apic.accept_now(vector, system.cycle, kind)
+
+            system.schedule(fault.delay, redeliver)
+            return "defer"
+
+        apic.fault_interceptor = interceptor
+
+    # -- scheduled faults --------------------------------------------------
+
+    def _schedule(self, system: "MultiCoreSystem", fault: Fault) -> None:
+        delay = max(0, fault.at - system.cycle)
+        core = system.cores[fault.core]
+        counters = self.counters
+        if fault.kind == "upid_stall":
+
+            def stall() -> None:
+                counters.upid_stalls += 1
+                core.hierarchy.dcache.flush()
+                core.hierarchy.l2cache.flush()
+
+            system.schedule(delay, stall)
+        elif fault.kind == "spurious_uintr":
+
+            def spurious() -> None:
+                counters.spurious += 1
+                # A notification with nothing posted: the recognition
+                # microcode runs against an empty PIR.
+                core.apic.accept_now(
+                    core.apic.uipi_notification_vector,
+                    system.cycle,
+                    InterruptKind.UIPI,
+                )
+
+            system.schedule(delay, spurious)
+        elif fault.kind == "timer_drift":
+
+            def drift() -> None:
+                timer = core.uintr.kb_timer
+                if timer.enabled and timer.armed:
+                    counters.timer_drifts += 1
+                    timer.deadline += fault.delay
+                else:
+                    counters.timer_drift_misses += 1
+
+            system.schedule(delay, drift)
+        elif fault.kind == "misspec_storm":
+
+            def storm() -> None:
+                counters.misspec_storms += 1
+                gshare = core.predictor.gshare
+                # Invert every 2-bit counter: taken <-> not-taken.
+                gshare._table = [3 - c for c in gshare._table]
+                btb = core.predictor.btb
+                btb._tags = [None] * len(btb._tags)
+
+            system.schedule(delay, storm)
+        else:  # pragma: no cover - guarded in install()
+            raise ConfigError(f"unschedulable fault kind {fault.kind!r}")
+
+
+@dataclass
+class EventTierTargets:
+    """What the event/kernel-tier injector can act on.  Any field may stay
+    None — faults needing an absent target raise ConfigError at install."""
+
+    sim: "Simulator" = None
+    apic: Optional[LocalApic] = None
+    scheduler: Optional["CoreScheduler"] = None
+    #: Objects exposing ``delay_next_fire(extra)`` (kernel/KB timers).
+    timers: List[object] = field(default_factory=list)
+
+
+class EventFaultInjector:
+    """Applies a plan in the event tier (kernel model + calendar queue).
+
+    ``at`` is event-tier time; core indices select a timer from
+    ``targets.timers`` for ``timer_drift`` and are otherwise ignored
+    (the event tier models one APIC/scheduler per injector).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = InjectionCounters()
+        self._installed = False
+
+    def install(self, targets: EventTierTargets) -> "EventFaultInjector":
+        if self._installed:
+            raise SimulationError("EventFaultInjector.install called twice")
+        self._installed = True
+        sim = targets.sim
+        if sim is None:
+            raise ConfigError("EventTierTargets.sim is required")
+        msg_faults: List[Fault] = []
+        for fault in self.plan.faults:
+            if fault.kind in MESSAGE_KINDS:
+                if targets.apic is None:
+                    raise ConfigError(f"{fault.kind} needs an APIC target")
+                msg_faults.append(fault)
+            elif fault.kind == "ctx_switch":
+                if targets.scheduler is None:
+                    raise ConfigError("ctx_switch needs a scheduler target")
+                self._schedule_preempt(sim, targets.scheduler, fault)
+            elif fault.kind == "timer_drift":
+                if not targets.timers:
+                    raise ConfigError("timer_drift needs at least one timer target")
+                self._schedule_drift(sim, targets.timers, fault)
+            elif fault.kind == "spurious_uintr":
+                if targets.apic is None:
+                    raise ConfigError("spurious_uintr needs an APIC target")
+                self._schedule_spurious(sim, targets.apic, fault)
+            else:
+                raise ConfigError(
+                    f"fault kind {fault.kind!r} has no event-tier model "
+                    f"(use the cycle-tier FaultInjector)"
+                )
+        if msg_faults:
+            self._install_interceptor(sim, targets.apic, msg_faults)
+        return self
+
+    def _install_interceptor(
+        self, sim: "Simulator", apic: LocalApic, faults: List[Fault]
+    ) -> None:
+        if apic.fault_interceptor is not None:
+            raise ConfigError("APIC already has a fault interceptor")
+        table = _MessageFaultTable(faults)
+        counters = self.counters
+
+        def interceptor(
+            vector: int, time: float, kind: Optional[InterruptKind]
+        ) -> Optional[str]:
+            table.seen += 1
+            fault = table.actions.get(table.seen)
+            if fault is None:
+                return None
+            if fault.kind == "drop_send":
+                counters.dropped += 1
+                return "drop"
+            if fault.kind == "dup_send":
+                counters.duplicated += 1
+                return "duplicate"
+            counters.delayed += 1
+
+            def redeliver() -> None:
+                counters.redelivered += 1
+                apic.accept_now(vector, sim.now, kind)
+
+            sim.schedule(fault.delay, redeliver, name="fault_redeliver")
+            return "defer"
+
+        apic.fault_interceptor = interceptor
+
+    def _schedule_preempt(
+        self, sim: "Simulator", scheduler: "CoreScheduler", fault: Fault
+    ) -> None:
+        counters = self.counters
+
+        def preempt() -> None:
+            counters.forced_preemptions += 1
+            scheduler.fault_preempt(sim.now)
+
+        sim.schedule_at(max(sim.now, fault.at), preempt, name="fault_preempt")
+
+    def _schedule_drift(
+        self, sim: "Simulator", timers: List[object], fault: Fault
+    ) -> None:
+        timer = timers[fault.core % len(timers)]
+        counters = self.counters
+
+        def drift() -> None:
+            if timer.delay_next_fire(fault.delay):
+                counters.timer_drifts += 1
+            else:
+                counters.timer_drift_misses += 1
+
+        sim.schedule_at(max(sim.now, fault.at), drift, name="fault_drift")
+
+    def _schedule_spurious(
+        self, sim: "Simulator", apic: LocalApic, fault: Fault
+    ) -> None:
+        counters = self.counters
+
+        def spurious() -> None:
+            counters.spurious += 1
+            apic.accept_now(
+                apic.uipi_notification_vector, sim.now, InterruptKind.UIPI
+            )
+
+        sim.schedule_at(max(sim.now, fault.at), spurious, name="fault_spurious")

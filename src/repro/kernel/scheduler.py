@@ -59,6 +59,8 @@ class CoreScheduler:
         self.context_switches = 0
         self.slow_path_reposts = 0
         self.eager_wakes = 0
+        #: Context switches forced by fault injection (``fault_preempt``).
+        self.forced_preemptions = 0
 
     # ------------------------------------------------------------------
 
@@ -175,3 +177,13 @@ class CoreScheduler:
         """Timeslice: deschedule the current thread and run the next one."""
         self.deschedule_current(now)
         return self.schedule_next(now)
+
+    def fault_preempt(self, now: float) -> Optional[KernelThread]:
+        """Fault injection: an unplanned context switch at an arbitrary
+        point (e.g. mid-delivery from the receiver's perspective).
+
+        Functionally identical to :meth:`preempt` — the interesting part is
+        *when* the injector calls it — but counted separately so invariant
+        checks can distinguish scheduled timeslices from injected ones."""
+        self.forced_preemptions += 1
+        return self.preempt(now)

@@ -49,6 +49,8 @@ class _PeriodicTimer:
         self.callback = callback
         self.per_event_cost = per_event_cost
         self.fires = 0
+        #: Ticks postponed by :meth:`delay_next_fire` (fault injection).
+        self.fault_delays = 0
         self._armed = False
         self._next_event: Optional[Event] = None
 
@@ -66,6 +68,22 @@ class _PeriodicTimer:
 
     def _schedule_next(self) -> None:
         self._next_event = self.sim.schedule(self.period, self._fire, name="os_timer")
+
+    def delay_next_fire(self, extra: float) -> bool:
+        """Fault injection: push the next scheduled tick ``extra`` later.
+
+        Models a late-firing OS timer (interrupt coalescing, a busy kernel).
+        Only the next tick drifts — the following reschedule is relative to
+        the drifted fire time, so the lateness propagates naturally, exactly
+        as a real periodic rearm-on-fire timer behaves.  Returns False when
+        no tick was armed to delay.
+        """
+        postponed = self.sim.postpone(self._next_event, extra)
+        if postponed is None:
+            return False
+        self._next_event = postponed
+        self.fault_delays += 1
+        return True
 
     def _fire(self) -> None:
         if not self._armed:
@@ -150,6 +168,8 @@ class KBTimer:
         self.callback = callback
         self.costs = costs or CostModel.paper_defaults()
         self.fires = 0
+        #: Ticks postponed by :meth:`delay_next_fire` (fault injection).
+        self.fault_delays = 0
         self._armed = False
         self._next_event: Optional[Event] = None
 
@@ -158,6 +178,19 @@ class KBTimer:
             return
         self._armed = True
         self._next_event = self.sim.schedule(self.period, self._fire, name="kb_timer")
+
+    def delay_next_fire(self, extra: float) -> bool:
+        """Fault injection: push the next tick ``extra`` later (drift).
+
+        Even the kernel-bypass timer can fire late in hardware (clock
+        domain crossings, power states); this models that.  Returns False
+        when no tick was armed."""
+        postponed = self.sim.postpone(self._next_event, extra)
+        if postponed is None:
+            return False
+        self._next_event = postponed
+        self.fault_delays += 1
+        return True
 
     def stop(self) -> None:
         self._armed = False

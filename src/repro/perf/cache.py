@@ -32,13 +32,20 @@ import json
 import logging
 import os
 import tempfile
+import time
 from enum import Enum
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
+from repro.common.counters import GLOBAL_COUNTERS
 from repro.common.errors import ConfigError
 
 log = logging.getLogger(__name__)
+
+#: Temp files from interrupted writes older than this are swept on first
+#: disk access (a crashed worker's mkstemp leftovers; a *young* tmp file
+#: may belong to a concurrent writer about to ``os.replace`` it).
+STALE_TMP_SECONDS = 3600.0
 
 #: Bumped on incompatible changes to the key or payload encoding.
 CACHE_FORMAT_VERSION = 1
@@ -168,6 +175,36 @@ class ResultCache:
         self._salt = salt
         self.hits = 0
         self.misses = 0
+        self._tmp_swept = False
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove leftover ``*.tmp`` files from interrupted writes.
+
+        Runs once per cache instance, lazily on the first disk access, so
+        constructing a cache stays free.  Only files older than
+        ``STALE_TMP_SECONDS`` go — younger ones may be concurrent writers
+        mid-``os.replace``.  Returns the number removed.
+        """
+        if self._tmp_swept or not self.enabled:
+            return 0
+        self._tmp_swept = True
+        removed = 0
+        try:
+            candidates = list(self.root.glob("*/*.tmp"))
+        except OSError:
+            return 0
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for path in candidates:
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        if removed:
+            GLOBAL_COUNTERS.cache_stale_tmp_swept += removed
+            log.info("result cache: swept %d stale tmp file(s)", removed)
+        return removed
 
     @property
     def salt(self) -> str:
@@ -193,6 +230,7 @@ class ResultCache:
         """The stored value for ``key``, or None (miss / disabled / corrupt)."""
         if not self.enabled:
             return None
+        self._sweep_stale_tmp()
         path = self._path(key)
         try:
             raw = path.read_text()
@@ -201,6 +239,7 @@ class ResultCache:
             return None
         except OSError as exc:
             log.warning("result cache: unreadable entry %s (%s); re-simulating", path, exc)
+            GLOBAL_COUNTERS.cache_corrupt_entries += 1
             self.misses += 1
             return None
         try:
@@ -209,6 +248,7 @@ class ResultCache:
                 raise ValueError("cache entry is not an object")
         except ValueError as exc:
             log.warning("result cache: corrupt entry %s (%s); re-simulating", path, exc)
+            GLOBAL_COUNTERS.cache_corrupt_entries += 1
             try:
                 path.unlink()
             except OSError:
@@ -222,6 +262,7 @@ class ResultCache:
         """Atomically store ``value`` under ``key`` (best effort)."""
         if not self.enabled:
             return
+        self._sweep_stale_tmp()
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -238,6 +279,7 @@ class ResultCache:
                 raise
         except OSError as exc:
             # An unwritable cache slows things down; it must not fail runs.
+            GLOBAL_COUNTERS.cache_unwritable_writes += 1
             log.warning("result cache: cannot write %s (%s)", path, exc)
 
     def memoize(
@@ -255,7 +297,9 @@ class ResultCache:
         return value
 
     def clear(self) -> int:
-        """Delete every entry under this cache root; returns entries removed."""
+        """Delete every entry under this cache root, including orphaned
+        ``*.tmp`` files from interrupted writes; returns the number of JSON
+        entries removed (tmp files are not entries and are not counted)."""
         removed = 0
         if not self.root.exists():
             return removed
@@ -263,6 +307,11 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in self.root.glob("*/*.tmp"):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed

@@ -1,4 +1,4 @@
-"""The parallel sweep engine.
+"""The parallel sweep engine, hardened against worker failure.
 
 Every figure sweep in ``repro.experiments`` is a grid of independent,
 deterministic points: the outcome of one (program, configuration, interval)
@@ -8,11 +8,33 @@ while guaranteeing the results are *exactly* what the serial path produces:
 
 - point functions are pure (module-level callables over picklable points),
   so a worker process computes the same bits the parent would;
-- results come back in submission order (``Executor.map``), so assembling
-  the result tables is order-independent of completion;
+- results are keyed by submission index, so assembling the result tables is
+  order-independent of completion;
 - anything that cannot be pickled — ad-hoc lambda factories from tests, for
   example — silently falls back to the serial path, as does ``jobs=1`` and a
   pool that fails to start.  The fallback *is* the reference semantics.
+
+Robustness layers (each off by default, enabled by constructor argument or
+environment variable):
+
+- **Salvage** (always on): if the worker pool dies mid-sweep
+  (``BrokenProcessPool`` — an OOM-killed or crashed worker), results already
+  completed are kept and only the incomplete points re-run serially; the
+  pre-hardening engine discarded everything and started over.
+- **Bounded retry** (``REPRO_POINT_RETRIES``, default 0): a point that
+  raises is re-executed up to N times with exponential backoff
+  (``REPRO_RETRY_BACKOFF`` seconds base, default 0.5) before the failure
+  propagates — for transiently flaky points (resource exhaustion), never a
+  way to hide deterministic bugs.
+- **Progress watchdog** (``REPRO_POINT_TIMEOUT`` seconds): if *no* point
+  completes within the window, the pool is abandoned
+  (``shutdown(wait=False, cancel_futures=True)`` — a stuck worker cannot be
+  killed portably) and the incomplete points re-run serially.
+- **Checkpointing** (``REPRO_CHECKPOINT_DIR``): completed point results are
+  appended to a JSONL file keyed by a stable hash of (fn, points); a killed
+  sweep re-run with the same inputs restores completed points from the
+  checkpoint and executes only the remainder.  The file is removed when the
+  sweep completes.
 
 Stochastic points must carry their own seed (see
 :func:`repro.common.rng.derive_seed`) and build their own
@@ -22,13 +44,30 @@ execution draw identical variates.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import logging
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
+from repro.common.counters import GLOBAL_COUNTERS
 from repro.common.errors import ConfigError
+
+log = logging.getLogger(__name__)
 
 PointT = TypeVar("PointT")
 ResultT = TypeVar("ResultT")
@@ -36,6 +75,16 @@ ResultT = TypeVar("ResultT")
 #: Environment variable consulted when no explicit job count is given —
 #: lets ``pytest benchmarks/`` and scripts opt into parallelism globally.
 JOBS_ENV = "REPRO_JOBS"
+#: Progress-watchdog window in seconds (unset/0 disables the watchdog).
+TIMEOUT_ENV = "REPRO_POINT_TIMEOUT"
+#: Retries per failing point (unset/0 disables retries).
+RETRIES_ENV = "REPRO_POINT_RETRIES"
+#: Base of the exponential retry backoff, in seconds.
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+#: Directory for sweep checkpoints (unset disables checkpointing).
+CHECKPOINT_ENV = "REPRO_CHECKPOINT_DIR"
+
+DEFAULT_RETRY_BACKOFF = 0.5
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -60,6 +109,19 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def _env_number(name: str, default: float, kind: type) -> float:
+    env = os.environ.get(name, "").strip()
+    if not env:
+        return default
+    try:
+        value = kind(env)
+    except ValueError:
+        raise ConfigError(f"{name} must be a {kind.__name__}, got {env!r}")
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value}")
+    return value
+
+
 def _picklable(*objects: Any) -> bool:
     try:
         pickle.dumps(objects)
@@ -68,18 +130,133 @@ def _picklable(*objects: Any) -> bool:
         return False
 
 
+class _Watchdog(Exception):
+    """Internal: no point completed within the timeout window."""
+
+
+class _Checkpoint:
+    """Append-only JSONL sweep checkpoint: one ``{"i": idx, "r": hex}``
+    line per completed point (pickled result, hex-encoded).
+
+    Loading tolerates arbitrary damage — a corrupt, truncated, or stale
+    line is skipped (that point simply re-runs); a damaged checkpoint can
+    cost time, never correctness.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+
+    def load(self, n_points: int) -> Dict[int, Any]:
+        results: Dict[int, Any] = {}
+        try:
+            text = self.path.read_text()
+        except (OSError, UnicodeDecodeError):
+            return results
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                idx = obj["i"]
+                value = pickle.loads(bytes.fromhex(obj["r"]))
+            except Exception:
+                continue
+            if isinstance(idx, int) and 0 <= idx < n_points:
+                results[idx] = value
+        return results
+
+    def record(self, idx: int, result: Any) -> None:
+        try:
+            payload = pickle.dumps(result).hex()
+        except Exception:
+            return  # unpicklable result: the point just re-runs on resume
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as fh:
+                fh.write(json.dumps({"i": idx, "r": payload}) + "\n")
+                fh.flush()
+        except OSError as exc:
+            log.warning("sweep checkpoint write failed (%s): %s", self.path, exc)
+
+    def complete(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def _checkpoint_for(
+    checkpoint_dir: Optional[str], fn: Callable, items: Sequence
+) -> Optional[_Checkpoint]:
+    """A checkpoint keyed by a stable hash of (fn, points), or None when
+    checkpointing is off or the inputs have no stable identity."""
+    if not checkpoint_dir:
+        return None
+    from repro.perf.cache import canonical  # late: avoid import cycles
+
+    try:
+        form = canonical([canonical(fn), [canonical(p) for p in items]])
+    except ConfigError:
+        log.warning("sweep inputs have no stable identity; checkpointing off")
+        return None
+    digest = hashlib.sha256(
+        json.dumps(form, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return _Checkpoint(Path(checkpoint_dir) / f"sweep-{digest[:24]}.jsonl")
+
+
 class SweepRunner:
     """Maps a point function over a sweep, serially or across processes.
 
     The contract is that of ``[fn(p) for p in points]`` — same results, same
-    order — with wall-clock as the only degree of freedom.
+    order — with wall-clock as the only degree of freedom.  See the module
+    docstring for the failure-handling layers.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        point_timeout: Optional[float] = None,
+        point_retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
-        #: How the last :meth:`map` call actually executed ("serial" or
-        #: "parallel") — observable so tests can assert the fallback fired.
+        self.point_timeout = (
+            point_timeout
+            if point_timeout is not None
+            else _env_number(TIMEOUT_ENV, 0.0, float)
+        ) or None  # 0 means "no watchdog"
+        self.point_retries = int(
+            point_retries
+            if point_retries is not None
+            else _env_number(RETRIES_ENV, 0, int)
+        )
+        self.retry_backoff = (
+            retry_backoff
+            if retry_backoff is not None
+            else _env_number(BACKOFF_ENV, DEFAULT_RETRY_BACKOFF, float)
+        )
+        if self.point_timeout is not None and self.point_timeout < 0:
+            raise ConfigError(f"point_timeout must be non-negative, got {self.point_timeout}")
+        if self.point_retries < 0:
+            raise ConfigError(f"point_retries must be non-negative, got {self.point_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigError(f"retry_backoff must be non-negative, got {self.retry_backoff}")
+        self.checkpoint_dir = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else os.environ.get(CHECKPOINT_ENV, "").strip() or None
+        )
+        #: How the last :meth:`map` call actually executed: "serial",
+        #: "parallel", or "salvaged" (the pool died or stalled and the
+        #: completed results were kept, with the rest re-run serially) —
+        #: observable so tests can assert which path fired.
         self.last_mode: str = "serial"
+
+    # ------------------------------------------------------------------
 
     def map(
         self,
@@ -88,29 +265,131 @@ class SweepRunner:
     ) -> List[ResultT]:
         """Run ``fn`` over every point; results in point order."""
         items: Sequence[PointT] = list(points)
-        if self.jobs <= 1 or len(items) <= 1 or not _picklable(fn, items):
-            return self._serial(fn, items)
-        workers = min(self.jobs, len(items))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(fn, items))
-        except (OSError, BrokenProcessPool):
-            # Pool could not start (or died): the serial path is always safe.
-            return self._serial(fn, items)
-        self.last_mode = "parallel"
-        return results
+        parallel_ok = self.jobs > 1 and len(items) > 1 and _picklable(fn, items)
+        checkpoint = _checkpoint_for(self.checkpoint_dir, fn, items)
+        results: Dict[int, ResultT] = {}
+        if checkpoint is not None:
+            results = checkpoint.load(len(items))
+            if results:
+                GLOBAL_COUNTERS.sweep_points_resumed += len(results)
+                log.info(
+                    "sweep checkpoint %s: resumed %d/%d points",
+                    checkpoint.path.name, len(results), len(items),
+                )
+        pending = [i for i in range(len(items)) if i not in results]
+        if pending and parallel_ok and len(pending) > 1:
+            self._parallel(fn, items, pending, results, checkpoint)
+        elif pending:
+            self._serial_into(fn, items, pending, results, checkpoint)
+            self.last_mode = "serial"
+        else:
+            self.last_mode = "serial"
+        if checkpoint is not None:
+            checkpoint.complete()
+        return [results[i] for i in range(len(items))]
 
-    def _serial(
-        self, fn: Callable[[PointT], ResultT], items: Sequence[PointT]
-    ) -> List[ResultT]:
-        self.last_mode = "serial"
-        return [fn(point) for point in items]
+    # ------------------------------------------------------------------
+
+    def _run_point_with_retries(
+        self, fn: Callable[[PointT], ResultT], point: PointT
+    ) -> ResultT:
+        attempt = 0
+        while True:
+            try:
+                return fn(point)
+            except Exception:
+                if attempt >= self.point_retries:
+                    raise
+                attempt += 1
+                GLOBAL_COUNTERS.sweep_points_retried += 1
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+
+    def _serial_into(
+        self,
+        fn: Callable[[PointT], ResultT],
+        items: Sequence[PointT],
+        pending: Sequence[int],
+        results: Dict[int, ResultT],
+        checkpoint: Optional[_Checkpoint],
+    ) -> None:
+        for i in pending:
+            results[i] = self._run_point_with_retries(fn, items[i])
+            if checkpoint is not None:
+                checkpoint.record(i, results[i])
+
+    def _parallel(
+        self,
+        fn: Callable[[PointT], ResultT],
+        items: Sequence[PointT],
+        pending: Sequence[int],
+        results: Dict[int, ResultT],
+        checkpoint: Optional[_Checkpoint],
+    ) -> None:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        except OSError:
+            # Pool could not start: the serial path is always safe.
+            self._serial_into(fn, items, pending, results, checkpoint)
+            self.last_mode = "serial"
+            return
+        parallel_done = 0
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        inflight: Dict[Any, int] = {}
+        try:
+            for i in pending:
+                inflight[pool.submit(fn, items[i])] = i
+            while inflight:
+                done, _ = wait(
+                    list(inflight),
+                    timeout=self.point_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    raise _Watchdog()
+                for fut in done:
+                    i = inflight.pop(fut)
+                    try:
+                        value = fut.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception:
+                        if attempts[i] >= self.point_retries:
+                            raise
+                        attempts[i] += 1
+                        GLOBAL_COUNTERS.sweep_points_retried += 1
+                        time.sleep(self.retry_backoff * (2 ** (attempts[i] - 1)))
+                        inflight[pool.submit(fn, items[i])] = i
+                        continue
+                    results[i] = value
+                    parallel_done += 1
+                    if checkpoint is not None:
+                        checkpoint.record(i, value)
+            pool.shutdown(wait=True)
+            self.last_mode = "parallel"
+        except (BrokenProcessPool, _Watchdog) as exc:
+            # Salvage: keep every completed result, abandon the pool (a
+            # stuck or dead worker cannot be reaped portably), and finish
+            # the incomplete points serially.
+            pool.shutdown(wait=False, cancel_futures=True)
+            GLOBAL_COUNTERS.sweep_points_salvaged += parallel_done
+            incomplete = sorted(i for i in pending if i not in results)
+            log.warning(
+                "sweep pool %s with %d/%d points done; finishing %d serially",
+                "stalled" if isinstance(exc, _Watchdog) else "died",
+                parallel_done, len(pending), len(incomplete),
+            )
+            self._serial_into(fn, items, incomplete, results, checkpoint)
+            self.last_mode = "salvaged"
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 def run_sweep(
     fn: Callable[[PointT], ResultT],
     points: Iterable[PointT],
     jobs: Optional[int] = None,
+    **kwargs: Any,
 ) -> List[ResultT]:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
-    return SweepRunner(jobs).map(fn, points)
+    return SweepRunner(jobs, **kwargs).map(fn, points)

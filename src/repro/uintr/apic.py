@@ -71,6 +71,17 @@ class LocalApic:
         self.accepted = 0
         self.forwarded_fast = 0
         self.forwarded_slow = 0
+        #: Optional fault-injection hook (see ``repro.faults.injector``):
+        #: called as ``interceptor(vector, time, kind)`` before a message is
+        #: classified; returns None (pass), "drop", "duplicate", or "defer"
+        #: (the interceptor took ownership and will redeliver via
+        #: :meth:`accept_now`).
+        self.fault_interceptor: Optional[Callable[[int, float, Optional[InterruptKind]], Optional[str]]] = None
+        #: Messages the interceptor explicitly dropped (never queued).
+        self.faults_dropped = 0
+        #: User interrupts ever queued for the core (``_pending`` appends) —
+        #: the basis of the exactly-once delivery accounting invariant.
+        self.user_queued = 0
 
     # -- kernel-facing configuration ---------------------------------------
     def enable_forwarding(self, vector: int, user_vector: int) -> None:
@@ -111,7 +122,7 @@ class LocalApic:
             return
         if bitfield.test_bit(self.forwarded_active, vector):
             self.forwarded_fast += 1
-            self._pending.append(
+            self._queue_user(
                 PendingInterrupt(vector, InterruptKind.DEVICE, time, user_vector=user_vector)
             )
         else:
@@ -134,13 +145,36 @@ class LocalApic:
         self.forwarded_active = active_mask
 
     # -- message acceptance --------------------------------------------------
+    def _queue_user(self, pending: PendingInterrupt) -> None:
+        """Queue a user interrupt for the core (accounted for invariants)."""
+        self.user_queued += 1
+        self._pending.append(pending)
+
     def accept(self, vector: int, time: float, kind: Optional[InterruptKind] = None) -> None:
         """Accept an interrupt message arriving on ``vector`` at ``time``.
 
         ``kind`` is the physical source; when omitted, the APIC classifies
         by vector: the UINV vector means a UIPI notification, anything else
         is a device/kernel interrupt subject to forwarding.
+
+        A registered ``fault_interceptor`` sees the message first and may
+        drop it, duplicate it, or defer it (redelivering via
+        :meth:`accept_now`, which bypasses interception).
         """
+        interceptor = self.fault_interceptor
+        if interceptor is not None:
+            action = interceptor(vector, time, kind)
+            if action == "drop":
+                self.faults_dropped += 1
+                return
+            if action == "defer":
+                return
+            if action == "duplicate":
+                self.accept_now(vector, time, kind)
+        self.accept_now(vector, time, kind)
+
+    def accept_now(self, vector: int, time: float, kind: Optional[InterruptKind] = None) -> None:
+        """:meth:`accept` without fault interception (redelivery path)."""
         self.accepted += 1
         if kind is None:
             kind = (
@@ -149,7 +183,7 @@ class LocalApic:
                 else InterruptKind.DEVICE
             )
         if kind is InterruptKind.UIPI:
-            self._pending.append(PendingInterrupt(vector, kind, time))
+            self._queue_user(PendingInterrupt(vector, kind, time))
             return
         if kind in (InterruptKind.DEVICE, InterruptKind.TIMER) and bitfield.test_bit(
             self.forwarding_enabled, vector
@@ -158,7 +192,7 @@ class LocalApic:
             if bitfield.test_bit(self.forwarded_active, vector):
                 # Fast path: straight to the running user thread.
                 self.forwarded_fast += 1
-                self._pending.append(
+                self._queue_user(
                     PendingInterrupt(vector, InterruptKind.DEVICE, time, user_vector=user_vector)
                 )
             else:
@@ -174,7 +208,7 @@ class LocalApic:
 
     def raise_timer(self, vector: int, time: float) -> None:
         """The KB-timer fires: queue a user timer interrupt (§4.3)."""
-        self._pending.append(PendingInterrupt(vector, InterruptKind.TIMER, time, user_vector=vector))
+        self._queue_user(PendingInterrupt(vector, InterruptKind.TIMER, time, user_vector=vector))
 
     # -- core-facing dequeue -------------------------------------------------
     def has_pending(self) -> bool:

@@ -14,9 +14,13 @@ Layout in shared memory (16 bytes per entry):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigError
-from repro.cpu.cache import SharedMemory
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (see upid.py: a
+    # runtime import re-creates the uintr <-> cpu import cycle).
+    from repro.cpu.cache import SharedMemory
 
 UITT_ENTRY_BYTES = 16
 MAX_USER_VECTOR = 63

@@ -17,9 +17,14 @@ manipulate the same bits the tests inspect.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common import bitfield
-from repro.cpu.cache import SharedMemory
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only; a runtime import
+    # would make ``import repro.uintr`` fail unless repro.cpu was imported
+    # first (upid -> cpu.cache -> cpu.__init__ -> cpu.core -> upid cycle).
+    from repro.cpu.cache import SharedMemory
 
 #: Size of one UPID in bytes (two 64-bit words).
 UPID_BYTES = 16

@@ -1,0 +1,115 @@
+"""SystemConfig components validate at construction (fail fast, not mid-run)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.config import (
+    CacheParams,
+    CoreParams,
+    MemoryParams,
+    SystemConfig,
+    TimingParams,
+)
+
+
+class TestCoreParams:
+    def test_defaults_construct(self):
+        CoreParams.sapphire_rapids_like()
+        CoreParams.small()
+
+    def test_zero_rob_rejected(self):
+        with pytest.raises(ConfigError, match="rob_size"):
+            CoreParams(rob_size=0)
+
+    def test_zero_widths_rejected(self):
+        for name in ("fetch_width", "decode_width", "issue_width", "retire_width"):
+            with pytest.raises(ConfigError, match=name):
+                CoreParams(**{name: 0})
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ConfigError, match="int_alu_units"):
+            CoreParams(int_alu_units=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError, match="mul_latency"):
+            CoreParams(mul_latency=-3)
+
+    def test_nan_frequency_rejected(self):
+        with pytest.raises(ConfigError, match="frequency_ghz"):
+            CoreParams(frequency_ghz=float("nan"))
+        with pytest.raises(ConfigError, match="frequency_ghz"):
+            CoreParams(frequency_ghz=0.0)
+
+
+class TestCacheParams:
+    def test_defaults_construct(self):
+        CacheParams()
+        CacheParams(size_bytes=4096, associativity=4, line_bytes=64)
+        CacheParams(size_bytes=1024 * 1024, associativity=16, line_bytes=64)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError, match="size_bytes"):
+            CacheParams(size_bytes=0)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigError, match="line_bytes"):
+            CacheParams(size_bytes=48 * 48, associativity=1, line_bytes=48)
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigError, match="multiple"):
+            CacheParams(size_bytes=1000, associativity=8, line_bytes=64)
+
+    def test_non_power_of_two_sets_rejected(self):
+        # 12 KiB / (4 * 64) = 48 sets: divisible, but not indexable.
+        with pytest.raises(ConfigError, match="sets"):
+            CacheParams(size_bytes=12 * 1024, associativity=4, line_bytes=64)
+
+    def test_zero_hit_latency_allowed(self):
+        # The hierarchy models some levels with zero added latency.
+        CacheParams(hit_latency=0)
+        with pytest.raises(ConfigError, match="hit_latency"):
+            CacheParams(hit_latency=-1)
+
+
+class TestMemoryParams:
+    def test_defaults_construct(self):
+        MemoryParams()
+
+    def test_negative_latency_rejected(self):
+        for name in (
+            "l2_hit_latency",
+            "llc_hit_latency",
+            "dram_latency",
+            "remote_dirty_latency",
+        ):
+            with pytest.raises(ConfigError, match=name):
+                MemoryParams(**{name: -1})
+
+
+class TestTimingParams:
+    def test_defaults_construct(self):
+        TimingParams()
+
+    def test_zero_msrom_width_rejected(self):
+        with pytest.raises(ConfigError, match="msrom_fetch_width"):
+            TimingParams(msrom_fetch_width=0)
+
+    def test_zero_senduipi_uops_rejected(self):
+        with pytest.raises(ConfigError, match="senduipi_uop_count"):
+            TimingParams(senduipi_uop_count=0)
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ConfigError, match="flush_refill_latency"):
+            TimingParams(flush_refill_latency=-10)
+        # Zero stalls are legitimate calibration values.
+        TimingParams(stui_stall=0, gem5_drain_pad=0)
+
+
+class TestSystemConfig:
+    def test_presets_construct(self):
+        SystemConfig.sapphire_rapids_like()
+        SystemConfig.small()
+
+    def test_bad_component_propagates(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(core=CoreParams(iq_size=-4))

@@ -1,0 +1,126 @@
+"""ProtocolError paths: misuse of the uintr ISA fails loudly, not silently."""
+
+import pytest
+
+from tests.conftest import COUNTER_ADDR, build_spin_receiver
+
+from repro.common.errors import ProtocolError
+from repro.cpu import isa
+from repro.cpu.delivery import FlushStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.cpu.program import ProgramBuilder
+from repro.cpu.uintr_state import KBTimerState
+from repro.uintr.apic import InterruptKind, PendingInterrupt
+
+
+def _single_core(program):
+    return MultiCoreSystem([program], [FlushStrategy()])
+
+
+class TestUiretOutsideHandler:
+    def test_uiret_with_no_saved_state_raises(self):
+        builder = ProgramBuilder("rogue-uiret")
+        builder.emit(isa.movi(1, 1))
+        builder.emit(isa.uiret())
+        builder.emit(isa.halt())
+        system = _single_core(builder.build())
+        with pytest.raises(ProtocolError, match="no saved return state"):
+            system.run(10_000, until_halted=[0])
+
+    def test_uiret_inside_handler_is_fine(self):
+        """The legitimate path — delivery saves return state, uiret consumes
+        it — does not trip the guard."""
+        sender = ProgramBuilder("s")
+        sender.emit(isa.senduipi(0))
+        sender.emit(isa.halt())
+        system = MultiCoreSystem(
+            [sender.build(), build_spin_receiver()],
+            [FlushStrategy(), FlushStrategy()],
+        )
+        system.connect_uipi(0, 1, user_vector=1)
+        system.run(100_000, until_halted=[0])
+        system.run(20_000)
+        assert system.cores[1].stats.interrupts_delivered == 1
+        assert system.shared.read(COUNTER_ADDR) == 1
+
+
+class TestSenduipiWithoutSetup:
+    def test_senduipi_without_uitt_raises(self):
+        builder = ProgramBuilder("rogue-send")
+        builder.emit(isa.senduipi(0))
+        builder.emit(isa.halt())
+        system = _single_core(builder.build())
+        with pytest.raises(ProtocolError, match="registered UITT"):
+            system.run(10_000, until_halted=[0])
+
+
+class TestDeliveryWithoutHandler:
+    def test_inject_without_handler_raises(self):
+        builder = ProgramBuilder("no-handler")
+        builder.emit(isa.movi(1, 1))
+        builder.emit(isa.halt())
+        system = _single_core(builder.build())
+        core = system.cores[0]
+        pending = PendingInterrupt(2, InterruptKind.TIMER, 0.0, user_vector=1)
+        with pytest.raises(ProtocolError, match="no handler registered"):
+            core.inject_interrupt(pending, next_pc=0)
+
+    def test_enable_kb_timer_without_handler_raises(self):
+        from repro.common.errors import ConfigError
+
+        builder = ProgramBuilder("no-handler")
+        builder.emit(isa.halt())
+        system = _single_core(builder.build())
+        with pytest.raises(ConfigError, match="no interrupt handler"):
+            system.enable_kb_timer(0)
+
+
+class TestNestedDeliveryDeferred:
+    def test_second_interrupt_waits_for_uiret(self):
+        """A UIPI landing while the handler runs (UIF clear) must wait for
+        uiret: both deliver, but never nested — the handler body runs to
+        its uiret each time (counter increments match deliveries)."""
+        sender = ProgramBuilder("s")
+        sender.emit(isa.senduipi(0))
+        sender.emit(isa.senduipi(0))  # back to back: second lands mid-handler
+        sender.emit(isa.halt())
+        system = MultiCoreSystem(
+            [sender.build(), build_spin_receiver(handler_body=40)],
+            [FlushStrategy(), FlushStrategy()],
+            trace=True,
+        )
+        system.connect_uipi(0, 1, user_vector=1)
+        system.run(200_000, until_halted=[0])
+        system.run(40_000)
+        receiver = system.cores[1]
+        assert receiver.stats.interrupts_delivered == 2
+        assert system.shared.read(COUNTER_ADDR) == 2
+        # Delivery order is serialized: every handler entry is preceded by
+        # the previous handler's uiret (no handler_fetch nesting).
+        fetches = [e.time for e in system.trace.of_kind("handler_fetch")]
+        urets = [
+            e.time
+            for e in system.trace.of_kind("uiret_exec")
+            if e.detail.get("core") == 1
+        ]
+        assert len(fetches) == 2
+        assert urets[0] < fetches[1]
+
+
+class TestKBTimerArming:
+    def test_arm_oneshot_requires_enable(self):
+        timer = KBTimerState()
+        with pytest.raises(ProtocolError, match="enable_kb_timer"):
+            timer.arm_oneshot(1_000)
+
+    def test_arm_periodic_requires_enable(self):
+        timer = KBTimerState()
+        with pytest.raises(ProtocolError, match="enable_kb_timer"):
+            timer.arm_periodic(500, now=0)
+
+    def test_enabled_timer_arms(self):
+        timer = KBTimerState(enabled=True)
+        timer.arm_oneshot(1_000)
+        assert timer.armed and not timer.periodic
+        timer.arm_periodic(500, now=100)
+        assert timer.armed and timer.periodic and timer.deadline == 600

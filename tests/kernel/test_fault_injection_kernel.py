@@ -1,0 +1,187 @@
+"""Event/kernel-tier fault injection: timer drift, forced preemption,
+message faults on a bare APIC — the EventFaultInjector end to end."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cpu.cache import SharedMemory
+from repro.faults import EventFaultInjector, EventTierTargets, FaultPlan
+from repro.faults.plan import Fault
+from repro.kernel.scheduler import CoreScheduler
+from repro.kernel.syscalls import KernelInterface
+from repro.kernel.threads import KernelThread
+from repro.kernel.timers import KBTimer, OSIntervalTimer
+from repro.sim.account import CycleAccount
+from repro.sim.simulator import Simulator
+from repro.uintr.apic import InterruptKind, LocalApic
+from repro.uintr.upid import UPID
+
+
+def make_timer(timer_cls, sim, period):
+    fires = []
+    timer = timer_cls(sim, CycleAccount(), period, lambda: fires.append(sim.now))
+    timer.start()
+    return timer, fires
+
+
+class TestDelayNextFire:
+    @pytest.mark.parametrize("timer_cls", [OSIntervalTimer, KBTimer])
+    def test_next_fire_shifted_by_extra(self, timer_cls):
+        sim = Simulator()
+        timer, fires = make_timer(timer_cls, sim, period=10_000.0)
+        sim.run(until=15_000.0)  # one fire down, next armed for 20 000
+        assert timer.delay_next_fire(3_000.0)
+        sim.run(until=60_000.0)
+        assert timer.fault_delays == 1
+        # The delayed fire lands at 23 000; the periodic chain re-arms
+        # relative to it.
+        assert fires[0] == pytest.approx(10_000.0)
+        assert fires[1] == pytest.approx(23_000.0)
+
+    def test_unarmed_timer_reports_miss(self):
+        sim = Simulator()
+        timer = KBTimer(sim, CycleAccount(), 10_000.0, lambda: None)
+        # Never started: nothing to delay.
+        assert not timer.delay_next_fire(500.0)
+        assert timer.fault_delays == 0
+
+    def test_stopped_timer_reports_miss(self):
+        sim = Simulator()
+        timer, _ = make_timer(KBTimer, sim, period=10_000.0)
+        sim.run(until=15_000.0)
+        timer.stop()
+        assert not timer.delay_next_fire(500.0)
+
+
+@pytest.fixture
+def kernel_setup():
+    memory = SharedMemory()
+    apic = LocalApic(0)
+    scheduler = CoreScheduler(0, memory, apic)
+    kernel = KernelInterface(memory)
+    kernel.attach_scheduler(scheduler)
+    thread = KernelThread("victim")
+    kernel.register_handler(thread, apic, notification_vector=0xEC)
+    scheduler.add_thread(thread)
+    scheduler.schedule_next(now=0.0)
+    return memory, apic, scheduler, thread
+
+
+class TestForcedPreemption:
+    def test_fault_preempt_counts_and_survives_posting(self, kernel_setup):
+        """A forced context switch during delivery: senders posting across
+        the switch still reach the thread via the kernel slow path."""
+        memory, apic, scheduler, thread = kernel_setup
+        sim = Simulator()
+        plan = FaultPlan(seed=0, faults=(Fault(kind="ctx_switch", at=50.0),))
+        injector = EventFaultInjector(plan).install(
+            EventTierTargets(sim=sim, scheduler=scheduler)
+        )
+
+        # A sender posts right when the preemption lands (SN was set for
+        # the switch-out window, so the bits sit in the PIR).
+        def post_during_switch():
+            UPID(memory, thread.upid_addr).post_vector(4)
+
+        sim.schedule_at(50.0, post_during_switch)
+        sim.run(until=100.0)
+        assert injector.counters.forced_preemptions == 1
+        assert scheduler.forced_preemptions == 1
+        # The single-thread preempt resumed the victim immediately; any
+        # PIR bits posted while it was out were reposted on resume.
+        assert scheduler.current is thread or apic.has_pending()
+
+    def test_ctx_switch_requires_scheduler(self):
+        sim = Simulator()
+        plan = FaultPlan(seed=0, faults=(Fault(kind="ctx_switch", at=10.0),))
+        with pytest.raises(ConfigError, match="scheduler"):
+            EventFaultInjector(plan).install(EventTierTargets(sim=sim))
+
+
+class TestEventTierMessageFaults:
+    def _run(self, plan, accepts=4):
+        sim = Simulator()
+        apic = LocalApic(0)
+        injector = EventFaultInjector(plan).install(
+            EventTierTargets(sim=sim, apic=apic)
+        )
+        for i in range(accepts):
+            sim.schedule_at(
+                10.0 * (i + 1),
+                lambda: apic.accept(1, sim.now, kind=InterruptKind.UIPI),
+            )
+        sim.run(until=10_000.0)
+        return apic, injector
+
+    def test_drop_fault_swallows_message(self):
+        plan = FaultPlan(seed=0, faults=(Fault(kind="drop_send", index=2),))
+        apic, injector = self._run(plan)
+        assert injector.counters.dropped == 1
+        assert apic.faults_dropped == 1
+        assert len(apic._pending) == 3  # 4 accepts, one dropped
+
+    def test_dup_fault_doubles_message(self):
+        plan = FaultPlan(seed=0, faults=(Fault(kind="dup_send", index=1),))
+        apic, injector = self._run(plan)
+        assert injector.counters.duplicated == 1
+        assert len(apic._pending) == 5
+
+    def test_delay_fault_redelivers_later(self):
+        plan = FaultPlan(
+            seed=0, faults=(Fault(kind="delay_send", index=1, delay=500.0),)
+        )
+        apic, injector = self._run(plan)
+        assert injector.counters.delayed == 1
+        assert injector.counters.redelivered == 1
+        assert len(apic._pending) == 4  # deferred, then redelivered
+        # The redelivered copy arrived out of order (after accept #4).
+        times = [p.arrival_time for p in apic._pending]
+        assert max(times) == times[-1] >= 510.0
+
+    def test_timer_drift_via_injector(self):
+        sim = Simulator()
+        timer, fires = make_timer(KBTimer, sim, period=1_000.0)
+        plan = FaultPlan(
+            seed=0, faults=(Fault(kind="timer_drift", at=1_500.0, delay=250.0),)
+        )
+        injector = EventFaultInjector(plan).install(
+            EventTierTargets(sim=sim, timers=[timer])
+        )
+        sim.run(until=5_000.0)
+        assert injector.counters.timer_drifts == 1
+        assert fires[1] == pytest.approx(2_250.0)
+
+    def test_cycle_tier_only_kinds_rejected(self):
+        sim = Simulator()
+        plan = FaultPlan(seed=0, faults=(Fault(kind="misspec_storm", at=5.0),))
+        with pytest.raises(ConfigError, match="event-tier"):
+            EventFaultInjector(plan).install(
+                EventTierTargets(sim=sim, apic=LocalApic(0))
+            )
+
+
+class TestSimulatorPostpone:
+    def test_postpone_moves_event(self):
+        from repro.common.errors import SimulationError
+
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(100.0, lambda: fired.append(sim.now))
+        moved = sim.postpone(event, 50.0)
+        sim.run(until=1_000.0)
+        assert fired == [150.0]
+        assert moved is not None and event.cancelled
+
+    def test_postpone_cancelled_event_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule_at(100.0, lambda: None)
+        event.cancel()
+        assert sim.postpone(event, 10.0) is None
+
+    def test_postpone_rejects_negative(self):
+        from repro.common.errors import SimulationError
+
+        sim = Simulator()
+        event = sim.schedule_at(100.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.postpone(event, -1.0)

@@ -1,0 +1,195 @@
+"""Hardened sweep engine: checkpoint resume, salvage, retry, watchdog."""
+
+import json
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.common.counters import GLOBAL_COUNTERS
+from repro.common.errors import ConfigError
+from repro.perf.engine import (
+    CHECKPOINT_ENV,
+    RETRIES_ENV,
+    SweepRunner,
+    _checkpoint_for,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_in_worker(x):
+    """Kill the hosting process — but only when it is a pool worker, so the
+    salvage path is exercised without taking pytest down."""
+    if x == 7 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * x
+
+
+def _hang_until_flag(point):
+    """Stall in a pool worker until the test drops a flag file — a hung
+    point the watchdog must route around (the parent re-runs it instantly,
+    since the stall is worker-only)."""
+    x, flag = point
+    if x == 3 and multiprocessing.parent_process() is not None:
+        import time
+
+        for _ in range(1200):
+            if os.path.exists(flag):
+                break
+            time.sleep(0.25)
+    return x * x
+
+
+class _FlakyOnce:
+    """Fails each point once, succeeds on retry (serial path only)."""
+
+    def __init__(self):
+        self.failed = set()
+
+    def __call__(self, x):
+        if x not in self.failed:
+            self.failed.add(x)
+            raise RuntimeError(f"transient failure at {x}")
+        return x * x
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_removed_on_success(self, tmp_path):
+        runner = SweepRunner(jobs=1, checkpoint_dir=str(tmp_path))
+        assert runner.map(_square, [1, 2, 3]) == [1, 4, 9]
+        # A completed sweep leaves no checkpoint behind.
+        assert list(tmp_path.glob("sweep-*.jsonl")) == []
+
+    def test_killed_sweep_resumes_from_checkpoint(self, tmp_path):
+        points = [1, 2, 3, 4, 5]
+        # Simulate a sweep killed after three points: write the partial
+        # checkpoint exactly as a dying run would have left it.
+        ckpt = _checkpoint_for(str(tmp_path), _square, points)
+        for i in (0, 1, 2):
+            ckpt.record(i, points[i] ** 2)
+        assert ckpt.path.exists()
+
+        executed = []
+
+        def spy(x):
+            executed.append(x)
+            return x * x
+
+        spy.__module__ = _square.__module__
+        spy.__qualname__ = _square.__qualname__  # same checkpoint identity
+        before = GLOBAL_COUNTERS.sweep_points_resumed
+        runner = SweepRunner(jobs=1, checkpoint_dir=str(tmp_path))
+        assert runner.map(spy, points) == [1, 4, 9, 16, 25]
+        # Only the incomplete points re-ran.
+        assert executed == [4, 5]
+        assert GLOBAL_COUNTERS.sweep_points_resumed - before == 3
+        assert not ckpt.path.exists()
+
+    def test_corrupt_checkpoint_lines_skipped(self, tmp_path):
+        points = [1, 2, 3]
+        ckpt = _checkpoint_for(str(tmp_path), _square, points)
+        ckpt.record(0, 1)
+        with ckpt.path.open("a") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"i": 99, "r": pickle.dumps(0).hex()}) + "\n")
+            fh.write(json.dumps({"i": 1, "r": "zz-not-hex"}) + "\n")
+        loaded = ckpt.load(len(points))
+        assert loaded == {0: 1}
+        runner = SweepRunner(jobs=1, checkpoint_dir=str(tmp_path))
+        assert runner.map(_square, points) == [1, 4, 9]
+
+    def test_distinct_sweeps_use_distinct_checkpoints(self, tmp_path):
+        a = _checkpoint_for(str(tmp_path), _square, [1, 2])
+        b = _checkpoint_for(str(tmp_path), _square, [1, 2, 3])
+        c = _checkpoint_for(str(tmp_path), _crash_in_worker, [1, 2])
+        assert len({a.path, b.path, c.path}) == 3
+
+    def test_unstable_inputs_disable_checkpointing(self, tmp_path):
+        class Opaque:
+            pass
+
+        assert _checkpoint_for(str(tmp_path), _square, [Opaque()]) is None
+        # The sweep itself still runs (serially, uncheckpointed).
+        runner = SweepRunner(jobs=1, checkpoint_dir=str(tmp_path))
+        assert runner.map(lambda o: 42, [Opaque()]) == [42]
+
+    def test_env_var_enables_checkpointing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHECKPOINT_ENV, str(tmp_path))
+        runner = SweepRunner(jobs=1)
+        assert runner.checkpoint_dir == str(tmp_path)
+
+    def test_parallel_sweep_checkpoints_too(self, tmp_path):
+        points = list(range(6))
+        runner = SweepRunner(jobs=2, checkpoint_dir=str(tmp_path))
+        assert runner.map(_square, points) == [x * x for x in points]
+        assert runner.last_mode == "parallel"
+        assert list(tmp_path.glob("sweep-*.jsonl")) == []
+
+
+class TestSalvage:
+    def test_broken_pool_salvages_completed_points(self, tmp_path):
+        points = list(range(12))
+        before = GLOBAL_COUNTERS.sweep_points_salvaged
+        runner = SweepRunner(jobs=2, checkpoint_dir=str(tmp_path))
+        results = runner.map(_crash_in_worker, points)
+        # Results are exactly the serial reference despite the dead pool.
+        assert results == [x * x for x in points]
+        assert runner.last_mode == "salvaged"
+        assert GLOBAL_COUNTERS.sweep_points_salvaged >= before
+        # Checkpoint was still cleaned up after the salvaged completion.
+        assert list(tmp_path.glob("sweep-*.jsonl")) == []
+
+    def test_watchdog_abandons_stalled_pool(self, tmp_path):
+        flag = tmp_path / "unstick"
+        points = [(x, str(flag)) for x in range(6)]
+        runner = SweepRunner(jobs=2, point_timeout=2.0)
+        try:
+            results = runner.map(_hang_until_flag, points)
+        finally:
+            flag.touch()  # release the stuck worker so pytest exits cleanly
+        assert results == [x * x for x, _ in points]
+        assert runner.last_mode == "salvaged"
+
+
+class TestRetries:
+    def test_serial_retry_recovers_transient_failures(self):
+        before = GLOBAL_COUNTERS.sweep_points_retried
+        runner = SweepRunner(jobs=1, point_retries=1, retry_backoff=0.0)
+        assert runner.map(_FlakyOnce(), [1, 2, 3]) == [1, 4, 9]
+        assert GLOBAL_COUNTERS.sweep_points_retried - before == 3
+
+    def test_exhausted_retries_propagate(self):
+        def always_fails(x):
+            raise RuntimeError("deterministic bug")
+
+        runner = SweepRunner(jobs=1, point_retries=2, retry_backoff=0.0)
+        with pytest.raises(RuntimeError, match="deterministic bug"):
+            runner.map(always_fails, [1])
+
+    def test_zero_retries_is_default(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        runner = SweepRunner(jobs=1)
+        with pytest.raises(ZeroDivisionError):
+            runner.map(lambda x: 1 // x, [0])
+
+    def test_env_retries_respected(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "3")
+        runner = SweepRunner(jobs=1, retry_backoff=0.0)
+        assert runner.point_retries == 3
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=1, point_retries=-1)
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=1, retry_backoff=-0.5)
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=1, point_timeout=-1.0)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "many")
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=1)
