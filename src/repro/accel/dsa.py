@@ -27,7 +27,7 @@ SHORT_REQUEST_US = 2.0
 LONG_REQUEST_US = 20.0
 
 
-@dataclass
+@dataclass(slots=True)
 class OffloadRequest:
     """One offloaded operation (e.g. a buffer copy)."""
 

@@ -1,4 +1,9 @@
-"""Result formatting: text tables and series for the benchmark reports."""
+"""Analysis tooling: result formatting and the detlint static-analysis pass.
+
+- :mod:`repro.analysis.tables` — text tables/series for benchmark reports.
+- :mod:`repro.analysis.engine` / :mod:`repro.analysis.rules` — "detlint",
+  the AST-based determinism & simulation-purity linter (``repro lint``).
+"""
 
 from repro.analysis.tables import format_table, format_paper_comparison, format_series
 

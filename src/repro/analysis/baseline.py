@@ -1,0 +1,101 @@
+"""Committed baseline of grandfathered detlint findings.
+
+The baseline file lets the linter gate *new* violations while known,
+documented ones age out: ``repro lint`` fails only on findings absent from
+the baseline.  Entries key on ``(rule, path, offending-line text)`` rather
+than line numbers, so unrelated edits above a grandfathered line do not
+churn the file.
+
+File format (JSON, sorted, trailing newline — diff-friendly)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"rule": "DET004", "path": "repro/faults/harness.py",
+         "snippet": "saved = os.environ.get(ENV_FAST)",
+         "reason": "engine toggle is the harness's job"},
+        ...
+      ]
+    }
+
+``reason`` is for humans; the matcher ignores it.  Stale entries (present in
+the baseline, no longer found) are reported so the file shrinks over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.common.errors import ConfigError
+
+BASELINE_VERSION = 1
+#: Default baseline file name, looked up at the repository root.
+DEFAULT_BASELINE_NAME = ".detlint-baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Load the grandfathered keys from ``path`` (missing file = empty)."""
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"unreadable baseline file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ConfigError(f"baseline file {path} is not a detlint baseline")
+    keys: Set[BaselineKey] = set()
+    for entry in payload["findings"]:
+        try:
+            keys.add((entry["rule"], entry["path"], entry["snippet"]))
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(f"malformed baseline entry in {path}: {entry!r}") from exc
+    return keys
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    Entries are deduplicated by key and sorted, so regenerating the file on
+    an unchanged tree is a no-op diff.
+    """
+    seen: Set[BaselineKey] = set()
+    entries: List[dict] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = finding.baseline_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "reason": "grandfathered; fix or document",
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["snippet"]))
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], baseline: Set[BaselineKey]
+) -> Tuple[List[Finding], List[Finding], Set[BaselineKey]]:
+    """Partition findings into (new, grandfathered) and report stale keys."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    matched: Set[BaselineKey] = set()
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in baseline:
+            matched.add(key)
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old, baseline - matched

@@ -1,0 +1,66 @@
+"""Finding records produced by the detlint rules.
+
+A finding pins one determinism/purity hazard to a source location.  Findings
+are value objects with a total, stable ordering — ``(path, line, col,
+rule_id, message)`` — so text reports, ``--json`` output, and baseline files
+are byte-reproducible run to run (the linter holds itself to the invariants
+it enforces).
+
+JSON schema (``Finding.to_dict``, schema version 1)::
+
+    {
+      "rule": "DET001",          # rule identifier
+      "path": "repro/sim/x.py",  # path as scanned (repo-relative when possible)
+      "line": 12,                # 1-based line of the offending node
+      "col": 4,                  # 0-based column of the offending node
+      "message": "...",          # what is wrong
+      "hint": "...",             # how to fix it
+      "snippet": "..."           # the stripped source line (baseline anchor)
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+#: Version of the ``--json`` finding schema (bump on incompatible change).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    #: The stripped text of the offending line; baselines anchor on it so
+    #: entries survive unrelated line-number drift.
+    snippet: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule_id, self.message)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used by the baseline file: line numbers drift, the
+        (rule, file, offending line text) triple rarely does."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+        }
+
+    def format_text(self) -> str:
+        hint = f"  [fix: {self.hint}]" if self.hint else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}{hint}"

@@ -1,0 +1,172 @@
+"""The ``repro lint`` command: presentation and exit-code policy.
+
+Usage (via the main CLI)::
+
+    python -m repro lint                       # scan the shipped src tree
+    python -m repro lint path/to/file.py dir/  # scan explicit paths
+    python -m repro lint --json                # machine-readable findings
+    python -m repro lint --list-rules          # rule catalogue
+    python -m repro lint --write-baseline      # grandfather current findings
+
+Exit codes: 0 clean (no new findings), 1 new findings or parse errors,
+2 usage/configuration error.  Baselined findings and suppressed counts are
+reported but never gate.
+
+``--json`` emits one stable, documented object (see
+:data:`repro.analysis.findings.JSON_SCHEMA_VERSION`)::
+
+    {
+      "schema": 1,
+      "ok": true,
+      "findings": [...],            # new findings, sorted
+      "baselined": [...],           # grandfathered findings, sorted
+      "summary": {"files_scanned": N, "rules_run": N,
+                  "new": N, "baselined": N, "suppressed": N,
+                  "stale_baseline": N, "parse_errors": N}
+    }
+
+Ordering is total — ``(path, line, col, rule, message)`` — so CI diffing and
+the fault-replay harness can consume the output byte-stably.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, load_baseline, save_baseline
+from repro.analysis.engine import default_scan_root, repo_root, run_rules
+from repro.analysis.findings import JSON_SCHEMA_VERSION, Finding
+from repro.analysis.rules import all_rules
+from repro.common.errors import ConfigError
+
+
+def build_lint_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="determinism & simulation-purity static analysis (detlint)",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: the shipped repro package)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable findings")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (every finding gates)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    return parser
+
+
+def _default_baseline_path() -> Optional[Path]:
+    root = repo_root()
+    return root / DEFAULT_BASELINE_NAME if root is not None else None
+
+
+def _print_list_rules() -> int:
+    for rule in all_rules():
+        print(f"  {rule.rule_id}  {rule.description}")
+    print(
+        "\nSuppress one occurrence with `# detlint: ignore[RULE]`, a whole "
+        "file with `# detlint: ignore-file[RULE]` near the top."
+    )
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _print_list_rules()
+
+    paths = [Path(p) for p in args.paths] if args.paths else [default_scan_root()]
+
+    baseline_path: Optional[Path]
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _default_baseline_path()
+
+    try:
+        baseline = load_baseline(baseline_path) if baseline_path is not None else set()
+        report = run_rules(paths, baseline=baseline)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: no baseline path available (use --baseline FILE)", file=sys.stderr)
+            return 2
+        count = save_baseline(
+            baseline_path, report.new_findings + report.baselined_findings
+        )
+        print(f"wrote {count} finding(s) to {baseline_path}")
+        return 0
+
+    if args.json:
+        payload = {
+            "schema": JSON_SCHEMA_VERSION,
+            "ok": report.ok,
+            "findings": [f.to_dict() for f in report.new_findings],
+            "baselined": [f.to_dict() for f in report.baselined_findings],
+            "summary": {
+                "files_scanned": report.files_scanned,
+                "rules_run": report.rules_run,
+                "new": len(report.new_findings),
+                "baselined": len(report.baselined_findings),
+                "suppressed": report.suppressed_count,
+                "stale_baseline": len(report.stale_baseline),
+                "parse_errors": len(report.parse_errors),
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+
+    return _print_text_report(report)
+
+
+def _print_text_report(report) -> int:
+    for display, error in report.parse_errors:
+        print(f"{display}: PARSE ERROR {error}")
+    findings: List[Finding] = report.new_findings
+    for finding in findings:
+        print(finding.format_text())
+    for finding in report.baselined_findings:
+        print(f"{finding.format_text()}  (baselined)")
+    for key in report.stale_baseline:
+        print(f"stale baseline entry (fixed? delete it): {key}")
+    status = "OK" if report.ok else "FAILED"
+    print(
+        f"detlint: {status} — {report.files_scanned} file(s), "
+        f"{report.rules_run} rule(s), {len(findings)} new finding(s), "
+        f"{len(report.baselined_findings)} baselined, "
+        f"{report.suppressed_count} suppressed"
+    )
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run_lint(build_lint_parser().parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

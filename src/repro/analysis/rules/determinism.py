@@ -1,0 +1,299 @@
+"""D-rules: nondeterministic *inputs* leaking into simulation code.
+
+The repo's central promise — naive and fast engines trace-timestamp
+identical, fault runs byte-replayable from a seeded plan — only holds while
+simulated results are pure functions of (config, seed).  These rules catch
+the classic leaks at the AST level: wall-clock reads, draws from process-
+global RNG state, iteration order of unordered containers, environment
+reads outside the layers that own configuration, and order-sensitive
+accumulation driven by unordered iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleSource, Rule, register
+
+#: Layers allowed to read wall clocks (telemetry/timeout duty) and the
+#: process environment (run-shape knobs: jobs, cache dir, engine choice).
+ENGINE_LAYERS = ("repro.perf",)
+CONFIG_LAYERS = ("repro.perf", "repro.common.counters")
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: ``numpy.random`` attributes that construct *seedable* generator objects
+#: (fine as long as a seed is passed — checked separately for default_rng).
+_NUMPY_SEEDABLE = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}
+
+
+def build_alias_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to canonical dotted module paths.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted name of an attribute chain, or None.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng`` when
+    ``np`` aliases ``numpy``.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _is_unordered_expr(node: ast.AST) -> bool:
+    """Is ``node`` statically an unordered set expression?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_unordered_expr(node.left) or _is_unordered_expr(node.right)
+    return False
+
+
+def _iteration_sites(tree: ast.AST) -> Iterator[ast.AST]:
+    """Yield the iterable expression of every for-loop and comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+@register
+class WallClockRule(Rule):
+    """DET001 — wall-clock reads in simulation code."""
+
+    rule_id = "DET001"
+    description = (
+        "wall-clock read (time.time / perf_counter / datetime.now) outside "
+        "the perf/telemetry layer"
+    )
+    hint = (
+        "simulated time must come from the simulator clock (Simulator.now / "
+        "Core.cycle); wall-clock telemetry belongs in repro.perf"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.in_layer(*ENGINE_LAYERS):
+            return
+        aliases = build_alias_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_dotted(node.func, aliases)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(module, node, f"call to wall clock {name}()")
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET002 — draws from process-global or unseeded RNG state."""
+
+    rule_id = "DET002"
+    description = (
+        "bare random.* / numpy.random.* draw, or an RNG constructed without "
+        "a seed"
+    )
+    hint = (
+        "draw from a named, seeded stream (repro.common.rng.RngStreams) or "
+        "construct random.Random(seed) / numpy.random.default_rng(seed)"
+    )
+
+    def _call_is_unseeded(self, node: ast.Call) -> bool:
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for kw in node.keywords:
+            if kw.arg is None or kw.arg in ("seed", "entropy", "x"):
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        return True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = build_alias_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_dotted(node.func, aliases)
+            if name is None:
+                continue
+            if name.startswith("random."):
+                tail = name[len("random.") :]
+                if tail == "Random":
+                    if self._call_is_unseeded(node):
+                        yield self.finding(
+                            module, node, "random.Random() constructed without a seed"
+                        )
+                elif tail != "SystemRandom":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() draws from the process-global Mersenne Twister",
+                    )
+            elif name.startswith("numpy.random."):
+                tail = name[len("numpy.random.") :]
+                if tail == "default_rng":
+                    if self._call_is_unseeded(node):
+                        yield self.finding(
+                            module, node, "numpy.random.default_rng() without a seed"
+                        )
+                elif tail not in _NUMPY_SEEDABLE:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() draws from numpy's process-global RNG state",
+                    )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003 — iterating an unordered set expression."""
+
+    rule_id = "DET003"
+    description = (
+        "iteration over a set/frozenset expression (order varies with hash "
+        "seeding and insertion history)"
+    )
+    hint = "wrap the iterable in sorted(...) to fix the visit order"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        flagged: Set[int] = set()
+        for site in _iteration_sites(module.tree):
+            if _is_unordered_expr(site) and id(site) not in flagged:
+                flagged.add(id(site))
+                yield self.finding(module, site, "iteration over an unordered set expression")
+        # list()/tuple() materialize iteration order just the same.
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+                and _is_unordered_expr(node.args[0])
+                and id(node.args[0]) not in flagged
+            ):
+                flagged.add(id(node.args[0]))
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.func.id}() materializes an unordered set expression",
+                )
+
+
+@register
+class EnvironReadRule(Rule):
+    """DET004 — process-environment access outside the config/engine layers."""
+
+    rule_id = "DET004"
+    description = (
+        "os.environ / os.getenv access outside the config/engine layers "
+        "(repro.perf, repro.common.counters)"
+    )
+    hint = (
+        "thread the knob through an explicit parameter or a config object; "
+        "only the engine/config layers may consult the environment"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.in_layer(*CONFIG_LAYERS):
+            return
+        aliases = build_alias_map(module.tree)
+        seen_lines: Set[int] = set()
+        for node in ast.walk(module.tree):
+            name = None
+            if isinstance(node, ast.Attribute):
+                name = resolve_dotted(node, aliases)
+            elif isinstance(node, ast.Name):
+                name = aliases.get(node.id)
+            if name == "os.environ" or (
+                isinstance(node, ast.Call)
+                and resolve_dotted(node.func, aliases)
+                in ("os.getenv", "os.putenv", "os.unsetenv")
+            ):
+                lineno = getattr(node, "lineno", 1)
+                if lineno not in seen_lines:
+                    seen_lines.add(lineno)
+                    yield self.finding(module, node, "process-environment access")
+
+
+@register
+class UnstableAccumulationRule(Rule):
+    """DET005 — order-sensitive accumulation over unordered iteration."""
+
+    rule_id = "DET005"
+    description = (
+        "accumulation (sum / '+=' into a container slot) driven by an "
+        "unordered set expression; float addition is not associative"
+    )
+    hint = "sort the iterable first (sorted(...)) or use math.fsum on a sorted sequence"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+                and _is_unordered_expr(node.args[0])
+            ):
+                yield self.finding(module, node, "sum() over an unordered set expression")
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_unordered_expr(node.iter):
+                for inner in ast.walk(node):
+                    if (
+                        isinstance(inner, ast.AugAssign)
+                        and isinstance(inner.op, ast.Add)
+                        and isinstance(inner.target, ast.Subscript)
+                    ):
+                        yield self.finding(
+                            module,
+                            inner,
+                            "'+=' into a container slot inside a loop over an "
+                            "unordered set expression",
+                        )

@@ -1,0 +1,260 @@
+"""P-rules: engine-contract and simulation-purity protocol conformance.
+
+Where the D-rules catch nondeterministic *inputs*, these catch classes that
+break the contracts the engines rely on:
+
+- PRO101: every ``DeliveryStrategy`` subclass must take an explicit position
+  on the cycle-skipping quiescence hooks (``always_poll`` and
+  ``next_activity_cycle``).  The base-class defaults are safe but silently
+  disable skipping; worse, a subclass that sets ``always_poll = False``
+  without implementing ``next_activity_cycle`` documents an opt-in it never
+  made.  The fast engine's whole correctness argument (PR 2) hangs on these
+  two hooks agreeing.
+- PRO102: event callbacks (``on_*`` / ``*_callback`` functions) must not
+  mutate module-global state — ``global`` rebinding or writes through
+  ALL_CAPS module constants make replay order-dependent.
+- PRO103: hot-path classes named in :data:`SLOTS_MANIFEST` must declare
+  ``__slots__`` (directly or via ``@dataclass(slots=True)``).  Beyond the
+  memory/speed win, slots make accidental state — the attribute a fault
+  injector or test scribbles onto a live core — an immediate ``AttributeError``
+  instead of silent divergence between engines.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleSource, Rule, register
+
+#: Hot-path classes that must declare ``__slots__``, keyed by module.
+#: Growing the model?  Add per-event/per-uop/per-packet classes here.
+SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = {
+    "repro.sim.event": ("Event", "EventQueue"),
+    "repro.sim.simulator": ("Simulator",),
+    "repro.sim.trace": ("TraceEvent", "TraceRecorder"),
+    "repro.cpu.core": ("Core",),
+    "repro.cpu.backend": ("UOp",),
+    "repro.cpu.uopcache": ("UopCache", "UopCacheEntry"),
+    "repro.cpu.uintr_state": ("KBTimerState", "UserInterruptFile"),
+    "repro.uintr.apic": ("PendingInterrupt", "LocalApic"),
+    "repro.uintr.upid": ("UPID",),
+    "repro.net.packet": ("Packet",),
+    "repro.kernel.threads": ("KernelThread",),
+    "repro.accel.dsa": ("OffloadRequest",),
+    "repro.runtime.timerwheel": ("TimeoutHandle",),
+}
+
+#: Fixture/ad-hoc files can demand slots for local classes with a
+#: ``slots-manifest[ClassA,ClassB]`` pragma (written after the usual
+#: ``detlint:`` comment marker) anywhere in the file.
+_MANIFEST_PRAGMA_RE = re.compile(r"#\s*detlint:\s*slots-manifest\[([A-Za-z0-9_,\s]+)\]")
+
+_CALLBACK_NAME_RE = re.compile(r"^on_\w+$|^\w+_callback$|^\w+_cb$")
+
+
+def _class_defs(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _assigned_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None:
+                names.add(stmt.target.id)
+    return names
+
+
+def _method_names(cls: ast.ClassDef) -> Set[str]:
+    return {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    if "__slots__" in _assigned_names(cls):
+        return True
+    # AnnAssign without value still declares the slot when paired with
+    # dataclass(slots=True); the decorator check below covers that path.
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+            if name == "dataclass":
+                for kw in decorator.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+    return False
+
+
+@register
+class DeliveryQuiescenceRule(Rule):
+    """PRO101 — DeliveryStrategy subclasses and the cycle-skip contract."""
+
+    rule_id = "PRO101"
+    description = (
+        "DeliveryStrategy subclass does not take an explicit position on the "
+        "quiescence hooks (always_poll + next_activity_cycle)"
+    )
+    hint = (
+        "declare `always_poll` in the class body and override "
+        "`next_activity_cycle` (return None to act only on pending "
+        "interrupts, or a cycle bound); the cycle-skipping engine trusts "
+        "these two hooks to agree"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for cls in _class_defs(module.tree):
+            bases = _base_names(cls)
+            if not any(base.endswith("DeliveryStrategy") for base in bases):
+                continue
+            declares_poll = "always_poll" in _assigned_names(cls)
+            implements_next = "next_activity_cycle" in _method_names(cls)
+            if declares_poll and implements_next:
+                continue
+            missing = []
+            if not declares_poll:
+                missing.append("an explicit `always_poll` declaration")
+            if not implements_next:
+                missing.append("a `next_activity_cycle` override")
+            yield self.finding(
+                module,
+                cls,
+                f"strategy {cls.name} is missing {' and '.join(missing)}",
+            )
+
+
+@register
+class CallbackPurityRule(Rule):
+    """PRO102 — event callbacks must not mutate module-global state."""
+
+    rule_id = "PRO102"
+    description = (
+        "event callback (on_* / *_callback) mutates module-global state "
+        "(`global` rebinding or writes through an ALL_CAPS module constant)"
+    )
+    hint = (
+        "carry state on the owning object (self) or thread it through the "
+        "callback's arguments; global mutation makes replay order-dependent"
+    )
+
+    def _module_constants(self, tree: ast.AST) -> Set[str]:
+        constants: Set[str] = set()
+        for stmt in getattr(tree, "body", []):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id.isupper():
+                        constants.add(target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    if name.isupper():
+                        constants.add(name)
+        return constants
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        constants = self._module_constants(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _CALLBACK_NAME_RE.match(node.name):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Global):
+                    yield self.finding(
+                        module,
+                        inner,
+                        f"callback {node.name} rebinds global(s) "
+                        f"{', '.join(inner.names)}",
+                    )
+                elif isinstance(inner, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        inner.targets if isinstance(inner, ast.Assign) else [inner.target]
+                    )
+                    for target in targets:
+                        root = target
+                        while isinstance(root, (ast.Attribute, ast.Subscript)):
+                            root = root.value
+                        if (
+                            isinstance(root, ast.Name)
+                            and root.id in constants
+                            and root is not target
+                        ):
+                            yield self.finding(
+                                module,
+                                inner,
+                                f"callback {node.name} writes through module "
+                                f"constant {root.id}",
+                            )
+
+
+@register
+class SlotsManifestRule(Rule):
+    """PRO103 — manifest-listed hot-path classes must declare __slots__."""
+
+    rule_id = "PRO103"
+    description = (
+        "hot-path class named in the slots manifest does not declare "
+        "__slots__ (directly or via @dataclass(slots=True))"
+    )
+    hint = (
+        "add `__slots__ = (...)` listing every instance attribute, or pass "
+        "slots=True to @dataclass; update SLOTS_MANIFEST if the class moved"
+    )
+
+    def _required_classes(self, module: ModuleSource) -> Set[str]:
+        required = set(SLOTS_MANIFEST.get(module.module, ()))
+        for match in _MANIFEST_PRAGMA_RE.finditer(module.text):
+            required.update(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+        return required
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        required = self._required_classes(module)
+        if not required:
+            return
+        found: Set[str] = set()
+        for cls in _class_defs(module.tree):
+            if cls.name not in required:
+                continue
+            found.add(cls.name)
+            if not _has_slots(cls):
+                yield self.finding(
+                    module,
+                    cls,
+                    f"hot-path class {cls.name} has no __slots__ declaration",
+                )
+        for name in sorted(required - found):
+            yield self.finding(
+                module,
+                module.tree,
+                f"manifest class {name} not found in {module.module} "
+                "(stale SLOTS_MANIFEST entry?)",
+                hint="update SLOTS_MANIFEST in repro.analysis.rules.protocol",
+            )

@@ -1,0 +1,59 @@
+"""Per-line and per-file suppression comments for detlint.
+
+Two pragma forms, mirroring the usual linter conventions:
+
+- ``# detlint: ignore[DET001]`` on the offending line suppresses the named
+  rule(s) for that line only.  Multiple rules separate with commas
+  (``ignore[DET001,PRO103]``); ``ignore[*]`` suppresses every rule.
+- ``# detlint: ignore-file[DET004]`` anywhere in the first
+  :data:`FILE_PRAGMA_WINDOW` lines suppresses the named rule(s) for the
+  whole file (used for modules that are, as a unit, an intentional
+  exception — document why in the comment).
+
+Suppressions are extracted from raw source text (not the AST) so they work
+on lines the parser collapses, and so a suppression on a syntax-error line
+still parses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+#: ``ignore-file`` pragmas must appear in the first N lines.
+FILE_PRAGMA_WINDOW = 15
+
+_LINE_RE = re.compile(r"#\s*detlint:\s*ignore\[([A-Za-z0-9_*,\s]+)\]")
+_FILE_RE = re.compile(r"#\s*detlint:\s*ignore-file\[([A-Za-z0-9_*,\s]+)\]")
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+class Suppressions:
+    """Suppression pragmas extracted from one module's source text."""
+
+    __slots__ = ("line_rules", "file_rules")
+
+    def __init__(self, source: str) -> None:
+        self.line_rules: Dict[int, Set[str]] = {}
+        self.file_rules: Set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _LINE_RE.search(line)
+            if match:
+                self.line_rules.setdefault(lineno, set()).update(
+                    _parse_rule_list(match.group(1))
+                )
+            if lineno <= FILE_PRAGMA_WINDOW:
+                match = _FILE_RE.search(line)
+                if match:
+                    self.file_rules.update(_parse_rule_list(match.group(1)))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_rules or "*" in self.file_rules:
+            return True
+        rules = self.line_rules.get(line)
+        if not rules:
+            return False
+        return rule_id in rules or "*" in rules

@@ -7,6 +7,7 @@ Usage::
     python -m repro costs [--from-cycle-model]
     python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full] [--jobs N] [--verbose]
     python -m repro perf-selftest [--jobs N]
+    python -m repro lint [paths...] [--json] [--list-rules]
 
 ``--full`` runs closer to benchmark scale; the default is a quick variant
 (seconds to a couple of minutes per experiment).  ``--jobs N`` fans
@@ -386,6 +387,12 @@ def _cmd_faultsweep(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_perf_selftest(args) -> int:
     from repro.common.errors import ConfigError
     from repro.perf.selftest import run_selftest
@@ -471,6 +478,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault kinds (default: every cycle-tier kind)",
     )
     faultsweep.set_defaults(func=_cmd_faultsweep)
+
+    from repro.analysis.lint import build_lint_parser
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & simulation-purity static analysis (detlint)",
+    )
+    build_lint_parser(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

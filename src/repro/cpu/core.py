@@ -79,6 +79,67 @@ class CoreStats:
 class Core:
     """One out-of-order core executing a :class:`Program`."""
 
+    # Slotted (PRO103): a core is the densest object in the cycle tier, and
+    # slots also turn accidental attribute scribbles (a fault injector or
+    # test typo) into an immediate AttributeError instead of silent state
+    # the engines could diverge on.
+    __slots__ = (
+        "core_id",
+        "program",
+        "config",
+        "params",
+        "timing",
+        "shared",
+        "apic",
+        "strategy",
+        "send_ipi",
+        "trace",
+        "hierarchy",
+        "icache",
+        "uop_cache",
+        "predictor",
+        "fus",
+        "lsq",
+        "uintr",
+        "uitt",
+        "apic_timer",
+        "stats",
+        "arch_regs",
+        "cycle",
+        "halted",
+        "engine_cycles_skipped",
+        "_next_activity",
+        "_idle_anchor",
+        "_na_streak",
+        "_na_backoff",
+        "_prog_len",
+        "rob",
+        "reg_producer",
+        "ready_heap",
+        "exec_heap",
+        "iq_count",
+        "_seq",
+        "_serialize_until",
+        "fetch_pc",
+        "fetch_stall_until",
+        "wait_reason",
+        "inject_queue",
+        "inject_pos",
+        "macro_queue",
+        "macro_pos",
+        "macro_pc",
+        "interrupt_path",
+        "_last_chain_uop",
+        "_current_fetch_line",
+        "delivery_state",
+        "current_interrupt",
+        "last_program_commit_cycle",
+        "_notif_pir",
+        "_trace_resume_pending",
+        "_conservative_loads",
+        "invariant_probe",
+    )
+
     def __init__(
         self,
         core_id: int,

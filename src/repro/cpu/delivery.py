@@ -139,6 +139,9 @@ class DrainStrategy(DeliveryStrategy):
     """
 
     name = "drain"
+    #: Explicit (PRO101): on_cycle does real work while idle (it *starts*
+    #: the drain), so the core must poll it every cycle.
+    always_poll = True
 
     def __init__(self, extra_pad: int = 0) -> None:
         super().__init__()

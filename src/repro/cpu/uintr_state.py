@@ -16,7 +16,7 @@ from repro.common import bitfield
 from repro.common.errors import ConfigError, ProtocolError
 
 
-@dataclass
+@dataclass(slots=True)
 class KBTimerState:
     """The kernel-bypass timer's architectural state (§4.3).
 
@@ -98,7 +98,7 @@ class KBTimerState:
         self.period = saved.period
 
 
-@dataclass
+@dataclass(slots=True)
 class UserInterruptFile:
     """The per-core user-interrupt register file."""
 

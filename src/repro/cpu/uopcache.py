@@ -24,7 +24,7 @@ from repro.common.errors import ConfigError
 from repro.cpu.isa import Instruction, Op
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UopCacheEntry:
     """One cached decoded micro-op (the 'encoding' of §4.4, with its
     safepoint bit).
@@ -51,6 +51,8 @@ class UopCacheEntry:
 
 class UopCache:
     """Set-associative cache of decoded micro-ops, indexed by program PC."""
+
+    __slots__ = ("num_sets", "ways", "hit_depth_bonus", "_sets", "hits", "misses")
 
     def __init__(self, sets: int = 64, ways: int = 8, hit_depth_bonus: int = 4) -> None:
         if sets <= 0 or ways <= 0:

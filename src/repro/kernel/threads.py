@@ -32,7 +32,7 @@ class ThreadState(Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelThread:
     """One kernel thread (pthread) with its user-interrupt kernel state."""
 

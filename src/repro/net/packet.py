@@ -11,7 +11,7 @@ from repro.common.errors import ConfigError
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One packet moving through the router."""
 

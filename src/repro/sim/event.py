@@ -49,6 +49,8 @@ class EventQueue:
     #: Compact only past this many dead entries (small heaps never bother).
     COMPACT_MIN_CANCELLED = 64
 
+    __slots__ = ("_heap", "_counter", "_cancelled")
+
     def __init__(self) -> None:
         #: The raw heap; the simulator main loop iterates it directly to
         #: avoid the peek/pop double scan on the hot path.

@@ -19,6 +19,8 @@ class Simulator:
     past).
     """
 
+    __slots__ = ("_now", "_queue", "_running", "events_processed")
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()

@@ -18,6 +18,8 @@ class TraceEvent:
 class TraceRecorder:
     """Collects :class:`TraceEvent` objects; cheap no-op when disabled."""
 
+    __slots__ = ("enabled", "events")
+
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.events: List[TraceEvent] = []

@@ -52,6 +52,24 @@ class PendingInterrupt:
 class LocalApic:
     """One core's local APIC with the xUI forwarding extension."""
 
+    __slots__ = (
+        "apic_id",
+        "uipi_notification_vector",
+        "_pending",
+        "forwarding_enabled",
+        "forwarded_active",
+        "forward_user_vector",
+        "slow_path_queue",
+        "kernel_queue",
+        "_extended_channels",
+        "accepted",
+        "forwarded_fast",
+        "forwarded_slow",
+        "fault_interceptor",
+        "faults_dropped",
+        "user_queued",
+    )
+
     def __init__(self, apic_id: int, uipi_notification_vector: int = 0xEC) -> None:
         self.apic_id = apic_id
         #: UINV — the conventional vector that marks UIPI notifications.

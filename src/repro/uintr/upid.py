@@ -35,7 +35,7 @@ NV_LOW, NV_HIGH = 16, 23
 NDST_LOW, NDST_HIGH = 32, 63
 
 
-@dataclass
+@dataclass(slots=True)
 class UPID:
     """A view of one UPID at ``addr`` in ``memory``."""
 

@@ -1,0 +1,19 @@
+"""DET001 true positives: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp_event(event):
+    event.wall = time.time()  # direct call
+    return event
+
+
+def measure():
+    start = pc()  # aliased from-import
+    return pc() - start
+
+
+def log_line():
+    return f"{datetime.now().isoformat()} simulated"

@@ -1,0 +1,12 @@
+"""DET001 clean: simulated time comes from the simulator clock."""
+
+
+def stamp_event(event, sim):
+    event.when = sim.now
+    return event
+
+
+def measure(core):
+    start = core.cycle
+    core.step()
+    return core.cycle - start

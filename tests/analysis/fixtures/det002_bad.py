@@ -1,0 +1,25 @@
+"""DET002 true positives: process-global / unseeded RNG draws."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # process-global Mersenne Twister
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def make_generator():
+    return random.Random()  # no seed
+
+
+def make_np_generator():
+    return np.random.default_rng()  # no seed
+
+
+def explicit_none():
+    return random.Random(None)  # literal None is still unseeded

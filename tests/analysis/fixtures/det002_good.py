@@ -1,0 +1,21 @@
+"""DET002 clean: every RNG is constructed with an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def make_generator(seed):
+    return random.Random(seed)
+
+
+def make_np_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def make_np_kwarg(seed):
+    return np.random.default_rng(seed=seed)
+
+
+def make_bitgen(seed):
+    return np.random.PCG64(seed)

@@ -1,0 +1,14 @@
+"""DET003 true positives: iterating unordered set expressions."""
+
+
+def visit(vectors):
+    for vector in {v & 0xFF for v in vectors}:  # set comprehension
+        yield vector
+
+
+def names(a, b):
+    return [n for n in set(a) | set(b)]  # union of sets in a comprehension
+
+
+def materialize(pending):
+    return list(set(pending))  # list() freezes an arbitrary order

@@ -1,0 +1,14 @@
+"""DET003 clean: unordered expressions are sorted before iteration."""
+
+
+def visit(vectors):
+    for vector in sorted({v & 0xFF for v in vectors}):
+        yield vector
+
+
+def names(a, b):
+    return [n for n in sorted(set(a) | set(b))]
+
+
+def materialize(pending):
+    return sorted(set(pending))

@@ -1,0 +1,15 @@
+"""DET004 true positives: environment reads in simulation code."""
+
+import os
+
+
+def pick_engine():
+    return os.environ.get("REPRO_FAST", "1")  # env consulted mid-simulation
+
+
+def jobs():
+    return int(os.getenv("REPRO_JOBS", "1"))
+
+
+def toggle(value):
+    os.environ["REPRO_FAST"] = value  # env *write* from sim code

@@ -1,0 +1,9 @@
+"""DET004 clean: run-shape knobs arrive as explicit parameters."""
+
+
+def pick_engine(config):
+    return config.engine
+
+
+def jobs(config):
+    return config.jobs

@@ -1,0 +1,11 @@
+"""DET005 true positives: order-sensitive accumulation over sets."""
+
+
+def total_latency(latencies):
+    return sum({round(x, 3) for x in latencies})  # float sum over a set
+
+
+def bucket(histogram, samples):
+    for value in set(samples):
+        histogram[int(value)] += value  # '+=' into a slot, set-driven order
+    return histogram

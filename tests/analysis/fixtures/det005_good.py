@@ -1,0 +1,11 @@
+"""DET005 clean: accumulation order is pinned by sorting first."""
+
+
+def total_latency(latencies):
+    return sum(sorted({round(x, 3) for x in latencies}))
+
+
+def bucket(histogram, samples):
+    for value in sorted(set(samples)):
+        histogram[int(value)] += value
+    return histogram

@@ -1,0 +1,27 @@
+"""PRO101 true positives: strategies silent on the quiescence hooks."""
+
+
+class DeliveryStrategy:
+    always_poll = True
+
+    def on_cycle(self):
+        pass
+
+    def next_activity_cycle(self):
+        return None
+
+
+class SilentStrategy(DeliveryStrategy):
+    """Declares neither hook — silently disables cycle skipping."""
+
+    name = "silent"
+
+    def on_cycle(self):
+        pass
+
+
+class HalfStrategy(DeliveryStrategy):
+    """Opts out of polling but never says when it acts."""
+
+    name = "half"
+    always_poll = False

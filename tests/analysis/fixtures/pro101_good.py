@@ -1,0 +1,27 @@
+"""PRO101 clean: every strategy takes an explicit quiescence position."""
+
+
+class DeliveryStrategy:
+    always_poll = True
+
+    def on_cycle(self):
+        pass
+
+    def next_activity_cycle(self):
+        return None
+
+
+class QuietStrategy(DeliveryStrategy):
+    name = "quiet"
+    always_poll = False
+
+    def next_activity_cycle(self):
+        return None
+
+
+class BusyStrategy(DeliveryStrategy):
+    name = "busy"
+    always_poll = True
+
+    def next_activity_cycle(self):
+        return 0

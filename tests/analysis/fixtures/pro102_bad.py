@@ -1,0 +1,17 @@
+"""PRO102 true positives: event callbacks mutating module-global state."""
+
+EVENT_LOG = {}
+_count = 0
+
+
+def on_packet(packet):
+    EVENT_LOG[packet.rid] = packet  # write through a module constant
+
+
+def on_timer():
+    global _count  # rebinding a global from a callback
+    _count += 1
+
+
+def completion_callback(request):
+    EVENT_LOG[request.rid] = request

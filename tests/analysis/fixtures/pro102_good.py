@@ -1,0 +1,16 @@
+"""PRO102 clean: callbacks carry state on the owning object."""
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+        self.count = 0
+
+    def on_packet(self, packet):
+        self.events.append(packet)
+
+    def on_timer(self):
+        self.count += 1
+
+    def completion_callback(self, request):
+        self.events.append(request)

@@ -1,0 +1,23 @@
+"""PRO103 true positives: manifest-listed classes without __slots__.
+
+The pragma below stands in for a SLOTS_MANIFEST entry, so this fixture
+exercises the rule without naming a real repro module.
+"""
+# detlint: slots-manifest[HotEvent, GoneClass]
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HotEvent:
+    """Listed in the (pragma) manifest but slots=True is missing."""
+
+    time: float
+    kind: str
+
+
+class ColdHelper:
+    """Not listed — free to use __dict__."""
+
+    def __init__(self):
+        self.notes = []

@@ -1,0 +1,18 @@
+"""PRO103 clean: every manifest-listed class declares __slots__."""
+# detlint: slots-manifest[HotEvent, HotEntry]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class HotEvent:
+    time: float
+    kind: str
+
+
+class HotEntry:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key, value):
+        self.key = key
+        self.value = value

@@ -1,0 +1,27 @@
+"""Suppression fixture: every violation below carries a pragma.
+
+The file-level pragma silences DET003 everywhere; the line pragmas silence
+individual DET001/DET002 occurrences; the wildcard silences anything on its
+line.  detlint must report zero findings (and a nonzero suppressed count).
+"""
+# detlint: ignore-file[DET003]
+
+import random
+import time
+
+
+def visit(vectors):
+    for vector in set(vectors):  # silenced by the file pragma
+        yield vector
+
+
+def stamp():
+    return time.time()  # detlint: ignore[DET001]
+
+
+def jitter():
+    return random.random()  # detlint: ignore[DET002]
+
+
+def chaos():
+    return random.random() + time.time()  # detlint: ignore[*]

@@ -1,0 +1,108 @@
+"""The ``repro lint`` command: exit codes, --json schema, baseline flags."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.findings import JSON_SCHEMA_VERSION
+from repro.analysis.lint import main
+from repro.analysis.rules import rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "det001_bad.py"
+GOOD = FIXTURES / "det001_good.py"
+
+
+def test_clean_path_exits_zero(capsys):
+    assert main([str(GOOD)]) == 0
+    assert "detlint: OK" in capsys.readouterr().out
+
+
+def test_bad_fixture_exits_one(capsys):
+    assert main([str(BAD), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "detlint: FAILED" in out
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["/no/such/file.py"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_shipped_package_is_clean():
+    assert main([]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+
+
+def test_json_schema_and_ordering(capsys):
+    assert main([str(FIXTURES), "--no-baseline", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == JSON_SCHEMA_VERSION
+    assert payload["ok"] is False
+    assert set(payload["summary"]) == {
+        "files_scanned",
+        "rules_run",
+        "new",
+        "baselined",
+        "suppressed",
+        "stale_baseline",
+        "parse_errors",
+    }
+    findings = payload["findings"]
+    assert findings, "fixture scan must produce findings"
+    assert set(findings[0]) == {"rule", "path", "line", "col", "message", "hint", "snippet"}
+    keys = [(f["path"], f["line"], f["col"], f["rule"], f["message"]) for f in findings]
+    assert keys == sorted(keys)
+    assert payload["summary"]["new"] == len(findings)
+
+
+def test_json_output_is_byte_stable(capsys):
+    main([str(FIXTURES), "--no-baseline", "--json"])
+    first = capsys.readouterr().out
+    main([str(FIXTURES), "--no-baseline", "--json"])
+    assert capsys.readouterr().out == first
+
+
+def test_write_baseline_then_pass(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(BAD), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    # Grandfathered: same scan now passes, reporting the baselined findings.
+    assert main([str(BAD), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "(baselined)" in out
+    # --no-baseline restores the gate.
+    assert main([str(BAD), "--baseline", str(baseline), "--no-baseline"]) == 1
+
+
+def test_stale_baseline_entries_are_reported(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    main([str(BAD), "--baseline", str(baseline), "--write-baseline"])
+    capsys.readouterr()
+    assert main([str(GOOD), "--baseline", str(baseline)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_cli_wiring_via_python_m_repro():
+    """`python -m repro lint` — the form CI and pre-commit invoke."""
+    env = dict(os.environ)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "detlint: OK" in result.stdout

@@ -1,0 +1,57 @@
+"""Inline suppression pragmas: line, file-level, and wildcard forms."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import run_rules
+from repro.analysis.suppressions import FILE_PRAGMA_WINDOW, Suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_suppressed_fixture_is_clean_but_counted():
+    report = run_rules([FIXTURES / "suppressed.py"])
+    assert report.ok
+    assert report.new_findings == []
+    # 1 DET003 (file pragma) + DET001 + DET002 (line pragmas) + 2 on the
+    # wildcard line (DET001 and DET002 both fire there).
+    assert report.suppressed_count == 5
+
+
+def test_line_pragma_single_rule():
+    sup = Suppressions("x = 1  # detlint: ignore[DET001]\ny = 2\n")
+    assert sup.is_suppressed("DET001", 1)
+    assert not sup.is_suppressed("DET002", 1)
+    assert not sup.is_suppressed("DET001", 2)
+
+
+def test_line_pragma_multiple_rules_and_wildcard():
+    sup = Suppressions(
+        "a = 1  # detlint: ignore[DET001, PRO103]\nb = 2  # detlint: ignore[*]\n"
+    )
+    assert sup.is_suppressed("DET001", 1)
+    assert sup.is_suppressed("PRO103", 1)
+    assert not sup.is_suppressed("DET002", 1)
+    assert sup.is_suppressed("DET005", 2)
+    assert sup.is_suppressed("PRO101", 2)
+
+
+def test_file_pragma_applies_everywhere():
+    text = "# detlint: ignore-file[DET003]\n" + "x = 1\n" * 50
+    sup = Suppressions(text)
+    assert sup.is_suppressed("DET003", 1)
+    assert sup.is_suppressed("DET003", 51)
+    assert not sup.is_suppressed("DET001", 51)
+
+
+def test_file_pragma_only_honored_near_the_top():
+    filler = "x = 1\n" * FILE_PRAGMA_WINDOW
+    sup = Suppressions(filler + "# detlint: ignore-file[DET003]\n")
+    assert not sup.is_suppressed("DET003", 1)
+
+
+def test_pragma_requires_exact_marker():
+    sup = Suppressions("x = 1  # ignore[DET001]\ny = 2  # detlint ignore[DET001]\n")
+    assert not sup.is_suppressed("DET001", 1)
+    assert not sup.is_suppressed("DET001", 2)
