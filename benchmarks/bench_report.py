@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import sys
 import time
 from contextlib import contextmanager
 from functools import partial
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.apps import microbench as mb
 from repro.common.counters import ENV_FAST, GLOBAL_COUNTERS
@@ -37,6 +39,9 @@ from repro.experiments.fig4_overheads import run_interval_sweep
 from repro.perf.cache import ENV_CACHE_ENABLED
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cycletier.json"
+
+#: Payload schema: 2 added the ``meta`` block (git/host/engine provenance).
+REPORT_SCHEMA = 2
 
 #: Acceptance floor for the gated (memory-stall-heavy) benches.
 GATED_SPEEDUP = 3.0
@@ -135,8 +140,51 @@ def _timed(fn: Callable[[], Any], repeats: int = 2) -> Tuple[Any, float, Dict[st
     return result, elapsed, telemetry
 
 
-def run_report(report: Callable[[str], None] = print) -> Dict[str, Any]:
-    """Run every bench fast + naive; write and return the report payload."""
+def _git(*argv: str) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ("git", *argv),
+            cwd=REPORT_PATH.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def run_metadata() -> Dict[str, Any]:
+    """Machine-readable provenance: which code, host, and engine ran this.
+
+    A baseline number without its git sha and engine flags cannot be
+    compared honestly; the gate (``repro bench-gate``) reads this block to
+    annotate its verdicts.
+    """
+    status = _git("status", "--porcelain")
+    return {
+        "git_sha": _git("rev-parse", "HEAD"),
+        "git_dirty": bool(status) if status is not None else None,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "engine_flags": {
+            ENV_FAST: os.environ.get(ENV_FAST),
+            ENV_CACHE_ENABLED: os.environ.get(ENV_CACHE_ENABLED),
+        },
+        "created_unix": int(time.time()),
+    }
+
+
+def run_report(
+    report: Callable[[str], None] = print,
+    out_path: Optional[Path] = REPORT_PATH,
+) -> Dict[str, Any]:
+    """Run every bench fast + naive; write and return the report payload.
+
+    ``out_path=None`` skips the write — the perf gate runs a fresh report
+    for comparison without clobbering the committed baseline.
+    """
     benches: Dict[str, Any] = {}
     ok = True
     for name, runner, gated in BENCHES:
@@ -176,12 +224,15 @@ def run_report(report: Callable[[str], None] = print) -> Dict[str, Any]:
 
     payload = {
         "report": "cold cycle-tier runs, cycle-skipping engine vs naive stepper",
+        "schema": REPORT_SCHEMA,
+        "meta": run_metadata(),
         "gate_speedup": GATED_SPEEDUP,
         "ok": ok,
         "benches": benches,
     }
-    REPORT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    report(f"wrote {REPORT_PATH}")
+    if out_path is not None:
+        out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        report(f"wrote {out_path}")
     return payload
 
 

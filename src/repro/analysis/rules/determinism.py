@@ -19,7 +19,10 @@ from repro.analysis.rules import ModuleSource, Rule, register
 
 #: Layers allowed to read wall clocks (telemetry/timeout duty) and the
 #: process environment (run-shape knobs: jobs, cache dir, engine choice).
-ENGINE_LAYERS = ("repro.perf",)
+#: ``repro.obs`` is on the wall-clock list for its host-side perf gate
+#: (``repro.obs.regress``); its trace/metrics core still uses simulated
+#: cycles only, which the obs fixture pair in the test suite pins down.
+ENGINE_LAYERS = ("repro.perf", "repro.obs")
 CONFIG_LAYERS = ("repro.perf", "repro.common.counters")
 
 _WALL_CLOCK_CALLS = {

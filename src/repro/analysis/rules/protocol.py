@@ -35,6 +35,11 @@ SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = {
     "repro.sim.event": ("Event", "EventQueue"),
     "repro.sim.simulator": ("Simulator",),
     "repro.sim.trace": ("TraceEvent", "TraceRecorder"),
+    "repro.obs.ring": ("RingBuffer",),
+    "repro.obs.events": ("InstantEvent", "SpanEvent"),
+    "repro.obs.spans": ("Tracer", "SpanHandle"),
+    "repro.obs.hist": ("LatencyHistogram",),
+    "repro.obs.registry": ("MetricsRegistry",),
     "repro.cpu.core": ("Core",),
     "repro.cpu.backend": ("UOp",),
     "repro.cpu.uopcache": ("UopCache", "UopCacheEntry"),

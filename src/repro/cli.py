@@ -5,8 +5,9 @@ Usage::
     python -m repro list
     python -m repro quickstart [--tracked]
     python -m repro costs [--from-cycle-model]
-    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full] [--jobs N] [--verbose]
+    python -m repro experiment table2|fig2|fig4|fig5|fig6|fig7|fig8|fig9|sec35|sec61|sec2 [--full] [--jobs N] [--verbose] [--trace-out T.json] [--metrics-out M.json]
     python -m repro perf-selftest [--jobs N]
+    python -m repro bench-gate [--tolerance 25%] [--baseline PATH] [--json-out PATH]
     python -m repro lint [paths...] [--json] [--list-rules]
 
 ``--full`` runs closer to benchmark scale; the default is a quick variant
@@ -17,6 +18,13 @@ persistent cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=0``), and
 ``perf-selftest`` verifies both properties at reduced scale.  Cold runs use
 the cycle-skipping fast engine by default; ``REPRO_FAST=0`` falls back to
 the naive stepper, and ``--verbose`` prints skip/uop-cache/event telemetry.
+
+``--trace-out``/``--metrics-out`` additionally run the observability pass
+(``repro.obs``): one traced cycle-tier run per delivery strategy, exported
+as Perfetto-loadable Chrome trace JSON and a metrics document with
+per-strategy delivery-latency histograms.  ``bench-gate`` re-runs the
+cold-engine benchmark suite and compares it against the committed
+``BENCH_cycletier.json`` baseline within a wall-clock tolerance.
 """
 
 from __future__ import annotations
@@ -315,6 +323,38 @@ def _print_engine_counters() -> None:
     print("(runs fanned out with --jobs execute in worker processes and are not counted)")
 
 
+def _write_observability(args) -> None:
+    """The ``--trace-out`` / ``--metrics-out`` pass (see repro.obs.observe)."""
+    import json
+
+    from repro.obs.chrometrace import write_trace
+    from repro.obs.observe import run_observed
+
+    print("\nobservability pass: tracing one run per delivery strategy...")
+    observed = run_observed(full=args.full)
+    if args.trace_out:
+        write_trace(args.trace_out, observed.groups)
+        events = sum(len(group.events) for group in observed.groups)
+        print(f"wrote {args.trace_out} ({events} events; load at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(observed.metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics_out}")
+    rows = [
+        [label, observed.medians.get(label)] for label in sorted(observed.medians)
+    ]
+    print(
+        format_table(
+            ["strategy", "median delivery latency (cy)"],
+            rows,
+            title="Delivery latency (send/fire -> handler entry)",
+        )
+    )
+    ordering = "holds" if observed.ordering_ok else "DOES NOT HOLD"
+    print(f"Figure 4 ordering (flush > tracked IPI > tracked timer): {ordering}")
+
+
 def _cmd_experiment(args) -> int:
     from repro.common.counters import GLOBAL_COUNTERS
     from repro.common.errors import ConfigError
@@ -327,6 +367,8 @@ def _cmd_experiment(args) -> int:
         GLOBAL_COUNTERS.reset()
     try:
         runner(args.full, jobs=args.jobs)
+        if args.trace_out or args.metrics_out:
+            _write_observability(args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -393,6 +435,25 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _cmd_bench_gate(args) -> int:
+    from pathlib import Path
+
+    from repro.common.errors import ConfigError
+    from repro.obs.regress import run_gate, parse_tolerance
+
+    try:
+        tolerance = parse_tolerance(args.tolerance)
+        return run_gate(
+            tolerance=tolerance,
+            baseline=Path(args.baseline) if args.baseline else None,
+            report=print,
+            json_out=Path(args.json_out) if args.json_out else None,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_perf_selftest(args) -> int:
     from repro.common.errors import ConfigError
     from repro.perf.selftest import run_selftest
@@ -445,6 +506,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print fast-engine telemetry (cycle skip / uop cache / event counters)",
     )
+    experiment.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also run the observability pass and write a Perfetto-loadable "
+        "Chrome trace JSON (one process per delivery strategy)",
+    )
+    experiment.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry (counters/gauges/delivery-latency "
+        "histograms) as JSON",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     selftest = sub.add_parser(
@@ -459,6 +534,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel phase (default 2)",
     )
     selftest.set_defaults(func=_cmd_perf_selftest)
+
+    bench_gate = sub.add_parser(
+        "bench-gate",
+        help="re-run the cold-engine benchmark suite and fail on regression "
+        "vs the committed BENCH_cycletier.json baseline",
+    )
+    bench_gate.add_argument(
+        "--tolerance",
+        default="25%",
+        metavar="T",
+        help="allowed fast-engine wall-clock growth, e.g. '25%%' or '0.25' "
+        "(default 25%%)",
+    )
+    bench_gate.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline JSON to compare against (default: repo BENCH_cycletier.json)",
+    )
+    bench_gate.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the gate verdict as JSON",
+    )
+    bench_gate.set_defaults(func=_cmd_bench_gate)
 
     faultsweep = sub.add_parser(
         "faultsweep",

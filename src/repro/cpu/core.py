@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
 from repro.common.errors import ConfigError, ProtocolError, SimulationError
 from repro.cpu.backend import (
@@ -463,12 +464,22 @@ class Core:
         if timer.check_fire(self.cycle):
             self.apic.raise_timer(timer.vector, self.cycle)
             self.trace.record(self.cycle, "kb_timer_fire", core=self.core_id)
+            if _obs.enabled:
+                _obs.TRACER.instant(
+                    self.cycle, "timer.kb_fire", f"timer{self.core_id}",
+                    _obs.CAT_TIMER, vector=timer.vector,
+                )
         # The conventional local APIC timer delivers through the APIC's
         # normal vector classification: a kernel interrupt — unless UINV has
         # been overloaded onto its vector (the Skyloft trick, §7).
         if self.apic_timer.check_fire(self.cycle):
             self.apic.accept(self.apic_timer.vector, self.cycle, kind=None)
             self.trace.record(self.cycle, "apic_timer_fire", core=self.core_id)
+            if _obs.enabled:
+                _obs.TRACER.instant(
+                    self.cycle, "timer.apic_fire", f"timer{self.core_id}",
+                    _obs.CAT_TIMER, vector=self.apic_timer.vector,
+                )
 
     # ------------------------------------------------------------------
     # Commit stage
@@ -581,6 +592,18 @@ class Core:
         elif semantic == mc.SEM_DEL_UPDATE_UIRR:
             self.uintr.take_uirr_vector()
             self.trace.record(self.cycle, "delivery_done", core=self.core_id)
+            if _obs.enabled and self.current_interrupt is not None:
+                # One span per delivery: APIC arrival through delivery-done.
+                pending = self.current_interrupt
+                _obs.TRACER.complete(
+                    pending.arrival_time,
+                    self.cycle - pending.arrival_time,
+                    "uintr.delivery",
+                    f"core{self.core_id}",
+                    _obs.CAT_DELIVERY,
+                    vector=pending.vector,
+                    kind=pending.kind.value,
+                )
 
     def _uitt_entry(self, index: int) -> Tuple[int, int]:
         if self.uintr.uitt_base is None:

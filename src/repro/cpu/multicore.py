@@ -14,6 +14,7 @@ import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
 from repro.common.errors import ConfigError, SimulationError
 from repro.cpu.config import SystemConfig
@@ -43,6 +44,7 @@ class MultiCoreSystem:
         strategies: Sequence[DeliveryStrategy],
         config: Optional[SystemConfig] = None,
         trace: bool = False,
+        trace_max_events: Optional[int] = None,
     ) -> None:
         if len(programs) != len(strategies):
             raise ConfigError("one strategy per program/core is required")
@@ -51,7 +53,7 @@ class MultiCoreSystem:
         self.config = config or SystemConfig.sapphire_rapids_like()
         self.cycle = 0
         self.shared = SharedMemory()
-        self.trace = TraceRecorder(enabled=trace)
+        self.trace = TraceRecorder(enabled=trace, max_events=trace_max_events)
         self._timeline: List[Tuple[int, int, Callable[[], None]]] = []
         self._timeline_seq = itertools.count()
         self._alloc_ptr = KERNEL_STRUCTS_BASE
@@ -94,7 +96,13 @@ class MultiCoreSystem:
             apic.accept(vector, self.cycle, kind=None)
             self.trace.record(self.cycle, "ipi_arrival", core=dest_apic_id, vector=vector)
 
-        self.schedule(self.config.timing.ipi_wire_latency, deliver)
+        wire_latency = self.config.timing.ipi_wire_latency
+        if _obs.enabled:
+            _obs.TRACER.complete(
+                self.cycle, wire_latency, "ipi.wire", f"apic{dest_apic_id}",
+                _obs.CAT_IRQ, vector=vector,
+            )
+        self.schedule(wire_latency, deliver)
 
     def raise_device_interrupt(self, core_id: int, vector: int, delay: int = 0) -> None:
         """A device raises ``vector`` at ``core_id`` after ``delay`` cycles."""

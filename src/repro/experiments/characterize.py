@@ -19,6 +19,7 @@ from repro.cpu.delivery import DrainStrategy, FlushStrategy, TrackedStrategy
 from repro.cpu.multicore import MultiCoreSystem
 from repro.cpu.program import ProgramBuilder
 from repro.experiments import cycletier
+from repro.obs.latency import pair_latencies
 from repro.perf import SweepRunner
 from repro.perf.cache import default_cache
 from repro.uintr.upid import UPID
@@ -444,14 +445,9 @@ def run_max_latency(
 
 
 def _pair_latencies(starts: List[float], ends: List[float]) -> List[float]:
-    """Pair each start with the first later end (one outstanding at a time)."""
-    latencies: List[float] = []
-    end_iter = iter(ends)
-    end = next(end_iter, None)
-    for start in starts:
-        while end is not None and end < start:
-            end = next(end_iter, None)
-        if end is None:
-            break
-        latencies.append(end - start)
-    return latencies
+    """Pair each start with the first later end (one outstanding at a time).
+
+    The canonical implementation lives in :mod:`repro.obs.latency`, where
+    the delivery-stage histograms use it too.
+    """
+    return pair_latencies(starts, ends)

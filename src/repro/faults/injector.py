@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro import obs as _obs
 from repro.common.errors import ConfigError, SimulationError
 from repro.faults.plan import CYCLE_TIER_KINDS, Fault, FaultPlan, MESSAGE_KINDS
 from repro.uintr.apic import InterruptKind, LocalApic
@@ -52,6 +53,12 @@ class InjectionCounters:
 
     def total(self) -> int:
         return sum(self.__dict__.values())
+
+
+def _mark_fault(time: float, kind: str, **args) -> None:
+    """Drop a structured marker on the ``faults`` track when observing."""
+    if _obs.enabled:
+        _obs.TRACER.instant(time, f"fault.{kind}", "faults", _obs.CAT_FAULT, **args)
 
 
 class _MessageFaultTable:
@@ -129,14 +136,18 @@ class FaultInjector:
                 return None
             if fault.kind == "drop_send":
                 counters.dropped += 1
+                _mark_fault(time, "drop_send", core=core_id, vector=vector)
                 return "drop"
             if fault.kind == "dup_send":
                 counters.duplicated += 1
+                _mark_fault(time, "dup_send", core=core_id, vector=vector)
                 return "duplicate"
             counters.delayed += 1
+            _mark_fault(time, "delay_send", core=core_id, vector=vector, delay=fault.delay)
 
             def redeliver() -> None:
                 counters.redelivered += 1
+                _mark_fault(system.cycle, "redeliver", core=core_id, vector=vector)
                 apic.accept_now(vector, system.cycle, kind)
 
             system.schedule(fault.delay, redeliver)
@@ -154,6 +165,7 @@ class FaultInjector:
 
             def stall() -> None:
                 counters.upid_stalls += 1
+                _mark_fault(system.cycle, "upid_stall", core=fault.core)
                 core.hierarchy.dcache.flush()
                 core.hierarchy.l2cache.flush()
 
@@ -162,6 +174,7 @@ class FaultInjector:
 
             def spurious() -> None:
                 counters.spurious += 1
+                _mark_fault(system.cycle, "spurious_uintr", core=fault.core)
                 # A notification with nothing posted: the recognition
                 # microcode runs against an empty PIR.
                 core.apic.accept_now(
@@ -177,6 +190,7 @@ class FaultInjector:
                 timer = core.uintr.kb_timer
                 if timer.enabled and timer.armed:
                     counters.timer_drifts += 1
+                    _mark_fault(system.cycle, "timer_drift", core=fault.core, delay=fault.delay)
                     timer.deadline += fault.delay
                 else:
                     counters.timer_drift_misses += 1
@@ -186,6 +200,7 @@ class FaultInjector:
 
             def storm() -> None:
                 counters.misspec_storms += 1
+                _mark_fault(system.cycle, "misspec_storm", core=fault.core)
                 gshare = core.predictor.gshare
                 # Invert every 2-bit counter: taken <-> not-taken.
                 gshare._table = [3 - c for c in gshare._table]
@@ -273,14 +288,18 @@ class EventFaultInjector:
                 return None
             if fault.kind == "drop_send":
                 counters.dropped += 1
+                _mark_fault(time, "drop_send", vector=vector)
                 return "drop"
             if fault.kind == "dup_send":
                 counters.duplicated += 1
+                _mark_fault(time, "dup_send", vector=vector)
                 return "duplicate"
             counters.delayed += 1
+            _mark_fault(time, "delay_send", vector=vector, delay=fault.delay)
 
             def redeliver() -> None:
                 counters.redelivered += 1
+                _mark_fault(sim.now, "redeliver", vector=vector)
                 apic.accept_now(vector, sim.now, kind)
 
             sim.schedule(fault.delay, redeliver, name="fault_redeliver")
@@ -295,6 +314,7 @@ class EventFaultInjector:
 
         def preempt() -> None:
             counters.forced_preemptions += 1
+            _mark_fault(sim.now, "ctx_switch", core=fault.core)
             scheduler.fault_preempt(sim.now)
 
         sim.schedule_at(max(sim.now, fault.at), preempt, name="fault_preempt")

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from repro import obs as _obs
 from repro.common.errors import SimulationError
 from repro.cpu.cache import SharedMemory
 from repro.cpu.uintr_state import KBTimerState
@@ -93,6 +94,11 @@ class CoreScheduler:
         thread.state = ThreadState.READY
         self.current = None
         self.run_queue.append(thread)
+        if _obs.enabled:
+            _obs.TRACER.instant(
+                now, "sched.switch_out", f"kernel.sched{self.core_id}",
+                _obs.CAT_SCHED, thread=thread.name,
+            )
         return thread
 
     def schedule_next(self, now: float) -> Optional[KernelThread]:
@@ -143,6 +149,11 @@ class CoreScheduler:
         self.account.charge("context_switch", self.costs.kthread_switch)
         thread.state = ThreadState.RUNNING
         self.current = thread
+        if _obs.enabled:
+            _obs.TRACER.instant(
+                now, "sched.switch_in", f"kernel.sched{self.core_id}",
+                _obs.CAT_SCHED, thread=thread.name,
+            )
         upid = self._upid(thread)
         if upid is not None:
             upid.set_suppressed(False)
@@ -172,6 +183,15 @@ class CoreScheduler:
             self.apic.raise_timer(user_vector, now)
             self.slow_path_reposts += 1
         thread.pending_slow_path.clear()
+
+    def counters_as_dict(self) -> dict:
+        """The scheduler's telemetry counters, for the metrics registry."""
+        return {
+            "context_switches": self.context_switches,
+            "slow_path_reposts": self.slow_path_reposts,
+            "eager_wakes": self.eager_wakes,
+            "forced_preemptions": self.forced_preemptions,
+        }
 
     def preempt(self, now: float) -> Optional[KernelThread]:
         """Timeslice: deschedule the current thread and run the next one."""

@@ -1,0 +1,88 @@
+"""repro.obs — unified observability: tracing, metrics, latency, gating.
+
+The subsystem is **off by default** and designed to cost one module-level
+boolean check when disabled (the same zero-cost-when-off discipline as the
+``REPRO_FAST`` engine flag).  Hot paths guard every emission with::
+
+    from repro import obs as _obs
+    ...
+    if _obs.enabled:
+        _obs.TRACER.instant(self.cycle, "apic.accept", f"apic{self.apic_id}")
+
+Call :func:`enable` / :func:`disable` to flip collection; the CLI does this
+when ``--trace-out`` / ``--metrics-out`` are given.  Timestamps are always
+simulated cycles — the tracer itself never reads a wall clock (detlint
+DET001 still applies to everything except the host-side perf gate in
+:mod:`repro.obs.regress`).
+
+This package ``__init__`` only re-exports the dependency-free core
+(ring / events / spans / hist / registry).  The exporters that reach into
+the simulator (:mod:`repro.obs.chrometrace`, :mod:`repro.obs.latency`,
+:mod:`repro.obs.observe`, :mod:`repro.obs.regress`) are imported explicitly
+by their callers to keep import cycles impossible.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    CAT_DELIVERY,
+    CAT_ENGINE,
+    CAT_FAULT,
+    CAT_IRQ,
+    CAT_SCHED,
+    CAT_SIM,
+    CAT_TIMER,
+    InstantEvent,
+    SpanEvent,
+)
+from repro.obs.hist import LatencyHistogram
+from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.ring import RingBuffer
+from repro.obs.spans import DEFAULT_MAX_EVENTS, SpanHandle, Tracer
+
+#: Master switch.  Hot paths check this one attribute and nothing else.
+enabled: bool = False
+
+#: Process-global tracer and metrics registry.  Instrumentation sites write
+#: here (guarded by ``enabled``); exporters snapshot from here.
+TRACER = Tracer()
+METRICS = MetricsRegistry()
+
+
+def enable(max_events: int | None = DEFAULT_MAX_EVENTS) -> None:
+    """Turn on collection with a fresh tracer bounded at ``max_events``."""
+    global enabled, TRACER
+    TRACER = Tracer(max_events)
+    METRICS.clear()
+    enabled = True
+
+
+def disable() -> None:
+    """Turn collection off.  Already-collected events stay readable."""
+    global enabled
+    enabled = False
+
+
+__all__ = [
+    "CAT_DELIVERY",
+    "CAT_ENGINE",
+    "CAT_FAULT",
+    "CAT_IRQ",
+    "CAT_SCHED",
+    "CAT_SIM",
+    "CAT_TIMER",
+    "DEFAULT_MAX_EVENTS",
+    "InstantEvent",
+    "LatencyHistogram",
+    "METRICS",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "RingBuffer",
+    "SpanEvent",
+    "SpanHandle",
+    "TRACER",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+]

@@ -1,0 +1,179 @@
+"""Chrome trace-event (Perfetto-loadable) JSON export.
+
+Converts structured :mod:`repro.obs` events — and legacy
+``TraceRecorder`` events via :func:`from_recorder` — into the Chrome
+trace-event format (the ``{"traceEvents": [...]}`` JSON that
+https://ui.perfetto.dev and ``chrome://tracing`` open directly).
+
+Mapping:
+
+* each :class:`TraceGroup` (one observed experiment run, e.g. one delivery
+  strategy) becomes a Chrome **process** (``pid``), named in a
+  ``process_name`` metadata record;
+* each track (``core0``, ``apic1``, ``timer0``, ``kernel.sched0``,
+  ``sim.events``, ``faults``) becomes a **thread** (``tid``) of that
+  process, named and sorted via ``thread_name`` / ``thread_sort_index``
+  metadata so cores render first, then APICs, timers, the kernel
+  scheduler, the event-tier calendar, and fault markers;
+* :class:`~repro.obs.events.SpanEvent` → a complete ``"X"`` event,
+  :class:`~repro.obs.events.InstantEvent` → a thread-scoped ``"i"`` event.
+
+Timestamps are simulated cycles converted to microseconds of the paper's
+2 GHz clock (``ts_us = cycles / 2000``) so Perfetto's time axis reads in
+real units.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.obs.events import (
+    InstantEvent,
+    SpanEvent,
+    category_for_kind,
+    track_for_kind,
+)
+
+#: The paper's clock: 2 GHz, so 2000 simulated cycles per microsecond.
+CYCLES_PER_US = 2000.0
+
+#: Schema tag stamped into the export's ``otherData``.
+TRACE_SCHEMA = "repro.obs.chrometrace/v1"
+
+ObsEvent = Union[InstantEvent, SpanEvent]
+
+
+@dataclass
+class TraceGroup:
+    """One Chrome *process* worth of events (e.g. one strategy's run)."""
+
+    name: str
+    events: List[ObsEvent] = field(default_factory=list)
+    #: Events evicted from the ring before export (reported, never hidden).
+    dropped: int = 0
+
+
+def from_recorder(recorder_events: Iterable[Any]) -> List[InstantEvent]:
+    """Convert legacy ``TraceRecorder`` events to structured instants.
+
+    Accepts anything with ``.time``/``.kind``/``.detail`` (duck-typed so
+    this module never imports :mod:`repro.sim.trace`).
+    """
+    out: List[InstantEvent] = []
+    for event in recorder_events:
+        detail = dict(event.detail)
+        out.append(
+            InstantEvent(
+                ts=event.time,
+                name=event.kind,
+                track=track_for_kind(event.kind, detail),
+                category=category_for_kind(event.kind),
+                args=detail,
+            )
+        )
+    return out
+
+
+# -- track ordering ---------------------------------------------------------
+
+_TRACK_RANKS: Tuple[Tuple[str, int], ...] = (
+    ("core", 0),
+    ("apic", 1),
+    ("timer", 2),
+    ("kernel.sched", 3),
+    ("sim.events", 4),
+    ("faults", 5),
+)
+
+
+def _track_sort_key(track: str) -> Tuple[int, str]:
+    for prefix, rank in _TRACK_RANKS:
+        if track.startswith(prefix):
+            # Zero-pad any trailing index so core10 sorts after core2.
+            suffix = track[len(prefix):]
+            return rank, f"{prefix}{suffix.rjust(8, '0')}" if suffix.isdigit() else track
+    return len(_TRACK_RANKS), track
+
+
+def chrome_events(group: TraceGroup, pid: int) -> List[Dict[str, Any]]:
+    """All Chrome trace records for one group, metadata first."""
+    tracks = sorted({event.track for event in group.events}, key=_track_sort_key)
+    tids = {track: tid for tid, track in enumerate(tracks, start=1)}
+
+    records: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": group.name},
+        }
+    ]
+    for track in tracks:
+        records.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tids[track],
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+        records.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tids[track],
+                "name": "thread_sort_index",
+                "args": {"sort_index": tids[track]},
+            }
+        )
+
+    for event in sorted(group.events, key=lambda e: (e.ts, e.track, e.name)):
+        record: Dict[str, Any] = {
+            "pid": pid,
+            "tid": tids[event.track],
+            "ts": event.ts / CYCLES_PER_US,
+            "name": event.name,
+            "cat": event.category or "misc",
+            "args": {**event.args, "cycle": event.ts},
+        }
+        if isinstance(event, SpanEvent):
+            record["ph"] = "X"
+            record["dur"] = event.dur / CYCLES_PER_US
+            record["args"]["dur_cycles"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        records.append(record)
+    return records
+
+
+def build_trace(groups: Sequence[TraceGroup]) -> Dict[str, Any]:
+    """The full Chrome trace document for a sequence of groups."""
+    records: List[Dict[str, Any]] = []
+    dropped: Dict[str, int] = {}
+    for pid, group in enumerate(groups, start=1):
+        records.extend(chrome_events(group, pid))
+        if group.dropped:
+            dropped[group.name] = group.dropped
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "clock": "simulated cycles @ 2 GHz (ts in us = cycles / 2000)",
+            "dropped_events": dropped,
+        },
+    }
+
+
+def write_trace(path: str, groups: Sequence[TraceGroup]) -> Dict[str, Any]:
+    """Write the Perfetto JSON for ``groups`` to ``path``; returns the doc."""
+    document = build_trace(groups)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return document

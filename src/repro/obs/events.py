@@ -1,0 +1,89 @@
+"""Typed structured-trace events and the track/category taxonomy.
+
+Every observability event carries a **deterministic simulated timestamp**
+(cycles of the 2 GHz paper clock — never wall-clock time; see DET001) and a
+**track**: the timeline row it renders on in Perfetto.  Track names follow
+the entity that emitted the event:
+
+================  =====================================================
+``core<N>``        pipeline / delivery events of cycle-tier core N
+``apic<N>``        local-APIC message acceptance and IPI wire transit
+``timer<N>``       KB-timer and legacy APIC-timer fires on core N
+``kernel.sched<N>``context switches and slow-path reposts on core N
+``sim.events``     event-tier calendar callbacks
+``faults``         injected faults (drop/dup/delay/stall/...)
+================  =====================================================
+
+Categories group events for Perfetto filtering (``cat`` in the Chrome
+trace-event format).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+# -- categories -------------------------------------------------------------
+CAT_DELIVERY = "delivery"  # interrupt recognition / delivery / uiret
+CAT_IRQ = "irq"  # APIC message acceptance, IPI wire transit
+CAT_TIMER = "timer"  # KB / APIC timer fires
+CAT_SCHED = "sched"  # kernel scheduler context switches
+CAT_SIM = "sim"  # event-tier calendar callbacks
+CAT_FAULT = "fault"  # injected faults
+CAT_ENGINE = "engine"  # engine telemetry markers
+
+
+@dataclass(frozen=True, slots=True)
+class InstantEvent:
+    """A zero-duration occurrence at simulated time ``ts`` (cycles)."""
+
+    ts: float
+    name: str
+    track: str
+    category: str = ""
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """A duration ``[ts, ts + dur]`` on one track (a Chrome "X" event)."""
+
+    ts: float
+    dur: float
+    name: str
+    track: str
+    category: str = ""
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+# -- legacy TraceRecorder kind -> (track template, category) ----------------
+# The cycle-tier ``TraceRecorder`` predates the structured tracer; its flat
+# ``kind`` strings map onto tracks here so legacy traces export to the same
+# timeline model.  Kinds not listed render on the emitting core's track with
+# category "delivery" (every unlisted kind today is a delivery-path marker).
+_TIMER_KINDS = frozenset({"kb_timer_fire", "apic_timer_fire"})
+_APIC_KINDS = frozenset({"ipi_arrival", "device_intr"})
+
+_KIND_CATEGORY = {
+    "ipi_arrival": CAT_IRQ,
+    "device_intr": CAT_IRQ,
+    "icr_write": CAT_IRQ,
+    "kb_timer_fire": CAT_TIMER,
+    "apic_timer_fire": CAT_TIMER,
+}
+
+
+def track_for_kind(kind: str, detail: Dict[str, Any]) -> str:
+    """The track a legacy trace-recorder event belongs on."""
+    core = detail.get("core")
+    if core is None:
+        return "sim.events"
+    if kind in _TIMER_KINDS:
+        return f"timer{core}"
+    if kind in _APIC_KINDS:
+        return f"apic{core}"
+    return f"core{core}"
+
+
+def category_for_kind(kind: str) -> str:
+    return _KIND_CATEGORY.get(kind, CAT_DELIVERY)

@@ -1,0 +1,166 @@
+"""HDR-style log-bucketed latency histograms.
+
+Values (non-negative; cycles, microseconds, counts) are binned into
+buckets whose width grows geometrically: the first ``2**sub_bits`` buckets
+are exact (width 1), then every octave is split into ``2**sub_bits``
+sub-buckets, bounding the relative quantization error at ``2**-sub_bits``
+(~6% at the default ``sub_bits=4``, ~1.5% at 6) while keeping the bucket
+count logarithmic in the value range.  Exact ``min``/``max``/``count`` and
+a float ``sum`` ride alongside the buckets, so the percentile estimator can
+clamp into the observed range — empty and single-sample inputs behave
+exactly (see :meth:`LatencyHistogram.percentile`).
+
+Everything is deterministic: bucket arithmetic is integer-only, percentile
+walks buckets in index order, and ``as_dict`` emits sorted keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Default sub-bucket resolution: 16 sub-buckets per octave (~6% error).
+DEFAULT_SUB_BITS = 4
+
+#: Percentiles reported by :meth:`LatencyHistogram.summary`.
+SUMMARY_PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 50.0),
+    ("p90", 90.0),
+    ("p99", 99.0),
+    ("p999", 99.9),
+)
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram with percentile summaries."""
+
+    __slots__ = ("sub_bits", "count", "sum", "min", "max", "_counts")
+
+    def __init__(self, sub_bits: int = DEFAULT_SUB_BITS) -> None:
+        if not 1 <= sub_bits <= 12:
+            raise ConfigError(f"sub_bits must be in [1, 12], got {sub_bits}")
+        self.sub_bits = sub_bits
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket index -> count (sparse; traces usually span few octaves).
+        self._counts: Dict[int, int] = {}
+
+    # -- bucket arithmetic ---------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket a value falls into (values quantize to integers)."""
+        v = int(value)
+        if v < 0:
+            raise ConfigError(f"latency histogram values must be >= 0, got {value}")
+        sub_bits = self.sub_bits
+        if v < (1 << sub_bits):
+            return v  # linear range: exact
+        msb = v.bit_length() - 1
+        shift = msb - sub_bits
+        return ((msb - sub_bits + 1) << sub_bits) + ((v >> shift) - (1 << sub_bits))
+
+    def bucket_bounds(self, index: int) -> Tuple[int, int]:
+        """Inclusive ``[lower, upper]`` integer value range of a bucket."""
+        sub_bits = self.sub_bits
+        if index < (1 << sub_bits):
+            return index, index
+        octave = (index >> sub_bits) + sub_bits - 1
+        sub = index & ((1 << sub_bits) - 1)
+        shift = octave - sub_bits
+        lower = ((1 << sub_bits) + sub) << shift
+        upper = lower + (1 << shift) - 1
+        return lower, upper
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        if value != value:  # NaN would silently poison min/max
+            raise ConfigError("cannot record NaN into a latency histogram")
+        index = self.bucket_index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram (same ``sub_bits``)."""
+        if other.sub_bits != self.sub_bits:
+            raise ConfigError(
+                f"cannot merge histograms with sub_bits {other.sub_bits} != {self.sub_bits}"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Value at percentile ``p`` (0 < p <= 100); None when empty.
+
+        Walks buckets in order to the first whose cumulative count reaches
+        ``ceil(p/100 * count)`` and returns that bucket's upper bound,
+        clamped into ``[min, max]`` — so percentiles of a single sample are
+        that sample exactly, and no estimate can leave the observed range.
+        """
+        if not 0 < p <= 100:
+            raise ConfigError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return None
+        rank = math.ceil(self.count * p / 100.0)
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= rank:
+                _, upper = self.bucket_bounds(index)
+                assert self.min is not None and self.max is not None
+                return min(max(float(upper), self.min), self.max)
+        raise AssertionError("bucket counts do not sum to count")  # pragma: no cover
+
+    def summary(self) -> Dict[str, Any]:
+        """count/min/mean/percentiles/max, ready for the metrics JSON."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "min": self.min,
+            "mean": self.mean,
+            "max": self.max,
+        }
+        for name, p in SUMMARY_PERCENTILES:
+            out[name] = self.percentile(p)
+        return out
+
+    def nonzero_buckets(self) -> List[Tuple[int, int, int]]:
+        """Sorted ``(lower, upper, count)`` triples of occupied buckets."""
+        out = []
+        for index in sorted(self._counts):
+            lower, upper = self.bucket_bounds(index)
+            out.append((lower, upper, self._counts[index]))
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = self.summary()
+        payload["sub_bits"] = self.sub_bits
+        payload["buckets"] = [
+            {"lower": lower, "upper": upper, "count": count}
+            for lower, upper, count in self.nonzero_buckets()
+        ]
+        return payload

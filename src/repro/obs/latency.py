@@ -1,0 +1,107 @@
+"""Interrupt delivery-latency decomposition (the Table 2 stage structure).
+
+Walks a cycle-tier trace and splits every delivery into the paper's
+stages, pairing each stage-start with the first stage-end at or after it
+(one delivery outstanding at a time — the regime every experiment here
+runs in):
+
+UIPI deliveries (sender core -> receiver core):
+
+====================  ===================================================
+``send_to_arrival``    ``senduipi_start`` (sender) -> ``ipi_arrival``
+                       (receiver): microcode + ICR write + wire transit
+``arrival_to_inject``  ``ipi_arrival`` -> ``inject``: recognition —
+                       flush/drain/track until the core takes the event
+``inject_to_handler``  ``inject`` -> ``handler_fetch``: delivery
+                       micro-ops through to handler entry
+``total``              ``senduipi_start`` -> ``handler_fetch``
+====================  ===================================================
+
+KB-timer deliveries are local, so the wire stage disappears:
+``fire_to_inject`` (``kb_timer_fire`` -> ``inject``),
+``inject_to_handler``, and ``total`` (``kb_timer_fire`` ->
+``handler_fetch``).
+
+The samples feed :class:`~repro.obs.hist.LatencyHistogram` instances in a
+:class:`~repro.obs.registry.MetricsRegistry` under
+``delivery.<strategy>.<stage>`` — the p50 of ``delivery.*.total`` is the
+number the Figure 4 ordering check reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: Stage names in report order.
+UIPI_STAGES = ("send_to_arrival", "arrival_to_inject", "inject_to_handler", "total")
+TIMER_STAGES = ("fire_to_inject", "inject_to_handler", "total")
+
+
+def pair_latencies(starts: List[float], ends: List[float]) -> List[float]:
+    """Pair each start with the first end at or after it.
+
+    Both lists must be in time order.  Models one outstanding delivery at
+    a time: an end is consumed by the earliest unmatched start before it.
+    """
+    latencies: List[float] = []
+    end_iter = iter(ends)
+    end = next(end_iter, None)
+    for start in starts:
+        while end is not None and end < start:
+            end = next(end_iter, None)
+        if end is None:
+            break
+        latencies.append(end - start)
+    return latencies
+
+
+def _times(events: Iterable[Any], kind: str, core: Optional[int]) -> List[float]:
+    return [
+        event.time
+        for event in events
+        if event.kind == kind
+        and (core is None or event.detail.get("core") == core)
+    ]
+
+
+def uipi_delivery_stages(
+    events: Iterable[Any], sender_core: int, receiver_core: int
+) -> Dict[str, List[float]]:
+    """Per-stage latency samples of every UIPI delivery in the trace."""
+    events = list(events)
+    sends = _times(events, "senduipi_start", sender_core)
+    arrivals = _times(events, "ipi_arrival", receiver_core)
+    injects = _times(events, "inject", receiver_core)
+    handlers = _times(events, "handler_fetch", receiver_core)
+    return {
+        "send_to_arrival": pair_latencies(sends, arrivals),
+        "arrival_to_inject": pair_latencies(arrivals, injects),
+        "inject_to_handler": pair_latencies(injects, handlers),
+        "total": pair_latencies(sends, handlers),
+    }
+
+
+def timer_delivery_stages(
+    events: Iterable[Any], receiver_core: int
+) -> Dict[str, List[float]]:
+    """Per-stage latency samples of every KB-timer delivery in the trace."""
+    events = list(events)
+    fires = _times(events, "kb_timer_fire", receiver_core)
+    injects = _times(events, "inject", receiver_core)
+    handlers = _times(events, "handler_fetch", receiver_core)
+    return {
+        "fire_to_inject": pair_latencies(fires, injects),
+        "inject_to_handler": pair_latencies(injects, handlers),
+        "total": pair_latencies(fires, handlers),
+    }
+
+
+def record_stages(
+    registry: MetricsRegistry, prefix: str, stages: Dict[str, List[float]]
+) -> None:
+    """Feed stage samples into ``<prefix>.<stage>`` histograms."""
+    for stage in sorted(stages):
+        histogram = registry.histogram(f"{prefix}.{stage}")
+        histogram.record_many(stages[stage])

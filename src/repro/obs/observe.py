@@ -1,0 +1,127 @@
+"""The canonical observed experiment pass behind ``--trace-out``.
+
+Figure-level experiments replay through the persistent result cache and
+the parallel sweep engine, so their inner runs have no live trace to
+export.  When the CLI is asked for ``--trace-out`` / ``--metrics-out`` it
+therefore runs this module's canonical instrumented pass alongside the
+experiment: one traced, observability-enabled cycle-tier run per delivery
+strategy (flush UIPI, tracked UIPI, tracked KB timer — the Figure 4
+trio), each becoming one Chrome-trace process group and one
+``delivery.<strategy>.*`` histogram family in the metrics registry.
+
+The pass always bypasses the result cache (``trace=True`` runs are never
+cached) and enables/disables the global tracer around itself, so it
+perturbs neither cached experiment results nor the engine-equality
+invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.apps import microbench as mb
+from repro.cpu.delivery import FlushStrategy, TrackedStrategy
+from repro.experiments import cycletier
+from repro.obs.chrometrace import TraceGroup, from_recorder
+from repro.obs.latency import (
+    record_stages,
+    timer_delivery_stages,
+    uipi_delivery_stages,
+)
+
+#: Strategy labels in Figure 4 order: expected total-latency medians obey
+#: flush > tracked IPI > tracked KB timer.
+STRATEGY_LABELS = ("uipi_flush", "uipi_tracked", "kb_timer_tracked")
+
+
+@dataclass
+class ObservedRun:
+    """Everything one observed pass produced, ready for the exporters."""
+
+    groups: List[TraceGroup] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: p50 of ``delivery.<label>.total`` per strategy label (None if empty).
+    medians: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    @property
+    def ordering_ok(self) -> bool:
+        """Do the medians reproduce flush > tracked > timer (Figure 4)?"""
+        flush = self.medians.get("uipi_flush")
+        tracked = self.medians.get("uipi_tracked")
+        timer = self.medians.get("kb_timer_tracked")
+        if flush is None or tracked is None or timer is None:
+            return False
+        return flush > tracked > timer
+
+
+#: Observed-pass interrupt interval: shorter than the experiments' 5 us
+#: quantum so a quick run still lands a dozen deliveries per strategy.
+OBSERVE_INTERVAL = 2_500
+
+
+def run_observed(
+    full: bool = False,
+    max_events: Optional[int] = obs.DEFAULT_MAX_EVENTS,
+    interval: int = OBSERVE_INTERVAL,
+) -> ObservedRun:
+    """Run the per-strategy instrumented trio and collect traces + metrics."""
+    iterations = 120_000 if full else 30_000
+    obs.enable(max_events)
+    result = ObservedRun()
+    try:
+        for label in STRATEGY_LABELS:
+            obs.TRACER.clear()
+            workload = mb.make_count_loop(iterations)
+            if label == "uipi_flush":
+                run = cycletier.run_with_uipi_timer(
+                    workload, FlushStrategy(), interval=interval, trace=True
+                )
+                stages = uipi_delivery_stages(
+                    run.system.trace.events, sender_core=1, receiver_core=0
+                )
+            elif label == "uipi_tracked":
+                run = cycletier.run_with_uipi_timer(
+                    workload, TrackedStrategy(), interval=interval, trace=True
+                )
+                stages = uipi_delivery_stages(
+                    run.system.trace.events, sender_core=1, receiver_core=0
+                )
+            else:
+                run = cycletier.run_with_kb_timer(
+                    workload, interval=interval, trace=True
+                )
+                stages = timer_delivery_stages(
+                    run.system.trace.events, receiver_core=0
+                )
+
+            record_stages(obs.METRICS, f"delivery.{label}", stages)
+            obs.METRICS.set_counter(f"run.{label}.cycles", run.cycles)
+            obs.METRICS.set_counter(
+                f"run.{label}.interrupts_delivered", run.interrupts_delivered
+            )
+            obs.METRICS.set_counter(
+                f"run.{label}.committed_instructions", run.committed_instructions
+            )
+            if run.stats is not None:
+                obs.METRICS.absorb_mapping(
+                    f"run.{label}.core0", dict(run.stats.__dict__)
+                )
+
+            events = from_recorder(run.system.trace.events) + obs.TRACER.events()
+            result.groups.append(
+                TraceGroup(
+                    name=label,
+                    events=events,
+                    dropped=obs.TRACER.dropped + run.system.trace.dropped,
+                )
+            )
+            total = obs.METRICS.histogram(f"delivery.{label}.total")
+            result.medians[label] = total.percentile(50.0)
+
+        obs.METRICS.absorb_engine_counters()
+        result.metrics = obs.METRICS.as_dict()
+    finally:
+        obs.disable()
+    return result

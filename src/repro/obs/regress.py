@@ -1,0 +1,204 @@
+"""Perf-regression gating: fresh bench numbers vs. the committed baseline.
+
+``repro bench-gate`` runs the cold-engine benchmark suite
+(``benchmarks/bench_report.py``) fresh — without overwriting the committed
+``BENCH_cycletier.json`` — and compares it against that baseline:
+
+* ``results_identical`` may never regress: if the baseline says the fast
+  and naive engines agreed on a bench and the fresh run says they do not,
+  the gate fails hard regardless of tolerance (that is a correctness bug,
+  not a slowdown).
+* ``wall_fast_s`` may grow by at most the tolerance (default 25%, because
+  shared-container wall clocks are noisy; CI runs this job non-blocking).
+* the fresh run's own speedup gates (``payload["ok"]``) must still hold.
+
+This is the **one** module in the observability subsystem allowed to read
+the wall clock (it times host execution, not simulated time); the detlint
+layer allowlist covers ``repro.obs`` for exactly this reason, and
+everything else in the package sticks to simulated cycles anyway.
+
+Exit codes: 0 = within tolerance, 1 = regression, 2 = cannot gate
+(missing/unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.analysis.engine import repo_root
+
+#: Default allowed wall-clock growth before the gate trips.
+DEFAULT_TOLERANCE = 0.25
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_NO_BASELINE = 2
+
+
+def parse_tolerance(text: str) -> float:
+    """Parse ``"25%"`` or ``"0.25"`` into a fraction; must be >= 0."""
+    raw = text.strip()
+    try:
+        if raw.endswith("%"):
+            value = float(raw[:-1]) / 100.0
+        else:
+            value = float(raw)
+    except ValueError:
+        raise ConfigError(f"cannot parse tolerance {text!r} (want '25%' or '0.25')")
+    if value < 0:
+        raise ConfigError(f"tolerance must be >= 0, got {text!r}")
+    return value
+
+
+def baseline_path() -> Path:
+    return repo_root() / "BENCH_cycletier.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, Any]:
+    resolved = path or baseline_path()
+    try:
+        return json.loads(resolved.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load bench baseline {resolved}: {exc}")
+
+
+def run_fresh(report: Callable[[str], None] = print) -> Dict[str, Any]:
+    """Run ``benchmarks/bench_report.py`` fresh, without writing the baseline.
+
+    The benchmarks directory is not an installed package, so the module is
+    loaded straight from its file path under the repo root.
+    """
+    bench_path = repo_root() / "benchmarks" / "bench_report.py"
+    spec = importlib.util.spec_from_file_location("repro_bench_report", bench_path)
+    if spec is None or spec.loader is None:
+        raise ConfigError(f"cannot load bench suite from {bench_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.run_report(report=report, out_path=None)
+
+
+@dataclass
+class GateCheck:
+    """One bench/field comparison and its verdict."""
+
+    bench: str
+    check: str
+    ok: bool
+    note: str
+
+
+@dataclass
+class GateResult:
+    ok: bool
+    tolerance: float
+    checks: List[GateCheck] = field(default_factory=list)
+
+    def failures(self) -> List[GateCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.obs.bench_gate/v1",
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "checks": [
+                {"bench": c.bench, "check": c.check, "ok": c.ok, "note": c.note}
+                for c in self.checks
+            ],
+        }
+
+
+def compare(
+    baseline: Dict[str, Any], fresh: Dict[str, Any], tolerance: float
+) -> GateResult:
+    """Compare a fresh bench payload against the committed baseline."""
+    result = GateResult(ok=True, tolerance=tolerance)
+
+    def add(bench: str, check: str, ok: bool, note: str) -> None:
+        result.checks.append(GateCheck(bench, check, ok, note))
+        if not ok:
+            result.ok = False
+
+    base_benches: Dict[str, Any] = baseline.get("benches", {})
+    fresh_benches: Dict[str, Any] = fresh.get("benches", {})
+
+    add(
+        "*",
+        "fresh_suite_ok",
+        bool(fresh.get("ok")),
+        "fresh run passed its own equality + speedup gates"
+        if fresh.get("ok")
+        else "fresh run FAILED its own equality/speedup gates",
+    )
+
+    for name in sorted(base_benches):
+        base = base_benches[name]
+        entry = fresh_benches.get(name)
+        if entry is None:
+            add(name, "present", False, "bench present in baseline but not in fresh run")
+            continue
+        if base.get("results_identical") and not entry.get("results_identical"):
+            add(name, "results_identical", False,
+                "fast/naive engines diverged (baseline had them identical)")
+        else:
+            add(name, "results_identical", True, "engines still agree")
+        base_wall = base.get("wall_fast_s")
+        fresh_wall = entry.get("wall_fast_s")
+        if not base_wall or fresh_wall is None:
+            add(name, "wall_fast_s", True, "no comparable wall-clock in baseline")
+            continue
+        limit = base_wall * (1.0 + tolerance)
+        ratio = fresh_wall / base_wall
+        add(
+            name,
+            "wall_fast_s",
+            fresh_wall <= limit,
+            f"fast-engine wall {fresh_wall:.3f}s vs baseline {base_wall:.3f}s "
+            f"({ratio:.2f}x, limit {1.0 + tolerance:.2f}x)",
+        )
+
+    for name in sorted(fresh_benches):
+        if name not in base_benches:
+            add(name, "present", True, "new bench (no baseline yet) — informational")
+    return result
+
+
+def run_gate(
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline: Optional[Path] = None,
+    report: Callable[[str], None] = print,
+    json_out: Optional[Path] = None,
+) -> int:
+    """The ``repro bench-gate`` entry point; returns a process exit code."""
+    try:
+        base = load_baseline(baseline)
+    except ConfigError as exc:
+        report(f"bench-gate: {exc}")
+        return EXIT_NO_BASELINE
+    meta = base.get("meta")
+    if meta:
+        report(
+            f"baseline: git {str(meta.get('git_sha'))[:12]} "
+            f"python {meta.get('python')} (schema {base.get('schema', 1)})"
+        )
+    else:
+        report("baseline: schema 1 (no provenance metadata)")
+    fresh = run_fresh(report=report)
+    verdict = compare(base, fresh, tolerance)
+    for check in verdict.checks:
+        marker = "PASS" if check.ok else "FAIL"
+        report(f"  {marker}  {check.bench}/{check.check}: {check.note}")
+    if json_out is not None:
+        json_out.write_text(json.dumps(verdict.as_dict(), indent=2, sort_keys=True) + "\n")
+        report(f"wrote {json_out}")
+    if verdict.ok:
+        report(f"bench-gate: OK within {tolerance:.0%} tolerance")
+        return EXIT_OK
+    failures = ", ".join(f"{c.bench}/{c.check}" for c in verdict.failures())
+    report(f"bench-gate: REGRESSION ({failures})")
+    return EXIT_REGRESSION

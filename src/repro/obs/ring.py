@@ -1,0 +1,66 @@
+"""Bounded ring-buffer event storage.
+
+Long traced runs used to grow ``TraceRecorder.events`` without limit; every
+event store in the observability layer now goes through a :class:`RingBuffer`
+that either grows unbounded (``max_events=None``, the legacy behaviour tests
+rely on) or keeps only the newest ``max_events`` records, dropping from the
+oldest end.  Dropped counts are tracked so exports can say "this trace is a
+window", never silently pretend completeness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+from repro.common.errors import ConfigError
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Append-only event store with an optional size bound.
+
+    ``max_events=None`` grows without limit; ``max_events=N`` keeps the
+    newest N items (oldest are evicted first, FIFO).  ``appended`` counts
+    every append ever made, so ``dropped = appended - len(buffer)``.
+    """
+
+    __slots__ = ("max_events", "appended", "_items")
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ConfigError(f"max_events must be None or >= 1, got {max_events}")
+        self.max_events = max_events
+        self.appended = 0
+        self._items: Deque[T] = deque(maxlen=max_events)
+
+    def append(self, item: T) -> None:
+        self.appended += 1
+        self._items.append(item)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+    @property
+    def dropped(self) -> int:
+        """How many of the appended items were evicted by the bound."""
+        return self.appended - len(self._items)
+
+    def snapshot(self) -> List[T]:
+        """The retained items, oldest first, as a fresh list."""
+        return list(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self.appended = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

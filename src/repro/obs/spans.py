@@ -1,0 +1,114 @@
+"""The structured tracer: typed span & instant events over a bounded ring.
+
+A :class:`Tracer` collects :class:`~repro.obs.events.InstantEvent` and
+:class:`~repro.obs.events.SpanEvent` records.  Timestamps are **simulated
+cycles** supplied by the caller (``Core.cycle`` / ``Simulator.now``) — the
+tracer never reads a wall clock, so traces are byte-identical between the
+naive and fast engines and across hosts.  Host-side wall-clock profiling
+lives in :mod:`repro.obs.regress` (the perf gate), which the detlint layer
+allowlist covers; this module must stay DET-clean.
+
+Storage is a :class:`~repro.obs.ring.RingBuffer` so week-long runs cannot
+exhaust memory: the newest ``max_events`` records are kept and the dropped
+count is reported in exports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.common.errors import SimulationError
+from repro.obs.events import InstantEvent, SpanEvent
+from repro.obs.ring import RingBuffer
+
+#: Default bound on the global tracer (~a few hundred MB worst case is the
+#: alternative; 1Mi events is plenty for any one observed run).
+DEFAULT_MAX_EVENTS = 1 << 20
+
+TraceEventType = Union[InstantEvent, SpanEvent]
+
+
+class SpanHandle:
+    """An open span; :meth:`end` stamps the duration and records it."""
+
+    __slots__ = ("_tracer", "ts", "name", "track", "category", "args", "_closed")
+
+    def __init__(self, tracer: "Tracer", ts: float, name: str, track: str,
+                 category: str, args: dict) -> None:
+        self._tracer = tracer
+        self.ts = ts
+        self.name = name
+        self.track = track
+        self.category = category
+        self.args = args
+        self._closed = False
+
+    def end(self, ts: float, **extra_args: Any) -> SpanEvent:
+        if self._closed:
+            raise SimulationError(f"span {self.name!r} ended twice")
+        if ts < self.ts:
+            raise SimulationError(
+                f"span {self.name!r} ends at {ts} before it began at {self.ts}"
+            )
+        self._closed = True
+        if extra_args:
+            self.args = {**self.args, **extra_args}
+        event = SpanEvent(
+            ts=self.ts, dur=ts - self.ts, name=self.name, track=self.track,
+            category=self.category, args=self.args,
+        )
+        self._tracer._ring.append(event)
+        return event
+
+
+class Tracer:
+    """Collects structured trace events with deterministic timestamps."""
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> None:
+        self._ring: RingBuffer[TraceEventType] = RingBuffer(max_events)
+
+    # -- recording ----------------------------------------------------------
+
+    def instant(self, ts: float, name: str, track: str, category: str = "",
+                **args: Any) -> None:
+        """Record a zero-duration event at simulated time ``ts``."""
+        self._ring.append(InstantEvent(ts=ts, name=name, track=track,
+                                       category=category, args=args))
+
+    def complete(self, ts: float, dur: float, name: str, track: str,
+                 category: str = "", **args: Any) -> None:
+        """Record a span whose duration is already known."""
+        if dur < 0:
+            raise SimulationError(f"span {name!r} has negative duration {dur}")
+        self._ring.append(SpanEvent(ts=ts, dur=dur, name=name, track=track,
+                                    category=category, args=args))
+
+    def begin(self, ts: float, name: str, track: str, category: str = "",
+              **args: Any) -> SpanHandle:
+        """Open a span; call ``.end(ts)`` on the handle to record it."""
+        return SpanHandle(self, ts, name, track, category, args)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def max_events(self) -> Optional[int]:
+        return self._ring.max_events
+
+    @property
+    def dropped(self) -> int:
+        return self._ring.dropped
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[TraceEventType]:
+        """Retained events, oldest first (spans sort at their start time)."""
+        return sorted(self._ring.snapshot(), key=lambda e: e.ts)
+
+    def of_name(self, name: str) -> List[TraceEventType]:
+        return [event for event in self._ring if event.name == name]
+
+    def clear(self) -> None:
+        self._ring.clear()

@@ -1,11 +1,12 @@
 """Reduced-scale determinism selftest for the perf subsystem.
 
-Runs a small Figure 4 grid five ways — serial uncached, parallel uncached,
-cold cache, warm cache, and naive engine (``REPRO_FAST=0``) — and asserts
-every table is identical to the serial reference.  This is the tier-2 smoke
-gate behind ``python -m repro perf-selftest``: it proves the sweep engine's
-fan-out, the persistent cache, and the cycle-skipping fast engine cannot
-change any experiment result on this machine.
+Runs a small Figure 4 grid six ways — serial uncached, parallel uncached,
+cold cache, warm cache, naive engine (``REPRO_FAST=0``), and with the
+observability layer collecting (``repro.obs`` enabled) — and asserts every
+table is identical to the serial reference.  This is the tier-2 smoke gate
+behind ``python -m repro perf-selftest``: it proves the sweep engine's
+fan-out, the persistent cache, the cycle-skipping fast engine, and trace
+collection cannot change any experiment result on this machine.
 """
 
 from __future__ import annotations
@@ -83,11 +84,25 @@ def run_selftest(jobs: int = 2, report: Optional[Callable[[str], None]] = None) 
         naive, t_naive = _timed(lambda: _reduced_fig4(jobs=1))
         say(f"  {t_naive:.2f}s")
 
+    # Observability transparency: collecting traces/metrics must be
+    # invisible to experiment results (the obs layer only *reads*).
+    from repro import obs
+
+    with _env(**{ENV_CACHE_ENABLED: "0"}):
+        say("observability enabled (jobs=1, cache off, tracer collecting)...")
+        obs.enable()
+        try:
+            observed, t_observed = _timed(lambda: _reduced_fig4(jobs=1))
+        finally:
+            obs.disable()
+        say(f"  {t_observed:.2f}s")
+
     checks = {
         "parallel_matches_serial": parallel == serial,
         "cold_cache_matches_serial": cold == serial,
         "warm_cache_matches_serial": warm == serial,
         "naive_engine_matches_serial": naive == serial,
+        "observed_matches_serial": observed == serial,
     }
     result = {
         "ok": all(checks.values()),
@@ -98,6 +113,7 @@ def run_selftest(jobs: int = 2, report: Optional[Callable[[str], None]] = None) 
             "cold_cache": t_cold,
             "warm_cache": t_warm,
             "naive_engine": t_naive,
+            "observed": t_observed,
         },
         "warm_speedup": (t_serial / t_warm) if t_warm > 0 else float("inf"),
     }

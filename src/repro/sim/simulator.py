@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro import obs as _obs
 from repro.common.counters import GLOBAL_COUNTERS
 from repro.common.errors import SimulationError
 from repro.sim.event import Event, EventQueue
@@ -121,6 +122,8 @@ class Simulator:
         queue = self._queue
         heap = queue.heap
         heappop = heapq.heappop
+        # Hoisted so the disabled case costs one check per `run`, not per event.
+        record = _obs.TRACER.instant if _obs.enabled else None
         try:
             while True:
                 if max_events is not None and fired >= max_events:
@@ -144,6 +147,8 @@ class Simulator:
                 self._now = now
                 self.events_processed += 1
                 fired += 1
+                if record is not None:
+                    record(now, event.name or "event", "sim.events", "sim")
                 event.callback()
                 # Batch-drain everything scheduled for this same instant
                 # (callbacks may add more; heap order keeps FIFO ties).
@@ -159,6 +164,8 @@ class Simulator:
                     heappop(heap)
                     self.events_processed += 1
                     fired += 1
+                    if record is not None:
+                        record(now, event.name or "event", "sim.events", "sim")
                     event.callback()
         finally:
             self._running = False

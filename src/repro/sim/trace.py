@@ -1,9 +1,23 @@
-"""Event tracing for debugging and for the Figure 2 timeline reconstruction."""
+"""Event tracing for debugging and for the Figure 2 timeline reconstruction.
+
+The recorder is now a thin compatibility shim over the structured
+observability core (:mod:`repro.obs`): events live in a bounded
+:class:`~repro.obs.ring.RingBuffer` instead of a bare list, so week-long
+traced runs can cap memory with ``max_events`` (the default ``None`` keeps
+the historical grow-without-limit behaviour every existing caller
+expects).  When the recorder itself is off but the global observability
+layer is on, ``record`` forwards the event to :data:`repro.obs.TRACER`
+instead — one event ends up in exactly one place, never both.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro import obs as _obs
+from repro.obs.events import category_for_kind, track_for_kind
+from repro.obs.ring import RingBuffer
 
 
 @dataclass(frozen=True, slots=True)
@@ -16,33 +30,61 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` objects; cheap no-op when disabled."""
+    """Collects :class:`TraceEvent` objects; cheap no-op when disabled.
 
-    __slots__ = ("enabled", "events")
+    ``max_events`` bounds retention: the newest N events are kept and
+    ``dropped`` counts evictions.  ``None`` (the default) is unbounded.
+    """
 
-    def __init__(self, enabled: bool = True) -> None:
+    __slots__ = ("enabled", "_ring")
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None) -> None:
         self.enabled = enabled
-        self.events: List[TraceEvent] = []
+        self._ring: RingBuffer[TraceEvent] = RingBuffer(max_events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first (a fresh list each call)."""
+        return self._ring.snapshot()
+
+    @property
+    def max_events(self) -> Optional[int]:
+        return self._ring.max_events
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ``max_events`` bound."""
+        return self._ring.dropped
 
     def record(self, time: float, kind: str, **detail: Any) -> None:
         if self.enabled:
-            self.events.append(TraceEvent(time=time, kind=kind, detail=detail))
+            self._ring.append(TraceEvent(time=time, kind=kind, detail=detail))
+        elif _obs.enabled:
+            # Recorder off, observability on: route the event to the
+            # structured tracer so untraced runs still export timelines.
+            _obs.TRACER.instant(
+                time,
+                kind,
+                track_for_kind(kind, detail),
+                category_for_kind(kind),
+                **detail,
+            )
 
     def clear(self) -> None:
-        self.events.clear()
+        self._ring.clear()
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [event for event in self.events if event.kind == kind]
+        return [event for event in self._ring if event.kind == kind]
 
     def first(self, kind: str) -> Optional[TraceEvent]:
-        for event in self.events:
+        for event in self._ring:
             if event.kind == kind:
                 return event
         return None
 
     def last(self, kind: str) -> Optional[TraceEvent]:
         result = None
-        for event in self.events:
+        for event in self._ring:
             if event.kind == kind:
                 result = event
         return result
@@ -52,7 +94,7 @@ class TraceRecorder:
         start = self.first(start_kind)
         if start is None:
             return None
-        for event in self.events:
+        for event in self._ring:
             if event.kind == end_kind and event.time >= start.time:
                 return event.time - start.time
         return None

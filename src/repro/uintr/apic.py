@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.common import bitfield
 from repro.common.errors import ConfigError, SimulationError
 
@@ -194,6 +195,11 @@ class LocalApic:
     def accept_now(self, vector: int, time: float, kind: Optional[InterruptKind] = None) -> None:
         """:meth:`accept` without fault interception (redelivery path)."""
         self.accepted += 1
+        if _obs.enabled:
+            _obs.TRACER.instant(
+                time, "apic.accept", f"apic{self.apic_id}", _obs.CAT_IRQ,
+                vector=vector, kind=kind.value if kind is not None else None,
+            )
         if kind is None:
             kind = (
                 InterruptKind.UIPI
@@ -227,6 +233,16 @@ class LocalApic:
     def raise_timer(self, vector: int, time: float) -> None:
         """The KB-timer fires: queue a user timer interrupt (§4.3)."""
         self._queue_user(PendingInterrupt(vector, InterruptKind.TIMER, time, user_vector=vector))
+
+    def counters_as_dict(self) -> Dict[str, int]:
+        """The APIC's telemetry counters, for the metrics registry."""
+        return {
+            "accepted": self.accepted,
+            "forwarded_fast": self.forwarded_fast,
+            "forwarded_slow": self.forwarded_slow,
+            "faults_dropped": self.faults_dropped,
+            "user_queued": self.user_queued,
+        }
 
     # -- core-facing dequeue -------------------------------------------------
     def has_pending(self) -> bool:

@@ -1,0 +1,20 @@
+"""Wall-clock telemetry, the way the bench gate times host execution.
+
+Scanned with this file's bare-stem module name, DET001 must fire: the
+layer allowlist only exempts code that really lives under ``repro.obs``
+(see ``tests/analysis/test_obs_layer.py``, which re-scans this very source
+under the ``repro.obs.regress`` module name and expects silence).
+"""
+
+import time
+
+
+def time_fresh_run(bench):
+    start = time.perf_counter()
+    bench()
+    return time.perf_counter() - start
+
+
+def stamp_report(payload):
+    payload["created_unix"] = time.time()
+    return payload

@@ -1,0 +1,17 @@
+"""Observability tracing done right: timestamps are simulated cycles.
+
+The DET-clean twin of ``obs_wallclock_bad.py`` — the trace core of
+``repro.obs`` must look like this (caller-supplied ``core.cycle`` /
+``sim.now`` timestamps), never like its wall-clock sibling, even though
+the layer allowlist would forgive it.
+"""
+
+
+def trace_delivery(tracer, core, vector):
+    tracer.instant(core.cycle, "apic.accept", f"apic{core.core_id}", vector=vector)
+
+
+def span_of_handler(tracer, core):
+    handle = tracer.begin(core.cycle, "uintr.handler", f"core{core.core_id}")
+    core.run_handler()
+    return handle.end(core.cycle)

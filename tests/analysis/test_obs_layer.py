@@ -1,0 +1,64 @@
+"""The repro.obs layer allowlist: the perf gate may read wall clock, the
+trace/metrics core must stay DET-clean without needing the exemption."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import run_rules
+from repro.analysis.rules import ModuleSource, all_rules
+from repro.analysis.rules.determinism import ENGINE_LAYERS, WallClockRule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_OBS = Path(__file__).resolve().parents[2] / "src" / "repro" / "obs"
+
+#: The dependency-free observability core — everything that must stick to
+#: simulated-cycle timestamps (repro.obs.regress is the one exception).
+OBS_CORE = ["__init__.py", "ring.py", "events.py", "spans.py", "hist.py", "registry.py"]
+
+
+def _as_module(path: Path, module_name: str) -> ModuleSource:
+    return ModuleSource(path, str(path), module_name, path.read_text())
+
+
+def test_obs_is_on_the_wallclock_allowlist():
+    assert any(
+        layer == "repro.obs" or layer.startswith("repro.obs.")
+        for layer in ENGINE_LAYERS
+    )
+
+
+def test_wallclock_fixture_trips_det001_outside_the_layer():
+    # Fixture files resolve to bare-stem module names, so the allowlist
+    # cannot shield them.
+    report = run_rules([FIXTURES / "obs_wallclock_bad.py"])
+    assert not report.ok
+    assert {f.rule_id for f in report.new_findings} == {"DET001"}
+
+
+def test_same_source_is_exempt_under_the_obs_module_name():
+    module = _as_module(FIXTURES / "obs_wallclock_bad.py", "repro.obs.regress")
+    assert list(WallClockRule().check(module)) == []
+
+
+def test_exemption_does_not_leak_to_lookalike_names():
+    for impostor in ("repro.observability", "repro.obsolete.timer"):
+        module = _as_module(FIXTURES / "obs_wallclock_bad.py", impostor)
+        assert list(WallClockRule().check(module)), impostor
+
+
+def test_good_fixture_is_clean_even_without_the_layer():
+    report = run_rules([FIXTURES / "obs_wallclock_good.py"])
+    assert report.ok
+    assert report.new_findings == []
+
+
+@pytest.mark.parametrize("name", OBS_CORE)
+def test_obs_core_is_det_clean_without_the_exemption(name):
+    # Re-scan the real source under a bare module name: every rule applies,
+    # no layer allowlist, no slots manifest.  The trace/metrics core must
+    # hold up on its own merits.
+    path = SRC_OBS / name
+    module = _as_module(path, path.stem)
+    findings = [f for rule in all_rules() for f in rule.check(module)]
+    assert findings == [], [f.format_text() for f in findings]

@@ -1,0 +1,133 @@
+"""Chrome trace-event export: structure, track mapping, clock conversion."""
+
+import json
+
+from repro.obs.chrometrace import (
+    CYCLES_PER_US,
+    TRACE_SCHEMA,
+    TraceGroup,
+    build_trace,
+    chrome_events,
+    from_recorder,
+    write_trace,
+)
+from repro.obs.events import CAT_DELIVERY, CAT_TIMER, InstantEvent, SpanEvent
+from repro.sim.trace import TraceRecorder
+
+
+def _group(name="run"):
+    return TraceGroup(
+        name=name,
+        events=[
+            InstantEvent(ts=4000, name="inject", track="core0", category=CAT_DELIVERY),
+            SpanEvent(
+                ts=2000, dur=1000, name="uintr.delivery", track="core0",
+                category=CAT_DELIVERY, args={"vector": 0xEC},
+            ),
+            InstantEvent(ts=100, name="timer.kb_fire", track="timer0", category=CAT_TIMER),
+        ],
+    )
+
+
+class TestChromeEvents:
+    def test_metadata_first_then_events_in_time_order(self):
+        records = chrome_events(_group(), pid=1)
+        phases = [r["ph"] for r in records]
+        # process_name + 2 per track, then the events sorted by ts
+        assert phases[:5] == ["M"] * 5
+        assert [r["name"] for r in records[5:]] == [
+            "timer.kb_fire", "uintr.delivery", "inject",
+        ]
+
+    def test_track_becomes_named_thread(self):
+        records = chrome_events(_group("flush"), pid=3)
+        names = {
+            r["args"]["name"]: r["tid"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        }
+        assert set(names) == {"core0", "timer0"}
+        assert all(r["pid"] == 3 for r in records)
+        process = next(r for r in records if r["name"] == "process_name")
+        assert process["args"]["name"] == "flush"
+
+    def test_span_vs_instant_phases(self):
+        records = chrome_events(_group(), pid=1)
+        span = next(r for r in records if r["name"] == "uintr.delivery")
+        assert span["ph"] == "X"
+        assert span["dur"] == 1000 / CYCLES_PER_US
+        assert span["args"]["dur_cycles"] == 1000
+        instant = next(r for r in records if r["name"] == "inject")
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+
+    def test_timestamps_convert_cycles_to_microseconds(self):
+        records = chrome_events(_group(), pid=1)
+        span = next(r for r in records if r["name"] == "uintr.delivery")
+        assert span["ts"] == 1.0  # 2000 cycles @ 2 GHz
+        assert span["args"]["cycle"] == 2000
+        assert span["args"]["vector"] == 0xEC
+
+    def test_core_tracks_sort_before_timer_and_numerically(self):
+        group = TraceGroup(
+            name="g",
+            events=[
+                InstantEvent(ts=1, name="a", track="core10"),
+                InstantEvent(ts=1, name="b", track="core2"),
+                InstantEvent(ts=1, name="c", track="timer0"),
+                InstantEvent(ts=1, name="d", track="sim.events"),
+            ],
+        )
+        records = chrome_events(group, pid=1)
+        order = [
+            r["args"]["name"]
+            for r in records
+            if r["ph"] == "M" and r["name"] == "thread_name"
+        ]
+        assert order == ["core2", "core10", "timer0", "sim.events"]
+
+
+class TestBuildAndWrite:
+    def test_groups_become_processes(self):
+        doc = build_trace([_group("flush"), _group("tracked")])
+        pids = {r["pid"] for r in doc["traceEvents"]}
+        assert pids == {1, 2}
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        assert doc["otherData"]["dropped_events"] == {}
+
+    def test_dropped_counts_reported(self):
+        group = _group("windowed")
+        group.dropped = 12
+        doc = build_trace([group])
+        assert doc["otherData"]["dropped_events"] == {"windowed": 12}
+
+    def test_write_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        document = write_trace(str(path), [_group()])
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        assert loaded["traceEvents"]
+
+
+class TestFromRecorder:
+    def test_recorder_events_map_to_tracks(self):
+        recorder = TraceRecorder()
+        recorder.record(10, "senduipi_start", core=1)
+        recorder.record(390, "ipi_arrival", core=0, vector=0xEC)
+        recorder.record(500, "kb_timer_fire", core=0)
+        recorder.record(600, "sweep_done")
+        events = from_recorder(recorder.events)
+        by_name = {e.name: e for e in events}
+        assert by_name["senduipi_start"].track == "core1"
+        assert by_name["ipi_arrival"].track == "apic0"
+        assert by_name["ipi_arrival"].args == {"core": 0, "vector": 0xEC}
+        assert by_name["kb_timer_fire"].track == "timer0"
+        assert by_name["sweep_done"].track == "sim.events"
+
+    def test_round_trips_through_chrome_export(self):
+        recorder = TraceRecorder()
+        recorder.record(10, "senduipi_start", core=1)
+        doc = build_trace([TraceGroup("legacy", from_recorder(recorder.events))])
+        (event,) = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+        assert event["name"] == "senduipi_start"
+        assert event["args"]["cycle"] == 10

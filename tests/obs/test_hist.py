@@ -1,0 +1,155 @@
+"""Log-bucketed histogram math: buckets, percentiles, boundary behaviour."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.hist import DEFAULT_SUB_BITS, LatencyHistogram
+
+
+class TestBucketArithmetic:
+    #: Values straddling the linear range and several octave boundaries.
+    BOUNDARY_VALUES = [
+        0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+        100, 255, 256, 1000, 1023, 1024,
+        (1 << 20) - 1, 1 << 20, (1 << 20) + 1,
+    ]
+
+    @pytest.mark.parametrize("value", BOUNDARY_VALUES)
+    def test_bounds_are_inverse_of_index(self, value):
+        hist = LatencyHistogram()
+        lower, upper = hist.bucket_bounds(hist.bucket_index(value))
+        assert lower <= value <= upper
+
+    @pytest.mark.parametrize("value", BOUNDARY_VALUES)
+    def test_bucket_width_bounds_relative_error(self, value):
+        hist = LatencyHistogram()
+        lower, upper = hist.bucket_bounds(hist.bucket_index(value))
+        if value >= (1 << DEFAULT_SUB_BITS):
+            assert (upper - lower) / lower <= 2 ** -DEFAULT_SUB_BITS
+        else:
+            assert lower == upper == value  # linear range is exact
+
+    def test_buckets_tile_without_gaps(self):
+        hist = LatencyHistogram(sub_bits=2)
+        previous_upper = -1
+        for index in range(64):
+            lower, upper = hist.bucket_bounds(index)
+            assert lower == previous_upper + 1
+            previous_upper = upper
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().bucket_index(-1)
+
+    @pytest.mark.parametrize("bad", [0, 13])
+    def test_sub_bits_range(self, bad):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(sub_bits=bad)
+
+
+class TestPercentiles:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) is None
+        assert hist.mean is None
+        assert hist.summary()["count"] == 0
+
+    @pytest.mark.parametrize("value", [0, 7, 100, 12345])
+    def test_single_sample_is_exact_at_every_percentile(self, value):
+        hist = LatencyHistogram()
+        hist.record(value)
+        for p in (1, 50, 90, 99, 99.9, 100):
+            assert hist.percentile(p) == float(value)
+
+    def test_linear_range_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record_many(range(16))
+        assert hist.percentile(50) == 7.0
+        assert hist.percentile(100) == 15.0
+
+    def test_p50_picks_the_lower_of_two(self):
+        hist = LatencyHistogram()
+        hist.record_many([10, 1000])
+        assert hist.percentile(50) == 10.0
+        assert hist.percentile(99) == 1000.0
+
+    def test_estimates_never_leave_observed_range(self):
+        hist = LatencyHistogram()
+        hist.record_many([1000, 1010])  # same bucket; upper bound is 1023
+        assert hist.percentile(99) == 1010.0
+        assert hist.percentile(1) >= 1000.0
+
+    def test_relative_error_within_bucket_resolution(self):
+        samples = [3, 17, 64, 383, 600, 645, 2000, 7000]
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        for p in (50, 90, 99):
+            rank = -(-len(samples) * p // 100)  # ceil
+            true = sorted(samples)[int(rank) - 1]
+            estimate = hist.percentile(p)
+            assert abs(estimate - true) / true <= 2 ** -DEFAULT_SUB_BITS
+
+    def test_percentile_is_monotone_in_p(self):
+        hist = LatencyHistogram()
+        hist.record_many([5, 50, 500, 5000, 50000])
+        values = [hist.percentile(p) for p in (10, 30, 50, 70, 90, 99.9)]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("bad", [0, -1, 100.1])
+    def test_percentile_domain(self, bad):
+        hist = LatencyHistogram()
+        hist.record(1)
+        with pytest.raises(ConfigError):
+            hist.percentile(bad)
+
+
+class TestRecordingAndMerge:
+    def test_count_sum_min_max_mean(self):
+        hist = LatencyHistogram()
+        hist.record_many([4, 6, 20])
+        assert (hist.count, hist.sum, hist.min, hist.max) == (3, 30.0, 4, 20)
+        assert hist.mean == 10.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().record(float("nan"))
+
+    def test_merge_equals_recording_into_one(self):
+        a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        a.record_many([1, 100, 383])
+        b.record_many([5, 645, 7000])
+        combined.record_many([1, 100, 383, 5, 645, 7000])
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.sum == combined.sum
+        assert (a.min, a.max) == (combined.min, combined.max)
+        for p in (50, 90, 99):
+            assert a.percentile(p) == combined.percentile(p)
+
+    def test_merge_empty_is_identity(self):
+        hist = LatencyHistogram()
+        hist.record(42)
+        hist.merge(LatencyHistogram())
+        assert (hist.count, hist.min, hist.max) == (1, 42, 42)
+
+    def test_merge_requires_matching_sub_bits(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(sub_bits=4).merge(LatencyHistogram(sub_bits=6))
+
+
+class TestExport:
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(10)
+        assert set(hist.summary()) == {
+            "count", "min", "mean", "max", "p50", "p90", "p99", "p999",
+        }
+
+    def test_as_dict_buckets_sorted_and_consistent(self):
+        hist = LatencyHistogram()
+        hist.record_many([3, 3, 100, 7000])
+        payload = hist.as_dict()
+        assert payload["sub_bits"] == DEFAULT_SUB_BITS
+        buckets = payload["buckets"]
+        assert [b["lower"] for b in buckets] == sorted(b["lower"] for b in buckets)
+        assert sum(b["count"] for b in buckets) == hist.count

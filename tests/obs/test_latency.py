@@ -1,0 +1,88 @@
+"""Delivery-latency pairing and the per-stage decomposition."""
+
+from repro.obs.latency import (
+    TIMER_STAGES,
+    UIPI_STAGES,
+    pair_latencies,
+    record_stages,
+    timer_delivery_stages,
+    uipi_delivery_stages,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestPairing:
+    def test_simple_pairs(self):
+        assert pair_latencies([10, 100], [50, 140]) == [40, 40]
+
+    def test_empty_inputs(self):
+        assert pair_latencies([], [1, 2]) == []
+        assert pair_latencies([1, 2], []) == []
+
+    def test_end_before_first_start_is_skipped(self):
+        # A stale end (e.g. from a previous delivery) never pairs backwards.
+        assert pair_latencies([100], [50, 130]) == [30]
+
+    def test_more_starts_than_ends_truncates(self):
+        assert pair_latencies([10, 20, 30], [15]) == [5]
+
+    def test_coincident_start_and_end_pair(self):
+        assert pair_latencies([10], [10]) == [0]
+
+    def test_one_end_can_serve_consecutive_starts(self):
+        # Two sends before one arrival (coalesced delivery): both pair with
+        # the first end at/after them; ends are not consumed.
+        assert pair_latencies([10, 20], [25, 90]) == [15, 5]
+
+
+def _uipi_recorder():
+    recorder = TraceRecorder()
+    for base in (0, 1000):
+        recorder.record(base + 10, "senduipi_start", core=1)
+        recorder.record(base + 390, "ipi_arrival", core=0)
+        recorder.record(base + 400, "inject", core=0)
+        recorder.record(base + 655, "handler_fetch", core=0)
+    return recorder
+
+
+class TestUipiStages:
+    def test_stage_decomposition(self):
+        stages = uipi_delivery_stages(
+            _uipi_recorder().events, sender_core=1, receiver_core=0
+        )
+        assert set(stages) == set(UIPI_STAGES)
+        assert stages["send_to_arrival"] == [380, 380]
+        assert stages["arrival_to_inject"] == [10, 10]
+        assert stages["inject_to_handler"] == [255, 255]
+        assert stages["total"] == [645, 645]
+
+    def test_wrong_core_filters_out(self):
+        stages = uipi_delivery_stages(
+            _uipi_recorder().events, sender_core=0, receiver_core=1
+        )
+        assert all(not samples for samples in stages.values())
+
+
+class TestTimerStages:
+    def test_stage_decomposition(self):
+        recorder = TraceRecorder()
+        recorder.record(500, "kb_timer_fire", core=0)
+        recorder.record(502, "inject", core=0)
+        recorder.record(505, "handler_fetch", core=0)
+        stages = timer_delivery_stages(recorder.events, receiver_core=0)
+        assert set(stages) == set(TIMER_STAGES)
+        assert stages["fire_to_inject"] == [2]
+        assert stages["inject_to_handler"] == [3]
+        assert stages["total"] == [5]
+
+
+class TestRecordStages:
+    def test_feeds_named_histograms(self):
+        registry = MetricsRegistry()
+        record_stages(registry, "delivery.flush", {"total": [645, 231], "inject": []})
+        hist = registry.histogram("delivery.flush.total")
+        assert hist.count == 2
+        assert hist.min == 231
+        # empty stages still register (so exports show the stage exists)
+        assert registry.histogram("delivery.flush.inject").count == 0

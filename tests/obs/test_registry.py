@@ -1,0 +1,96 @@
+"""The central metrics registry and its absorb helpers."""
+
+import pytest
+
+from repro.common.counters import EngineCounters
+from repro.common.errors import ConfigError
+from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_inc_creates_and_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("core0.rob.squashes")
+        registry.inc("core0.rob.squashes", 4)
+        assert registry.counter_value("core0.rob.squashes") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_set_counter_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_counter("engine.cycles", 100)
+        registry.set_counter("engine.cycles", 7)
+        assert registry.counter_value("engine.cycles") == 7
+
+    def test_gauge_latest_value_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("run.ipc", 1.5)
+        registry.gauge("run.ipc", 2.25)
+        assert registry.gauge_value("run.ipc") == 2.25
+        assert registry.gauge_value("missing") is None
+
+    @pytest.mark.parametrize("bad", ["", "  ", " padded "])
+    def test_names_validated(self, bad):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().inc(bad)
+
+
+class TestHistograms:
+    def test_histogram_created_on_first_use(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("delivery.total")
+        assert registry.histogram("delivery.total") is hist
+
+    def test_observe_records(self):
+        registry = MetricsRegistry()
+        registry.observe("delivery.total", 383)
+        registry.observe("delivery.total", 645)
+        hist = registry.histogram("delivery.total")
+        assert hist.count == 2
+        assert hist.max == 645
+
+
+class TestAbsorb:
+    def test_absorb_mapping_splits_ints_and_floats(self):
+        registry = MetricsRegistry()
+        registry.absorb_mapping(
+            "core0",
+            {"committed": 100, "ipc": 1.5, "traced": True, "name": "core"},
+        )
+        assert registry.counter_value("core0.committed") == 100
+        assert registry.gauge_value("core0.ipc") == 1.5
+        # bools and non-numbers are telemetry noise, not metrics
+        assert registry.counter_value("core0.traced") == 0
+        assert registry.gauge_value("core0.name") is None
+
+    def test_absorb_engine_counters(self):
+        counters = EngineCounters()
+        counters.cycles_skipped += 42
+        registry = MetricsRegistry()
+        registry.absorb_engine_counters(counters)
+        assert registry.counter_value("engine.cycles_skipped") == 42
+
+
+class TestExport:
+    def test_as_dict_schema_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.inc("b.count")
+        registry.inc("a.count")
+        registry.gauge("z.ratio", 0.5)
+        registry.observe("lat.total", 100)
+        payload = registry.as_dict()
+        assert payload["schema"] == METRICS_SCHEMA
+        assert list(payload["counters"]) == ["a.count", "b.count"]
+        assert payload["gauges"] == {"z.ratio": 0.5}
+        assert payload["histograms"]["lat.total"]["count"] == 1
+
+    def test_len_and_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.gauge("b", 1.0)
+        registry.observe("c", 1)
+        assert len(registry) == 3
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.as_dict()["counters"] == {}

@@ -1,0 +1,137 @@
+"""The bench gate: tolerance parsing and baseline comparison semantics."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import regress
+from repro.obs.regress import (
+    EXIT_NO_BASELINE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    compare,
+    load_baseline,
+    parse_tolerance,
+    run_gate,
+)
+
+
+class TestParseTolerance:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [("25%", 0.25), ("0.25", 0.25), (" 10% ", 0.10), ("0", 0.0), ("1.5", 1.5)],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_tolerance(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "%", "-0.1", "-5%"])
+    def test_rejected_forms(self, bad):
+        with pytest.raises(ConfigError):
+            parse_tolerance(bad)
+
+
+def _payload(wall=1.0, identical=True, ok=True):
+    return {
+        "ok": ok,
+        "benches": {
+            "fig4_reduced": {"results_identical": identical, "wall_fast_s": wall},
+        },
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        result = compare(_payload(1.0), _payload(1.2), tolerance=0.25)
+        assert result.ok
+        assert not result.failures()
+
+    def test_wall_clock_regression_fails(self):
+        result = compare(_payload(1.0), _payload(1.3), tolerance=0.25)
+        assert not result.ok
+        (failure,) = result.failures()
+        assert (failure.bench, failure.check) == ("fig4_reduced", "wall_fast_s")
+
+    def test_engine_divergence_fails_regardless_of_tolerance(self):
+        result = compare(
+            _payload(1.0), _payload(0.5, identical=False), tolerance=100.0
+        )
+        assert any(
+            f.check == "results_identical" for f in result.failures()
+        )
+
+    def test_fresh_suite_failure_fails_the_gate(self):
+        result = compare(_payload(), _payload(ok=False), tolerance=0.25)
+        assert any(f.check == "fresh_suite_ok" for f in result.failures())
+
+    def test_bench_missing_from_fresh_run_fails(self):
+        fresh = {"ok": True, "benches": {}}
+        result = compare(_payload(), fresh, tolerance=0.25)
+        assert any(f.check == "present" for f in result.failures())
+
+    def test_new_bench_is_informational(self):
+        fresh = _payload()
+        fresh["benches"]["brand_new"] = {"results_identical": True, "wall_fast_s": 9.9}
+        result = compare(_payload(), fresh, tolerance=0.25)
+        assert result.ok
+        new = [c for c in result.checks if c.bench == "brand_new"]
+        assert new and all(c.ok for c in new)
+
+    def test_baseline_without_wall_clock_is_not_gated(self):
+        base = {"ok": True, "benches": {"fig4_reduced": {"results_identical": True}}}
+        result = compare(base, _payload(), tolerance=0.0)
+        assert result.ok
+
+    def test_as_dict_schema(self):
+        payload = compare(_payload(), _payload(), tolerance=0.25).as_dict()
+        assert payload["schema"] == "repro.obs.bench_gate/v1"
+        assert payload["ok"] is True
+        assert all({"bench", "check", "ok", "note"} <= set(c) for c in payload["checks"])
+
+
+class TestRunGate:
+    def test_missing_baseline_exit_code(self, tmp_path, capsys):
+        code = run_gate(baseline=tmp_path / "nope.json", report=lambda _line: None)
+        assert code == EXIT_NO_BASELINE
+
+    def test_load_baseline_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_baseline(path)
+
+    def _gate(self, tmp_path, monkeypatch, fresh, json_out=None):
+        baseline = tmp_path / "BENCH.json"
+        baseline.write_text(json.dumps(_payload(1.0)))
+        monkeypatch.setattr(regress, "run_fresh", lambda report: fresh)
+        lines = []
+        code = run_gate(
+            tolerance=0.25, baseline=baseline, report=lines.append, json_out=json_out
+        )
+        return code, lines
+
+    def test_pass_and_fail_exit_codes(self, tmp_path, monkeypatch):
+        code, lines = self._gate(tmp_path, monkeypatch, _payload(1.1))
+        assert code == EXIT_OK
+        assert any("bench-gate: OK" in line for line in lines)
+        code, lines = self._gate(tmp_path, monkeypatch, _payload(5.0))
+        assert code == EXIT_REGRESSION
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_json_out_written(self, tmp_path, monkeypatch):
+        out = tmp_path / "verdict.json"
+        code, _lines = self._gate(tmp_path, monkeypatch, _payload(1.0), json_out=out)
+        assert code == EXIT_OK
+        verdict = json.loads(out.read_text())
+        assert verdict["schema"] == "repro.obs.bench_gate/v1"
+
+    def test_schema2_baseline_provenance_reported(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "BENCH.json"
+        payload = _payload(1.0)
+        payload["schema"] = 2
+        payload["meta"] = {"git_sha": "a" * 40, "python": "3.12.1"}
+        baseline.write_text(json.dumps(payload))
+        monkeypatch.setattr(regress, "run_fresh", lambda report: _payload(1.0))
+        lines = []
+        assert run_gate(baseline=baseline, report=lines.append) == EXIT_OK
+        assert any("git aaaaaaaaaaaa" in line for line in lines)

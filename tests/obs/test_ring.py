@@ -1,0 +1,66 @@
+"""Bounded ring-buffer storage: eviction, drop accounting, snapshots."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.ring import RingBuffer
+
+
+class TestUnbounded:
+    def test_grows_without_limit(self):
+        ring = RingBuffer()
+        ring.extend(range(1000))
+        assert len(ring) == 1000
+        assert ring.dropped == 0
+        assert ring.max_events is None
+
+    def test_snapshot_is_a_fresh_list(self):
+        ring = RingBuffer()
+        ring.append("a")
+        snap = ring.snapshot()
+        snap.append("b")
+        assert ring.snapshot() == ["a"]
+
+
+class TestBounded:
+    def test_keeps_newest_drops_oldest(self):
+        ring = RingBuffer(max_events=8)
+        ring.extend(range(20))
+        assert len(ring) == 8
+        assert ring.snapshot() == list(range(12, 20))
+        assert ring.dropped == 12
+        assert ring.appended == 20
+
+    def test_no_drops_below_the_bound(self):
+        ring = RingBuffer(max_events=8)
+        ring.extend(range(8))
+        assert ring.dropped == 0
+
+    def test_bound_of_one(self):
+        ring = RingBuffer(max_events=1)
+        ring.extend("abc")
+        assert ring.snapshot() == ["c"]
+        assert ring.dropped == 2
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bound_must_be_positive(self, bad):
+        with pytest.raises(ConfigError):
+            RingBuffer(max_events=bad)
+
+
+class TestProtocol:
+    def test_clear_resets_drop_accounting(self):
+        ring = RingBuffer(max_events=2)
+        ring.extend(range(5))
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.dropped == 0
+        ring.append("x")
+        assert ring.snapshot() == ["x"]
+
+    def test_iter_and_bool(self):
+        ring = RingBuffer()
+        assert not ring
+        ring.extend([1, 2, 3])
+        assert ring
+        assert list(ring) == [1, 2, 3]

@@ -1,0 +1,121 @@
+"""The structured tracer: instants, spans, bounding, and the module switch."""
+
+import pytest
+
+from repro import obs
+from repro.common.errors import SimulationError
+from repro.obs.events import InstantEvent, SpanEvent
+from repro.obs.spans import Tracer
+
+
+class TestInstants:
+    def test_instant_records_args(self):
+        tracer = Tracer()
+        tracer.instant(100, "apic.accept", "apic0", obs.CAT_IRQ, vector=0xEC)
+        (event,) = tracer.events()
+        assert isinstance(event, InstantEvent)
+        assert (event.ts, event.name, event.track) == (100, "apic.accept", "apic0")
+        assert event.category == obs.CAT_IRQ
+        assert event.args == {"vector": 0xEC}
+
+    def test_of_name_filters(self):
+        tracer = Tracer()
+        tracer.instant(1, "a", "core0")
+        tracer.instant(2, "b", "core0")
+        tracer.instant(3, "a", "core1")
+        assert [e.ts for e in tracer.of_name("a")] == [1, 3]
+
+
+class TestSpans:
+    def test_complete_span(self):
+        tracer = Tracer()
+        tracer.complete(50, 25, "uintr.delivery", "core0", obs.CAT_DELIVERY)
+        (event,) = tracer.events()
+        assert isinstance(event, SpanEvent)
+        assert (event.ts, event.dur) == (50, 25)
+
+    def test_complete_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            Tracer().complete(50, -1, "x", "core0")
+
+    def test_begin_end_stamps_duration(self):
+        tracer = Tracer()
+        handle = tracer.begin(10, "sched.run", "kernel.sched0", vector=1)
+        assert len(tracer) == 0  # nothing recorded until end()
+        event = handle.end(35, preempted=True)
+        assert (event.ts, event.dur) == (10, 25)
+        assert event.args == {"vector": 1, "preempted": True}
+        assert tracer.events() == [event]
+
+    def test_zero_length_span_is_fine(self):
+        tracer = Tracer()
+        assert tracer.begin(7, "x", "core0").end(7).dur == 0
+
+    def test_end_before_begin_rejected(self):
+        handle = Tracer().begin(10, "x", "core0")
+        with pytest.raises(SimulationError):
+            handle.end(9)
+
+    def test_double_end_rejected(self):
+        handle = Tracer().begin(10, "x", "core0")
+        handle.end(11)
+        with pytest.raises(SimulationError):
+            handle.end(12)
+
+
+class TestOrderingAndBounds:
+    def test_events_sorted_by_timestamp(self):
+        tracer = Tracer()
+        tracer.instant(30, "late", "core0")
+        tracer.complete(10, 5, "early", "core0")
+        tracer.instant(20, "mid", "core0")
+        assert [e.name for e in tracer.events()] == ["early", "mid", "late"]
+
+    def test_ring_bound_and_dropped(self):
+        tracer = Tracer(max_events=4)
+        for cycle in range(10):
+            tracer.instant(cycle, f"e{cycle}", "core0")
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [e.ts for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.instant(1, "x", "core0")
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.dropped == 0
+
+
+class TestModuleSwitch:
+    def test_disabled_by_default(self):
+        assert obs.enabled is False
+
+    def test_enable_installs_fresh_bounded_tracer(self):
+        old = obs.TRACER
+        old.instant(1, "stale", "core0")
+        obs.enable(max_events=16)
+        try:
+            assert obs.enabled
+            assert obs.TRACER is not old
+            assert obs.TRACER.max_events == 16
+            assert len(obs.TRACER) == 0
+        finally:
+            obs.disable()
+
+    def test_disable_keeps_events_readable(self):
+        obs.enable()
+        try:
+            obs.TRACER.instant(5, "kept", "core0")
+        finally:
+            obs.disable()
+        assert not obs.enabled
+        assert [e.name for e in obs.TRACER.events()] == ["kept"]
+
+    def test_enable_clears_metrics(self):
+        obs.METRICS.inc("leftover")
+        obs.enable()
+        try:
+            assert obs.METRICS.counter_value("leftover") == 0
+        finally:
+            obs.disable()

@@ -1,5 +1,9 @@
-"""Trace recorder: filtering and interval reconstruction."""
+"""Trace recorder: filtering, interval reconstruction, bounded retention."""
 
+import pytest
+
+from repro import obs
+from repro.common.errors import ConfigError
 from repro.sim.trace import TraceRecorder
 
 
@@ -54,3 +58,98 @@ class TestIntervals:
         trace = TraceRecorder()
         trace.record(1.0, "arrive")
         assert trace.interval("send", "arrive") is None
+
+    def test_interval_missing_end(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "send")
+        assert trace.interval("send", "arrive") is None
+
+    def test_interval_uses_first_start_and_first_valid_end(self):
+        trace = TraceRecorder()
+        trace.record(10.0, "send")
+        trace.record(50.0, "send")
+        trace.record(390.0, "arrive")
+        trace.record(800.0, "arrive")
+        assert trace.interval("send", "arrive") == 380.0
+
+    def test_interval_of_coincident_events_is_zero(self):
+        trace = TraceRecorder()
+        trace.record(5.0, "send")
+        trace.record(5.0, "arrive")
+        assert trace.interval("send", "arrive") == 0.0
+
+    def test_interval_same_kind(self):
+        # Period between consecutive fires: first "x" to the first "x" at or
+        # after it — which is itself.
+        trace = TraceRecorder()
+        trace.record(10.0, "x")
+        trace.record(30.0, "x")
+        assert trace.interval("x", "x") == 0.0
+
+    def test_interval_skips_ends_before_the_start(self):
+        trace = TraceRecorder()
+        trace.record(5.0, "arrive")  # stale end from an earlier delivery
+        trace.record(10.0, "send")
+        trace.record(25.0, "arrive")
+        assert trace.interval("send", "arrive") == 15.0
+
+
+class TestBoundedRetention:
+    def test_default_is_unbounded(self):
+        trace = TraceRecorder()
+        for cycle in range(5000):
+            trace.record(float(cycle), "tick")
+        assert len(trace.events) == 5000
+        assert trace.dropped == 0
+        assert trace.max_events is None
+
+    def test_max_events_keeps_newest(self):
+        trace = TraceRecorder(max_events=4)
+        for cycle in range(10):
+            trace.record(float(cycle), "tick", n=cycle)
+        assert [e.time for e in trace.events] == [6.0, 7.0, 8.0, 9.0]
+        assert trace.dropped == 6
+
+    def test_queries_see_only_the_window(self):
+        trace = TraceRecorder(max_events=2)
+        trace.record(1.0, "send")
+        trace.record(2.0, "arrive")
+        trace.record(3.0, "arrive")
+        assert trace.first("send") is None  # evicted
+        assert trace.interval("send", "arrive") is None
+        assert trace.last("arrive").time == 3.0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceRecorder(max_events=0)
+
+
+class TestObsForwarding:
+    def test_disabled_recorder_forwards_to_enabled_tracer(self):
+        trace = TraceRecorder(enabled=False)
+        obs.enable()
+        try:
+            trace.record(390.0, "ipi_arrival", core=0, vector=0xEC)
+        finally:
+            obs.disable()
+        assert trace.events == []  # the event lives in exactly one place
+        (event,) = obs.TRACER.events()
+        assert event.name == "ipi_arrival"
+        assert event.track == "apic0"
+        assert event.args == {"core": 0, "vector": 0xEC}
+
+    def test_enabled_recorder_does_not_double_record(self):
+        trace = TraceRecorder(enabled=True)
+        obs.enable()
+        try:
+            trace.record(10.0, "inject", core=0)
+        finally:
+            obs.disable()
+        assert len(trace.events) == 1
+        assert obs.TRACER.events() == []
+
+    def test_disabled_everything_is_a_noop(self):
+        trace = TraceRecorder(enabled=False)
+        assert not obs.enabled
+        trace.record(1.0, "x")
+        assert trace.events == []

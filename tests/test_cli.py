@@ -90,3 +90,99 @@ class TestPerfOptions:
         )
         assert main(["perf-selftest"]) == 1
         assert "FAILED" in capsys.readouterr().err
+
+
+class TestObservabilityOptions:
+    def test_trace_and_metrics_flags_parse(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig2", "--trace-out", "t.json", "--metrics-out", "m.json"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+
+    def test_flags_default_to_none(self):
+        args = build_parser().parse_args(["experiment", "fig2"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+
+    def test_experiment_with_trace_out_writes_perfetto_json(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "fig2",
+                    "--trace-out",
+                    str(trace_path),
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "observability pass" in out
+        assert "Figure 4 ordering" in out
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        phases = {record["ph"] for record in trace["traceEvents"]}
+        assert "M" in phases and "i" in phases
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema"] == "repro.obs.metrics/v1"
+        assert any(
+            name.startswith("delivery.") and name.endswith(".total")
+            for name in metrics["histograms"]
+        )
+
+
+class TestBenchGate:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench-gate"])
+        assert args.tolerance == "25%"
+        assert args.baseline is None
+        assert args.json_out is None
+
+    def test_gate_wires_parsed_arguments_through(self, monkeypatch, tmp_path):
+        from pathlib import Path
+
+        import repro.obs.regress as regress
+
+        seen = {}
+
+        def fake_run_gate(tolerance, baseline, report, json_out):
+            seen.update(tolerance=tolerance, baseline=baseline, json_out=json_out)
+            return 0
+
+        monkeypatch.setattr(regress, "run_gate", fake_run_gate)
+        assert (
+            main(
+                [
+                    "bench-gate",
+                    "--tolerance",
+                    "10%",
+                    "--baseline",
+                    str(tmp_path / "b.json"),
+                    "--json-out",
+                    str(tmp_path / "v.json"),
+                ]
+            )
+            == 0
+        )
+        assert seen["tolerance"] == 0.10
+        assert seen["baseline"] == Path(tmp_path / "b.json")
+        assert seen["json_out"] == Path(tmp_path / "v.json")
+
+    def test_bad_tolerance_is_a_usage_error(self, capsys):
+        assert main(["bench-gate", "--tolerance", "lots"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_regression_exit_code_propagates(self, monkeypatch):
+        import repro.obs.regress as regress
+
+        monkeypatch.setattr(regress, "run_gate", lambda **kwargs: 1)
+        assert main(["bench-gate"]) == 1
