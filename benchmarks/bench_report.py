@@ -11,9 +11,11 @@ counts, stats snapshots, experiment tables) between the two engines and
 fails if they differ in any byte.  The memory-stall-heavy benches
 (DRAM-resident pointer chase, and the Figure 4 interval sweep in the
 paper's headline ``xui_kb_timer_tracking`` configuration) carry a >= 3x
-speedup gate; dense compute benches are reported ungated — a pipeline
-that is busy every cycle has nothing to skip, and the report says so
-rather than hiding it.
+speedup gate.  The dense compute benches (``count_loop_kb_timer``,
+``memops_baseline``) carry the same gate since the macro-op trace tier
+(``REPRO_MACRO``, see ``repro.cpu.macroop``) landed: a pipeline that is
+busy every cycle has nothing to *skip*, but a steady-state loop body can
+be *replayed* in O(1) per iteration.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_report.py``) or via
 pytest (``python -m pytest benchmarks/bench_report.py``).
@@ -33,17 +35,19 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.apps import microbench as mb
-from repro.common.counters import ENV_FAST, GLOBAL_COUNTERS
+from repro.common.counters import ENV_FAST, ENV_MACRO, GLOBAL_COUNTERS
 from repro.experiments import cycletier
 from repro.experiments.fig4_overheads import run_interval_sweep
 from repro.perf.cache import ENV_CACHE_ENABLED
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cycletier.json"
 
-#: Payload schema: 2 added the ``meta`` block (git/host/engine provenance).
-REPORT_SCHEMA = 2
+#: Payload schema: 2 added the ``meta`` block (git/host/engine provenance);
+#: 3 added macro-tier telemetry per bench and gated the dense benches.
+REPORT_SCHEMA = 3
 
-#: Acceptance floor for the gated (memory-stall-heavy) benches.
+#: Acceptance floor for the gated benches (stall-heavy via cycle skipping,
+#: dense loops via macro-op replay).
 GATED_SPEEDUP = 3.0
 
 #: DRAM-resident pointer chase: 4096 nodes x 64 B = 256 KiB, past the L2,
@@ -88,7 +92,11 @@ def _bench_count_loop_kb_timer() -> Any:
 
 
 def _bench_memops_baseline() -> Any:
-    result = cycletier.run_baseline(mb.make_memops(iterations=2_000))
+    # 6k iterations so the cache-warmup prefix (~3k cycles, during which
+    # the pipeline picture is not yet periodic and the macro tier cannot
+    # replay) is amortized and steady-state streaming dominates what the
+    # dense gate measures.
+    result = cycletier.run_baseline(mb.make_memops(iterations=6_000))
     return {"cycles": result.cycles, "stats": dict(result.stats.__dict__)}
 
 
@@ -97,8 +105,8 @@ BENCHES: Tuple[Tuple[str, Callable[[], Any], bool], ...] = (
     ("pointer_chase_baseline", _bench_pointer_chase_baseline, True),
     ("fig4_interval_sweep", _bench_fig4_interval_sweep, True),
     ("pointer_chase_kb_timer", _bench_pointer_chase_kb_timer, False),
-    ("count_loop_kb_timer", _bench_count_loop_kb_timer, False),
-    ("memops_baseline", _bench_memops_baseline, False),
+    ("count_loop_kb_timer", _bench_count_loop_kb_timer, True),
+    ("memops_baseline", _bench_memops_baseline, True),
 )
 
 
@@ -134,8 +142,13 @@ def _timed(fn: Callable[[], Any], repeats: int = 2) -> Tuple[Any, float, Dict[st
         if this_time < elapsed:
             elapsed = this_time
             telemetry = {
-                "simulated_cycles": g.cycles_stepped + g.cycles_skipped,
+                "simulated_cycles": g.cycles_stepped
+                + g.cycles_skipped
+                + g.macro_replayed_cycles,
                 "skip_fraction": g.skip_fraction,
+                "macro_replayed_fraction": g.macro_replayed_fraction,
+                "macro_formations": g.macro_formations,
+                "macro_replays": g.macro_replays,
             }
     return result, elapsed, telemetry
 
@@ -170,6 +183,7 @@ def run_metadata() -> Dict[str, Any]:
         "platform": platform.platform(),
         "engine_flags": {
             ENV_FAST: os.environ.get(ENV_FAST),
+            ENV_MACRO: os.environ.get(ENV_MACRO),
             ENV_CACHE_ENABLED: os.environ.get(ENV_CACHE_ENABLED),
         },
         "created_unix": int(time.time()),
@@ -179,21 +193,35 @@ def run_metadata() -> Dict[str, Any]:
 def run_report(
     report: Callable[[str], None] = print,
     out_path: Optional[Path] = REPORT_PATH,
+    only: Optional[set] = None,
 ) -> Dict[str, Any]:
     """Run every bench fast + naive; write and return the report payload.
 
     ``out_path=None`` skips the write — the perf gate runs a fresh report
-    for comparison without clobbering the committed baseline.
+    for comparison without clobbering the committed baseline.  ``only``
+    restricts the run to a subset of bench names (the CI dense-bench smoke
+    job runs just the two macro-tier benches); a subset report should be
+    written somewhere other than the committed baseline path.
     """
+    if only is not None:
+        known = {name for name, _, _ in BENCHES}
+        unknown = sorted(only - known)
+        if unknown:
+            raise SystemExit(f"unknown bench name(s): {', '.join(unknown)}")
     benches: Dict[str, Any] = {}
     ok = True
     for name, runner, gated in BENCHES:
-        report(f"{name}: fast engine...")
-        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "1"}):
+        if only is not None and name not in only:
+            continue
+        report(f"{name}: fast engine (cycle skip + macro replay)...")
+        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "1", ENV_MACRO: "1"}):
             fast, t_fast, fast_counters = _timed(runner)
-        report(f"  {t_fast:.2f}s ({fast_counters['skip_fraction']:.0%} cycles skipped)")
+        report(
+            f"  {t_fast:.2f}s ({fast_counters['skip_fraction']:.0%} cycles skipped, "
+            f"{fast_counters['macro_replayed_fraction']:.0%} macro-replayed)"
+        )
         report(f"{name}: naive stepper (REPRO_FAST=0)...")
-        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "0"}):
+        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "0", ENV_MACRO: "0"}):
             naive, t_naive, naive_counters = _timed(runner)
         report(f"  {t_naive:.2f}s")
 
@@ -210,6 +238,11 @@ def run_report(
             "cycles_per_sec_fast": round(cycles / t_fast) if t_fast > 0 else None,
             "cycles_per_sec_naive": round(cycles / t_naive) if t_naive > 0 else None,
             "skip_fraction": round(fast_counters["skip_fraction"], 4),
+            "macro_replayed_fraction": round(
+                fast_counters["macro_replayed_fraction"], 4
+            ),
+            "macro_formations": fast_counters["macro_formations"],
+            "macro_replays": fast_counters["macro_replays"],
         }
         benches[name] = entry
         if not equal:
@@ -242,5 +275,21 @@ def test_cold_engine_report():
     assert payload["ok"], json.dumps(payload["benches"], indent=2)
 
 
+def _main(argv: list) -> int:
+    """``bench_report.py [BENCH ...] [--out PATH]`` — subset runs for CI."""
+    out_path: Optional[Path] = REPORT_PATH
+    names = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--out":
+            out_path = Path(next(it, "") or REPORT_PATH)
+        else:
+            names.append(arg)
+    only = set(names) if names else None
+    if only is not None and out_path == REPORT_PATH:
+        out_path = None  # never clobber the committed baseline with a subset
+    return 0 if run_report(out_path=out_path, only=only)["ok"] else 1
+
+
 if __name__ == "__main__":
-    sys.exit(0 if run_report()["ok"] else 1)
+    sys.exit(_main(sys.argv[1:]))

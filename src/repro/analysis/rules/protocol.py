@@ -18,6 +18,14 @@ break the contracts the engines rely on:
   memory/speed win, slots make accidental state — the attribute a fault
   injector or test scribbles onto a live core — an immediate ``AttributeError``
   instead of silent divergence between engines.
+- PRO104: modules named in :data:`PURE_MODULES` (macro-op recording/replay
+  and hot-block detection) must be simulation-pure: no wall-clock/entropy
+  imports, no ambient process-state reads (``os.environ``), no ``global``
+  rebinding, and no function-body reads of mutable module-level variables.
+  The macro tier's replay results land in the equality contract; any input
+  that varies between two runs of the same workload would break
+  bit-identical replay.  (Writes *to* ALL_CAPS telemetry singletons are
+  not flagged — counters are write-only engine telemetry by design.)
 """
 
 from __future__ import annotations
@@ -42,6 +50,14 @@ SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = {
     "repro.obs.registry": ("MetricsRegistry",),
     "repro.cpu.core": ("Core",),
     "repro.cpu.backend": ("UOp",),
+    "repro.cpu.hotness": ("HotnessTracker",),
+    "repro.cpu.macroop": (
+        "MacroController",
+        "_UopShot",
+        "_Snapshot",
+        "_Match",
+        "_CacheOverlay",
+    ),
     "repro.cpu.uopcache": ("UopCache", "UopCacheEntry"),
     "repro.cpu.uintr_state": ("KBTimerState", "UserInterruptFile"),
     "repro.uintr.apic": ("PendingInterrupt", "LocalApic"),
@@ -58,6 +74,24 @@ SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = {
 _MANIFEST_PRAGMA_RE = re.compile(r"#\s*detlint:\s*slots-manifest\[([A-Za-z0-9_,\s]+)\]")
 
 _CALLBACK_NAME_RE = re.compile(r"^on_\w+$|^\w+_callback$|^\w+_cb$")
+
+#: Modules that must be simulation-pure (PRO104): the macro-op trace tier's
+#: recording/replay and hot-block detection.  Their outputs land in the
+#: engine equality contract, so any nondeterministic or ambient input here
+#: would break bit-identical replay.
+PURE_MODULES: Tuple[str, ...] = (
+    "repro.cpu.hotness",
+    "repro.cpu.macroop",
+)
+
+#: Fixture/ad-hoc files opt into PRO104 with a ``pure-module`` pragma.
+_PURE_PRAGMA_RE = re.compile(r"#\s*detlint:\s*pure-module\b")
+
+#: Wall-clock and entropy sources a pure module may never import.
+_IMPURE_IMPORTS = frozenset(("time", "datetime", "random", "secrets", "uuid"))
+
+#: ``os`` members that read ambient process state.
+_OS_AMBIENT = frozenset(("environ", "environb", "getenv", "getenvb", "urandom"))
 
 
 def _class_defs(tree: ast.AST) -> Iterator[ast.ClassDef]:
@@ -263,3 +297,135 @@ class SlotsManifestRule(Rule):
                 "(stale SLOTS_MANIFEST entry?)",
                 hint="update SLOTS_MANIFEST in repro.analysis.rules.protocol",
             )
+
+
+def _function_locals(fn: ast.AST) -> Set[str]:
+    """Names bound inside ``fn``: parameters, assignments, comprehension and
+    exception targets, nested defs.  Used to tell a local shadow apart from
+    a genuine read of a module-level variable."""
+    names: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fn:
+                names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names
+
+
+@register
+class SimulationPurityRule(Rule):
+    """PRO104 — macro recording/replay modules must be simulation-pure."""
+
+    rule_id = "PRO104"
+    description = (
+        "simulation-pure module (macro-op recording/replay) reads the wall "
+        "clock, entropy, ambient process state, or a mutable module global"
+    )
+    hint = (
+        "pure modules may only read the core state they are handed: drop "
+        "time/random/os.environ, and carry caches on the controller object "
+        "instead of module-level variables (ALL_CAPS constants are fine)"
+    )
+
+    def _applies(self, module: ModuleSource) -> bool:
+        return module.module in PURE_MODULES or bool(
+            _PURE_PRAGMA_RE.search(module.text)
+        )
+
+    def _mutable_globals(self, tree: ast.AST) -> Set[str]:
+        """Module-level assigned names that are not ALL_CAPS constants."""
+        names: Set[str] = set()
+        for stmt in getattr(tree, "body", []):
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and not target.id.isupper()
+                    and not target.id.startswith("__")
+                ):
+                    names.add(target.id)
+        return names
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self._applies(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _IMPURE_IMPORTS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"pure module imports wall-clock/entropy source "
+                            f"{alias.name}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _IMPURE_IMPORTS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"pure module imports from wall-clock/entropy source "
+                        f"{node.module}",
+                    )
+            elif isinstance(node, ast.Global):
+                yield self.finding(
+                    module,
+                    node,
+                    f"pure module rebinds module global(s) "
+                    f"{', '.join(node.names)}",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+                and node.attr in _OS_AMBIENT
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"pure module reads ambient process state os.{node.attr}",
+                )
+        mutable = self._mutable_globals(module.tree)
+        if not mutable:
+            return
+        seen: Set[Tuple[int, int, str]] = set()
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local = _function_locals(fn)
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in mutable
+                    and node.id not in local
+                ):
+                    key = (node.lineno, node.col_offset, node.id)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding(
+                        module,
+                        node,
+                        f"pure function {fn.name} reads mutable module "
+                        f"global {node.id}",
+                    )

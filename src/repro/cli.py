@@ -294,7 +294,7 @@ _RUNNERS: Dict[str, Callable[..., None]] = {
 
 
 def _print_engine_counters() -> None:
-    from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
+    from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled, macro_engine_enabled
 
     g = GLOBAL_COUNTERS
     total_cycles = g.cycles_stepped + g.cycles_skipped
@@ -309,6 +309,21 @@ def _print_engine_counters() -> None:
         ["events fired", f"{g.events_fired:,}"],
         ["events fast-forwarded", f"{g.events_fast_forwarded:,}"],
     ]
+    macro = [
+        ["macro tier", "on (REPRO_MACRO)" if macro_engine_enabled() else "off (REPRO_MACRO=0)"],
+        ["macro formations", f"{g.macro_formations:,}"],
+        ["macro form aborts", f"{g.macro_form_aborts:,}"],
+        ["macro replays", f"{g.macro_replays:,}"],
+        ["macro replayed periods", f"{g.macro_replayed_periods:,}"],
+        ["macro replayed cycles", f"{g.macro_replayed_cycles:,}"],
+        ["macro replayed fraction", f"{g.macro_replayed_fraction:.1%}"],
+        ["macro bails (event/divergence/horizon)",
+         f"{g.macro_bail_event:,} / {g.macro_bail_divergence:,} / {g.macro_bail_horizon:,}"],
+    ]
+    if g.macro_formations or g.macro_form_aborts:
+        rows += macro
+    else:
+        rows.append(macro[0])
     robustness = [
         ["sweep points resumed", g.sweep_points_resumed],
         ["sweep points salvaged", g.sweep_points_salvaged],

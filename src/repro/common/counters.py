@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict
 
 ENV_FAST = "REPRO_FAST"
+ENV_MACRO = "REPRO_MACRO"
 
 _DISABLED_VALUES = {"0", "off", "false", "no"}
 
@@ -28,6 +29,12 @@ _DISABLED_VALUES = {"0", "off", "false", "no"}
 def fast_engine_enabled() -> bool:
     """Is the cycle-skipping / event fast-forward engine enabled?"""
     return os.environ.get(ENV_FAST, "1").strip().lower() not in _DISABLED_VALUES
+
+
+def macro_engine_enabled() -> bool:
+    """Is the macro-op trace tier enabled?  (Layered on the fast engine:
+    ``REPRO_MACRO`` has no effect under ``REPRO_FAST=0``.)"""
+    return os.environ.get(ENV_MACRO, "1").strip().lower() not in _DISABLED_VALUES
 
 
 @dataclass
@@ -57,6 +64,25 @@ class EngineCounters:
     sweep_points_retried: int = 0
     #: Sweep points restored from a JSONL checkpoint instead of re-running.
     sweep_points_resumed: int = 0
+    #: Macro-op tier (``REPRO_MACRO``): steady-state loop templates formed.
+    macro_formations: int = 0
+    #: Formation attempts that aborted (state not sigma-periodic / unsafe).
+    macro_form_aborts: int = 0
+    #: Bulk replay sessions entered (one per formation that replayed >= 1
+    #: period before bailing back to the interpreter).
+    macro_replays: int = 0
+    #: Loop periods applied in O(1) instead of being stepped.
+    macro_replayed_periods: int = 0
+    #: Core cycles covered by macro-op replay (neither stepped nor skipped).
+    macro_replayed_cycles: int = 0
+    #: Replay bails: a notification-visible event entered the window
+    #: (pending interrupt, timer deadline, timeline/fault event).
+    macro_bail_event: int = 0
+    #: Replay bails: the loop left steady state (branch flip, memory
+    #: latency mismatch, load/store aliasing).
+    macro_bail_divergence: int = 0
+    #: Replay bails: run horizon / watch boundary reached.
+    macro_bail_horizon: int = 0
 
     def reset(self) -> None:
         for f in fields(self):
@@ -72,10 +98,17 @@ class EngineCounters:
         total = self.cycles_stepped + self.cycles_skipped
         return self.cycles_skipped / total if total else 0.0
 
+    @property
+    def macro_replayed_fraction(self) -> float:
+        """Fraction of all accounted core cycles covered by macro replay."""
+        total = self.cycles_stepped + self.cycles_skipped + self.macro_replayed_cycles
+        return self.macro_replayed_cycles / total if total else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
         out["uop_hit_rate"] = self.uop_hit_rate
         out["skip_fraction"] = self.skip_fraction
+        out["macro_replayed_fraction"] = self.macro_replayed_fraction
         return out
 
 

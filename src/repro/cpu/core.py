@@ -139,6 +139,8 @@ class Core:
         "_trace_resume_pending",
         "_conservative_loads",
         "invariant_probe",
+        "_macro",
+        "_macro_rec",
     )
 
     def __init__(
@@ -239,6 +241,12 @@ class Core:
         #: ("flush"), and at uiret commit ("uiret").  Probes must only read
         #: state — simulated results stay byte-identical with or without one.
         self.invariant_probe: Optional[Callable[[str, "Core"], None]] = None
+        #: Macro-op trace tier (``repro.cpu.macroop``): the controller the
+        #: multi-core fast path installs when ``REPRO_MACRO`` is on, and the
+        #: active recording's memory-access log (a list, or None when not
+        #: recording).  Both are engine plumbing — never simulated state.
+        self._macro = None
+        self._macro_rec: Optional[list] = None
 
         strategy.attach(self)
 
@@ -533,6 +541,21 @@ class Core:
             else:
                 self.stats.committed_instructions += 1
                 self.last_program_commit_cycle = self.cycle
+        # Macro-op trace tier: feed the recorder while scanning, else count
+        # committed taken backward branches toward the hotness threshold.
+        mac = self._macro
+        if mac is not None:
+            if mac._scanning:
+                mac._commits.append(uop)
+            elif (
+                uop.is_cond_branch
+                and uop.actual_taken
+                and not uop.is_micro
+                and not uop.from_interrupt
+                and uop.target is not None
+                and uop.target < uop.pc
+            ):
+                mac.note_backedge(uop.pc)
         self.strategy.on_commit(uop)
 
     def _apply_set_timer(self, uop: UOp) -> None:
@@ -864,9 +887,13 @@ class Core:
         forwarded = self.lsq.forward_value(uop)
         if forwarded is not None:
             uop.result = forwarded
+            if self._macro_rec is not None:
+                self._macro_rec.append((uop.seq, 1, FORWARD_LATENCY, 1, uop.addr))
             return FORWARD_LATENCY
         latency, value = self.hierarchy.load(uop.addr)
         uop.result = value
+        if self._macro_rec is not None:
+            self._macro_rec.append((uop.seq, 1, latency, 0, uop.addr))
         return latency
 
     def _execute_store(self, uop: UOp) -> int:
@@ -879,7 +906,10 @@ class Core:
             )
         else:
             uop.store_value = uop.source_value(uop.src_regs[1], self.arch_regs)
-        return self.hierarchy.store_probe(uop.addr)
+        latency = self.hierarchy.store_probe(uop.addr)
+        if self._macro_rec is not None:
+            self._macro_rec.append((uop.seq, 0, latency, 0, uop.addr))
+        return latency
 
     def _check_memory_order_violation(self, store: UOp) -> None:
         """Optimistic loads may have run ahead of this store to the same

@@ -15,10 +15,15 @@ import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs as _obs
-from repro.common.counters import GLOBAL_COUNTERS, fast_engine_enabled
+from repro.common.counters import (
+    GLOBAL_COUNTERS,
+    fast_engine_enabled,
+    macro_engine_enabled,
+)
 from repro.common.errors import ConfigError, SimulationError
 from repro.cpu.config import SystemConfig
 from repro.cpu.core import FAR_FUTURE, NA_BACKOFF_CAP, Core
+from repro.cpu.macroop import MacroController
 from repro.cpu.cache import SharedMemory
 from repro.cpu.delivery import DeliveryStrategy
 from repro.cpu.program import Program
@@ -170,9 +175,20 @@ class MultiCoreSystem:
                 self.cycle = cycle + 1
         else:
             end = start + max_cycles
+            macro_on = macro_engine_enabled()
+
+            def timeline_head() -> Optional[int]:
+                return timeline[0][0] if timeline else None
+
             for core in cores:
                 core._next_activity = 0  # conservative: step the first cycle
+                if macro_on:
+                    if core._macro is None:
+                        core._macro = MacroController(core, cores, timeline_head)
+                else:
+                    core._macro = None
             cycle = start
+            jump = 0
             if watch is None or not all(core.halted for core in watch):
                 while cycle < end:
                     if timeline and timeline[0][0] <= cycle:
@@ -200,6 +216,14 @@ class MultiCoreSystem:
                         if anchor >= 0:
                             core._idle_anchor = -1
                             core.note_skipped(cycle - anchor)
+                        mac = core._macro
+                        if mac is not None and (mac._scanning or mac._want_arm):
+                            jump = mac.on_boundary(cycle, end)
+                            if jump:
+                                # Replay covered [cycle, cycle + jump) in
+                                # O(1); safe only because every other core is
+                                # halted (a formation precondition).
+                                break
                         core.step(cycle)
                         stepped += 1
                         if core.halted:
@@ -223,6 +247,11 @@ class MultiCoreSystem:
                         core._next_activity = na
                         if na < min_next:
                             min_next = na
+                    if jump:
+                        cycle += jump
+                        jump = 0
+                        self.cycle = cycle
+                        continue
                     self.cycle = cycle + 1
                     if watch is not None and all(core.halted for core in watch):
                         break

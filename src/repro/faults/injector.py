@@ -9,7 +9,10 @@ Two injectors share the plan format:
   naive and cycle-skipping engines process timeline events identically (the
   fast engine invalidates every core's quiescence horizon after any
   timeline event), which is what keeps fault runs byte-identical across
-  engines.
+  engines.  The macro-op trace tier (``repro.cpu.macroop``) takes the same
+  stance one level up: an installed ``fault_interceptor`` blocks macro
+  formation outright, and the timeline (where scheduled faults live) is a
+  hard replay horizon — replay can never jump over an injection cycle.
 - :class:`EventFaultInjector` drives the event/kernel tier: the same
   message faults on a bare :class:`~repro.uintr.apic.LocalApic`, plus
   ``timer_drift`` on kernel timers and ``ctx_switch`` on a

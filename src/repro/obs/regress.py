@@ -10,7 +10,14 @@
   not a slowdown).
 * ``wall_fast_s`` may grow by at most the tolerance (default 25%, because
   shared-container wall clocks are noisy; CI runs this job non-blocking).
-* the fresh run's own speedup gates (``payload["ok"]``) must still hold.
+* the fresh run's own speedup gates (``payload["ok"]``) must still hold,
+  and every gated bench gets an explicit per-bench ``gated_speedup`` row
+  (stall-heavy benches via cycle skipping, dense-loop benches via the
+  ``REPRO_MACRO`` macro-op replay tier — both floored at the report's
+  ``gate_speedup``).
+
+A baseline recorded from a dirty working tree (``meta.git_dirty``) earns a
+loud warning: its sha does not identify the measured code.
 
 This is the **one** module in the observability subsystem allowed to read
 the wall clock (it times host execution, not simulated time); the detlint
@@ -147,6 +154,15 @@ def compare(
                 "fast/naive engines diverged (baseline had them identical)")
         else:
             add(name, "results_identical", True, "engines still agree")
+        if entry.get("gated"):
+            floor = float(fresh.get("gate_speedup", 0.0))
+            speedup = float(entry.get("speedup", 0.0))
+            add(
+                name,
+                "gated_speedup",
+                speedup >= floor,
+                f"gated bench at {speedup:.2f}x (floor {floor:.1f}x)",
+            )
         base_wall = base.get("wall_fast_s")
         fresh_wall = entry.get("wall_fast_s")
         if not base_wall or fresh_wall is None:
@@ -186,6 +202,12 @@ def run_gate(
             f"baseline: git {str(meta.get('git_sha'))[:12]} "
             f"python {meta.get('python')} (schema {base.get('schema', 1)})"
         )
+        if meta.get("git_dirty"):
+            report(
+                "bench-gate: WARNING baseline was recorded from a dirty tree "
+                "(meta.git_dirty) — its sha does not identify the measured "
+                "code; regenerate BENCH_cycletier.json from a clean checkout"
+            )
     else:
         report("baseline: schema 1 (no provenance metadata)")
     fresh = run_fresh(report=report)

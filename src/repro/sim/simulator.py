@@ -18,6 +18,13 @@ class Simulator:
     clock.  The loop pops the earliest event, advances the clock to it, and
     runs its callback.  Callbacks may schedule further events (never in the
     past).
+
+    Engine flags: ``REPRO_FAST`` gates this loop's fast-forward batching
+    (below); ``REPRO_MACRO`` — the macro-op loop-replay tier — is a
+    *cycle-tier* optimization living entirely in
+    :class:`repro.cpu.multicore.MultiCoreSystem` /
+    :mod:`repro.cpu.macroop`, and has no effect on the event tier: there
+    is no per-cycle interpreter here to shortcut.
     """
 
     __slots__ = ("_now", "_queue", "_running", "events_processed")

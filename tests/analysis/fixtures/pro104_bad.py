@@ -1,0 +1,35 @@
+"""PRO104 true positives: a "pure" replay module that is anything but.
+
+The pragma below stands in for a PURE_MODULES entry, so this fixture
+exercises the rule without naming a real repro module.
+"""
+# detlint: pure-module
+
+import os
+import time
+from random import random
+
+_replay_cache = {}
+
+
+def record_window(core):
+    """Reads the wall clock and ambient env — both flagged."""
+    started = time.monotonic()
+    seed = random()
+    if os.environ.get("REPLAY_DEBUG"):
+        print(started, seed)
+    return [core.cycle]
+
+
+def replay_window(core, template):
+    """Reads (and mutates through) a mutable module-level cache — flagged."""
+    cached = _replay_cache.get(core.core_id)
+    if cached is not None:
+        return cached
+    _replay_cache[core.core_id] = template
+    return template
+
+
+def reset_counters():
+    global _replay_cache
+    _replay_cache = {}

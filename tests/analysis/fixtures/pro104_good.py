@@ -1,0 +1,31 @@
+"""PRO104 clean: replay state lives on the controller, constants are fine."""
+# detlint: pure-module
+
+MAX_PERIODS = 1 << 16
+_HOT_THRESHOLD = 64
+
+
+class ReplayController:
+    __slots__ = ("core", "_cache")
+
+    def __init__(self, core):
+        self.core = core
+        self._cache = {}
+
+    def record_window(self):
+        """ALL_CAPS module constants are read-only by convention — allowed."""
+        return [self.core.cycle] * min(_HOT_THRESHOLD, MAX_PERIODS)
+
+    def replay_window(self, template):
+        cached = self._cache.get(self.core.core_id)
+        if cached is not None:
+            return cached
+        self._cache[self.core.core_id] = template
+        return template
+
+
+def shadow_is_local(template):
+    """A local named like a module global elsewhere is not a global read."""
+    _replay_cache = {}
+    _replay_cache.update(template)
+    return _replay_cache

@@ -26,6 +26,7 @@ ALL_RULE_IDS = (
     "PRO101",
     "PRO102",
     "PRO103",
+    "PRO104",
 )
 
 
@@ -99,6 +100,25 @@ def test_pro103_reports_missing_slots_and_stale_entry():
     assert any("GoneClass" in m and "stale" in m for m in messages)
     # The unlisted helper class is not the manifest's business.
     assert not any("ColdHelper" in m for m in messages)
+
+
+def test_pro104_flags_clock_env_global_and_mutable_reads():
+    report = scan("pro104_bad.py")
+    messages = [f.message for f in report.new_findings]
+    assert any("imports wall-clock/entropy source time" in m for m in messages)
+    assert any("imports from wall-clock/entropy source random" in m for m in messages)
+    assert any("os.environ" in m for m in messages)
+    assert any("rebinds module global" in m and "_replay_cache" in m for m in messages)
+    assert any(
+        "reads mutable module global _replay_cache" in m for m in messages
+    )
+    # ALL_CAPS constants and local shadows stay clean (see the good twin).
+
+
+def test_pro104_only_applies_to_pure_modules():
+    # No pragma, not in PURE_MODULES: the same sins go unflagged by PRO104.
+    report = scan("pro102_bad.py")
+    assert not any(f.rule_id == "PRO104" for f in report.new_findings)
 
 
 def test_findings_are_totally_ordered():

@@ -1,0 +1,164 @@
+"""Equality gate for the macro-op trace tier (REPRO_MACRO).
+
+The macro tier (``repro.cpu.macroop``) replays steady-state loop periods in
+O(1) instead of stepping them, so it gets the same contract as the
+cycle-skipping engine, three ways: the naive stepper (``REPRO_FAST=0``),
+the fast engine with the macro tier disabled (``REPRO_MACRO=0``), and the
+fast engine with macro replay on must all produce byte-identical simulated
+results — final cycle count, every core's full :class:`CoreStats` snapshot,
+and every interrupt-delivery trace timestamp.
+
+Three parametrizations probe the bail paths specifically:
+
+* **timer intervals** — the KB timer deadline is a replay horizon; each
+  interval puts the deadline at a different offset inside the hot loop, so
+  replay must bail mid-loop and let the interpreter deliver the interrupt
+  at its native cycle (the ``macro_bail_event`` path).
+* **fault plans** — an armed :class:`FaultInjector` (and the invariant
+  checker's write observers) must *block formation entirely*: replay under
+  a pending fault arm could skip the injection cycle.  The cells still run
+  with ``REPRO_MACRO=1`` to prove the guard holds.
+* **mid-replay interrupt arrival** — the dense cell asserts the tier
+  actually replayed cycles *and* bailed for an event, so the equality is
+  not vacuous.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import microbench as mb
+from repro.common.counters import ENV_FAST, ENV_MACRO, GLOBAL_COUNTERS
+from repro.cpu.delivery import DrainStrategy, FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.faults.harness import run_fault_cell, simulated_view
+from repro.faults.plan import plan_for_kind
+
+MAX_CYCLES = 2_000_000
+
+#: Timer intervals chosen to land deadlines at different loop offsets:
+#: shorter than a formation window, mid-loop, and past the workload end.
+INTERVALS = (900, 2_500, 6_000)
+
+STRATEGIES = {
+    "flush": FlushStrategy,
+    "drain": DrainStrategy,
+    "tracked": TrackedStrategy,
+}
+
+#: One message-, one interrupt-, and one timing-fault kind; the full
+#: matrix lives in tests/faults/ — here we only need each injector shape.
+FAULT_KINDS = ("drop_send", "spurious_uintr", "timer_drift")
+
+
+def _observe(strategy_name: str, interval: int, *, iterations: int = 6_000):
+    """One dense KB-timer cell, traced, no result cache."""
+    workload = mb.make_count_loop(iterations)
+    system = MultiCoreSystem([workload.program], [STRATEGIES[strategy_name]()], trace=True)
+    workload.install(system.shared)
+    system.enable_kb_timer(0)
+    core = system.cores[0]
+    core.uintr.kb_timer.arm_periodic(interval, now=0)
+    system.run(MAX_CYCLES, until_halted=[0])
+    assert core.halted, "workload wedged"
+    return {
+        "cycles": system.cycle,
+        "stats": [dict(c.stats.snapshot().__dict__) for c in system.cores],
+        "trace": [
+            (event.time, event.kind, tuple(sorted(event.detail.items())))
+            for event in system.trace.events
+        ],
+    }
+
+
+CELLS = [
+    pytest.param(strategy, interval, id=f"{strategy}-interval{interval}")
+    for strategy in STRATEGIES
+    for interval in INTERVALS
+]
+
+
+@pytest.mark.parametrize("strategy,interval", CELLS)
+def test_macro_tier_matches_naive_and_macro_off(monkeypatch, strategy, interval):
+    monkeypatch.setenv(ENV_FAST, "0")
+    naive = _observe(strategy, interval)
+    monkeypatch.setenv(ENV_FAST, "1")
+    monkeypatch.setenv(ENV_MACRO, "0")
+    fast_off = _observe(strategy, interval)
+    monkeypatch.setenv(ENV_MACRO, "1")
+    fast_on = _observe(strategy, interval)
+    assert fast_off == naive
+    assert fast_on["cycles"] == naive["cycles"]
+    assert fast_on["stats"] == naive["stats"]
+    assert fast_on["trace"] == naive["trace"]
+
+
+@pytest.mark.parametrize("macro", ("0", "1"))
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_fault_cells_identical_with_macro_tier(monkeypatch, kind, macro):
+    """Fault plans must not open a macro-tier equivalence gap.
+
+    An installed injector arms the APIC fault interceptor, which blocks
+    macro formation outright — so these cells also regress the guard: if
+    formation ever slipped through and skipped an injection cycle, the
+    naive/fast results would diverge here.
+    """
+    monkeypatch.setenv(ENV_MACRO, macro)
+    plan = plan_for_kind(kind, seed=0, core=0, count=2, horizon=3_000)
+    naive = run_fault_cell(plan, "flush", engine="naive")
+    fast = run_fault_cell(plan, "flush", engine="fast")
+    assert simulated_view(fast) == simulated_view(naive)
+
+
+def test_fault_arm_blocks_formation(monkeypatch):
+    """An armed APIC fault interceptor blocks the macro tier outright.
+
+    ``drop_send`` installs ``apic.fault_interceptor``, which ``_eligible``
+    treats as a hard disqualifier — no formation, no replay.  (Timeline
+    kinds like ``timer_drift`` are instead *bounded* by the timeline head;
+    see ``test_fault_timeline_bounds_replay``.)
+    """
+    monkeypatch.setenv(ENV_MACRO, "1")
+    plan = plan_for_kind("drop_send", seed=0, core=0, count=2, horizon=3_000)
+    GLOBAL_COUNTERS.reset()
+    run_fault_cell(plan, "flush", engine="fast")
+    assert GLOBAL_COUNTERS.macro_formations == 0
+    assert GLOBAL_COUNTERS.macro_replayed_cycles == 0
+
+
+def test_fault_timeline_bounds_replay(monkeypatch):
+    """Timeline faults don't block replay — they cap it at the next event.
+
+    ``timer_drift`` leaves the APIC interceptor uninstalled, so the macro
+    tier may form and replay, but every replay session must stop at the
+    injector timeline's head (counted as ``macro_bail_event``) — the
+    equality cells in this file prove the fault still lands identically.
+    """
+    monkeypatch.setenv(ENV_MACRO, "1")
+    plan = plan_for_kind("timer_drift", seed=0, core=0, count=2, horizon=3_000)
+    GLOBAL_COUNTERS.reset()
+    run_fault_cell(plan, "flush", engine="fast")
+    if GLOBAL_COUNTERS.macro_replays:
+        assert GLOBAL_COUNTERS.macro_bail_event >= 1
+
+
+def test_mid_replay_interrupt_arrival_bails_and_matches(monkeypatch):
+    """The non-vacuity witness: replay happened, then an interrupt landed.
+
+    With a 2,500-cycle timer inside a 6,000-iteration loop, the timer
+    deadline falls mid-replay: the controller must cap ``n`` at the
+    deadline (``macro_bail_event``), hand back to the interpreter, and the
+    delivery must land on the same cycle the naive engine delivers it.
+    """
+    monkeypatch.setenv(ENV_FAST, "1")
+    monkeypatch.setenv(ENV_MACRO, "0")
+    reference = _observe("flush", 2_500)
+    monkeypatch.setenv(ENV_MACRO, "1")
+    GLOBAL_COUNTERS.reset()
+    replayed = _observe("flush", 2_500)
+    assert replayed == reference
+    assert GLOBAL_COUNTERS.macro_replays >= 1
+    assert GLOBAL_COUNTERS.macro_replayed_cycles > 0
+    assert GLOBAL_COUNTERS.macro_bail_event >= 1
+    delivered = replayed["stats"][0]["interrupts_delivered"]
+    assert delivered >= 2, "cell needs interrupts landing between replays"
