@@ -35,7 +35,9 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.apps import microbench as mb
-from repro.common.counters import ENV_FAST, ENV_MACRO, GLOBAL_COUNTERS
+from repro.common.counters import ENV_BATCH, ENV_FAST, ENV_MACRO, GLOBAL_COUNTERS
+from repro.cpu.delivery import FlushStrategy
+from repro.cpu.multicore import MultiCoreSystem
 from repro.experiments import cycletier
 from repro.experiments.fig4_overheads import run_interval_sweep
 from repro.perf.cache import ENV_CACHE_ENABLED
@@ -43,8 +45,11 @@ from repro.perf.cache import ENV_CACHE_ENABLED
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cycletier.json"
 
 #: Payload schema: 2 added the ``meta`` block (git/host/engine provenance);
-#: 3 added macro-tier telemetry per bench and gated the dense benches.
-REPORT_SCHEMA = 3
+#: 3 added macro-tier telemetry per bench and gated the dense benches;
+#: 4 added the many-core batch-stepper benches (three-legged: batch vs
+#: scalar-fast vs naive, with ``wall_scalar_s``/``batch_speedup`` rows) and
+#: per-bench batch-tier telemetry.
+REPORT_SCHEMA = 4
 
 #: Acceptance floor for the gated benches (stall-heavy via cycle skipping,
 #: dense loops via macro-op replay).
@@ -53,6 +58,12 @@ GATED_SPEEDUP = 3.0
 #: DRAM-resident pointer chase: 4096 nodes x 64 B = 256 KiB, past the L2,
 #: so every hop is a long memory stall the fast engine can skip across.
 PTR_NODES = 4096
+
+#: Hops per loop iteration in the many-core chases: one serial dependence
+#: chain, so the loop-control busy burst is amortized over ``CHASE_UNROLL``
+#: full-latency stalls and the worker pipelines are quiescent >98% of the
+#: time — the regime the batch stepper's idle lanes are built for.
+CHASE_UNROLL = 16
 
 
 def _pointer_chase() -> mb.Workload:
@@ -100,6 +111,93 @@ def _bench_memops_baseline() -> Any:
     return {"cycles": result.cycles, "stats": dict(result.stats.__dict__)}
 
 
+def _many_core_payload(system: MultiCoreSystem) -> Any:
+    return {
+        "cycles": system.cycle,
+        "stats": [dict(c.stats.snapshot().__dict__) for c in system.cores],
+        "apics": [apic.counters_as_dict() for apic in system.apics],
+    }
+
+
+def _bench_fig7_rocksdb_16core() -> Any:
+    """Figure 7's shape at the cycle tier: a preempted RocksDB-ish worker.
+
+    Core 0 runs a DRAM-resident pointer chase and takes preemption UIPIs
+    from core 1, the paper's dedicated timer core (§5.3, short quantum so
+    the sender's dense rdtsc spin stays a sliver of the run — the bench
+    measures the stepper over the stalled workers, not the spin loop);
+    cores 2-15 are worker tenants on the same chase with staggered per-core
+    KB timers.  The naive stepper walks all 16 pipelines every cycle; the
+    batch stepper keeps the stalled workers in idle lanes and visits only
+    the active run list.  Delivery is flush everywhere: a tracked delivery
+    into a dependent-load chain busy-waits the whole in-flight window
+    (§6.1), which measures the delivery strategy rather than the stepper —
+    the tracked cells live in the equality suite, not the perf gate.
+    """
+    worker_cores = 14
+    workloads = [
+        mb.make_pointer_chase(PTR_NODES, stride=64, iterations=60, unroll=CHASE_UNROLL)
+    ]
+    sender = mb.make_uipi_timer_core(1_500, 2)
+    programs = [workloads[0].program, sender.program]
+    strategies = [FlushStrategy(), FlushStrategy()]
+    for k in range(worker_cores):
+        chase = mb.make_pointer_chase(
+            PTR_NODES, stride=64, iterations=60 + k, unroll=CHASE_UNROLL
+        )
+        workloads.append(chase)
+        programs.append(chase.program)
+        strategies.append(FlushStrategy())
+    system = MultiCoreSystem(programs, strategies)
+    for workload in workloads:
+        workload.install(system.shared)
+    system.connect_uipi(sender_core_id=1, receiver_core_id=0, user_vector=1)
+    system.enable_kb_timer(0)
+    system.cores[0].uintr.kb_timer.arm_periodic(7_500, now=0)
+    for k in range(worker_cores):
+        core_id = 2 + k
+        system.enable_kb_timer(core_id)
+        system.cores[core_id].uintr.kb_timer.arm_periodic(25_000 + 311 * k, now=0)
+    halt_ids = [0] + list(range(2, 2 + worker_cores))
+    system.run(400_000, until_halted=halt_ids)
+    return _many_core_payload(system)
+
+
+def _bench_l3fwd_8core_sweep() -> Any:
+    """Figure 8's shape at the cycle tier: forwarded device interrupts.
+
+    Eight cores run the pointer chase with device-interrupt forwarding
+    enabled (§4.5) while two NIC rate classes — a fast queue on cores 0-3,
+    a slow queue on cores 4-7 — raise pre-scheduled device interrupts.
+    Every interrupt carries a core hint, so the batch stepper wakes exactly
+    the destination lane (targeted invalidation) instead of re-scanning all
+    eight cores.
+    """
+    n = 8
+    workloads = []
+    programs = []
+    strategies = []
+    for k in range(n):
+        chase = mb.make_pointer_chase(
+            PTR_NODES, stride=64, iterations=80 + 2 * k, unroll=CHASE_UNROLL
+        )
+        workloads.append(chase)
+        programs.append(chase.program)
+        strategies.append(FlushStrategy())
+    system = MultiCoreSystem(programs, strategies)
+    for workload in workloads:
+        workload.install(system.shared)
+    for k in range(n):
+        system.enable_forwarding(k, vector=0x30 + k, user_vector=3)
+        interval = 4_000 if k < 4 else 9_000
+        for shot in range(18 if k < 4 else 8):
+            system.raise_device_interrupt(
+                k, 0x30 + k, delay=1_000 + 173 * k + shot * interval
+            )
+    system.run(400_000, until_halted=list(range(n)))
+    return _many_core_payload(system)
+
+
 #: (name, runner, gated): gated benches must clear :data:`GATED_SPEEDUP`.
 BENCHES: Tuple[Tuple[str, Callable[[], Any], bool], ...] = (
     ("pointer_chase_baseline", _bench_pointer_chase_baseline, True),
@@ -107,7 +205,14 @@ BENCHES: Tuple[Tuple[str, Callable[[], Any], bool], ...] = (
     ("pointer_chase_kb_timer", _bench_pointer_chase_kb_timer, False),
     ("count_loop_kb_timer", _bench_count_loop_kb_timer, True),
     ("memops_baseline", _bench_memops_baseline, True),
+    ("fig7_rocksdb_16core", _bench_fig7_rocksdb_16core, True),
+    ("l3fwd_8core_sweep", _bench_l3fwd_8core_sweep, True),
 )
+
+#: Many-core benches get a third leg (scalar fast loop, ``REPRO_BATCH=0``)
+#: so the report can attribute the win: ``speedup`` is batch vs naive (the
+#: gated number) and ``batch_speedup`` is batch vs the scalar fast loop.
+MANY_CORE_BENCHES = frozenset({"fig7_rocksdb_16core", "l3fwd_8core_sweep"})
 
 
 @contextmanager
@@ -149,6 +254,9 @@ def _timed(fn: Callable[[], Any], repeats: int = 2) -> Tuple[Any, float, Dict[st
                 "macro_replayed_fraction": g.macro_replayed_fraction,
                 "macro_formations": g.macro_formations,
                 "macro_replays": g.macro_replays,
+                "batch_group_jumps": g.batch_group_jumps,
+                "batch_idle_transitions": g.batch_idle_transitions,
+                "batch_targeted_invalidations": g.batch_targeted_invalidations,
             }
     return result, elapsed, telemetry
 
@@ -184,6 +292,7 @@ def run_metadata() -> Dict[str, Any]:
         "engine_flags": {
             ENV_FAST: os.environ.get(ENV_FAST),
             ENV_MACRO: os.environ.get(ENV_MACRO),
+            ENV_BATCH: os.environ.get(ENV_BATCH),
             ENV_CACHE_ENABLED: os.environ.get(ENV_CACHE_ENABLED),
         },
         "created_unix": int(time.time()),
@@ -213,8 +322,10 @@ def run_report(
     for name, runner, gated in BENCHES:
         if only is not None and name not in only:
             continue
-        report(f"{name}: fast engine (cycle skip + macro replay)...")
-        with _env(**{ENV_CACHE_ENABLED: "0", ENV_FAST: "1", ENV_MACRO: "1"}):
+        report(f"{name}: fast engine (cycle skip + macro replay + batch)...")
+        with _env(
+            **{ENV_CACHE_ENABLED: "0", ENV_FAST: "1", ENV_MACRO: "1", ENV_BATCH: "1"}
+        ):
             fast, t_fast, fast_counters = _timed(runner)
         report(
             f"  {t_fast:.2f}s ({fast_counters['skip_fraction']:.0%} cycles skipped, "
@@ -226,6 +337,16 @@ def run_report(
         report(f"  {t_naive:.2f}s")
 
         equal = fast == naive
+        t_scalar = None
+        if name in MANY_CORE_BENCHES:
+            # Third leg: the scalar fast loop, to attribute the batch win.
+            report(f"{name}: scalar fast loop (REPRO_BATCH=0)...")
+            with _env(
+                **{ENV_CACHE_ENABLED: "0", ENV_FAST: "1", ENV_MACRO: "1", ENV_BATCH: "0"}
+            ):
+                scalar, t_scalar, _ = _timed(runner)
+            report(f"  {t_scalar:.2f}s")
+            equal = equal and scalar == naive
         speedup = t_naive / t_fast if t_fast > 0 else float("inf")
         cycles = naive_counters["simulated_cycles"]
         entry = {
@@ -243,7 +364,17 @@ def run_report(
             ),
             "macro_formations": fast_counters["macro_formations"],
             "macro_replays": fast_counters["macro_replays"],
+            "batch_group_jumps": fast_counters["batch_group_jumps"],
+            "batch_idle_transitions": fast_counters["batch_idle_transitions"],
+            "batch_targeted_invalidations": fast_counters[
+                "batch_targeted_invalidations"
+            ],
         }
+        if t_scalar is not None:
+            entry["wall_scalar_s"] = round(t_scalar, 4)
+            entry["batch_speedup"] = (
+                round(t_scalar / t_fast, 2) if t_fast > 0 else None
+            )
         benches[name] = entry
         if not equal:
             ok = False

@@ -50,6 +50,7 @@ SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = {
     "repro.obs.registry": ("MetricsRegistry",),
     "repro.cpu.core": ("Core",),
     "repro.cpu.backend": ("UOp",),
+    "repro.cpu.batchstep": ("BatchScheduler",),
     "repro.cpu.hotness": ("HotnessTracker",),
     "repro.cpu.macroop": (
         "MacroController",
@@ -76,10 +77,11 @@ _MANIFEST_PRAGMA_RE = re.compile(r"#\s*detlint:\s*slots-manifest\[([A-Za-z0-9_,\
 _CALLBACK_NAME_RE = re.compile(r"^on_\w+$|^\w+_callback$|^\w+_cb$")
 
 #: Modules that must be simulation-pure (PRO104): the macro-op trace tier's
-#: recording/replay and hot-block detection.  Their outputs land in the
-#: engine equality contract, so any nondeterministic or ambient input here
-#: would break bit-identical replay.
+#: recording/replay, hot-block detection, and the multi-core batch stepper.
+#: Their outputs land in the engine equality contract, so any
+#: nondeterministic or ambient input here would break bit-identical replay.
 PURE_MODULES: Tuple[str, ...] = (
+    "repro.cpu.batchstep",
     "repro.cpu.hotness",
     "repro.cpu.macroop",
 )

@@ -323,6 +323,7 @@ def make_pointer_chase(
     feed_stack_pointer: bool = False,
     handler_body: int = 4,
     handler_counter: Optional[int] = HANDLER_COUNTER_ADDR,
+    unroll: int = 1,
 ) -> Workload:
     """Pointer chasing over a ``num_nodes``-node cyclic list (§3.5, §6.1).
 
@@ -331,9 +332,18 @@ def make_pointer_chase(
     stack pointer (restored from a saved copy at the end) — the §6.1
     pathological case where the interrupt-delivery push depends on the whole
     in-flight chain.
+
+    ``unroll`` emits that many serially-dependent ``p = *p`` hops per loop
+    iteration (``iterations * unroll`` hops total).  The loads stay one
+    dependence chain — no overlap between hops — so a larger ``unroll``
+    amortizes the loop-control bookkeeping over more full-latency memory
+    stalls: the loop body goes almost entirely quiescent, the shape the
+    cycle-skipping and batch-stepper engines are benchmarked against.
     """
     if num_nodes < 2:
         raise ConfigError("pointer chase needs at least 2 nodes")
+    if unroll < 1:
+        raise ConfigError("unroll must be >= 1")
     b = ProgramBuilder("pointer_chase")
     b.emit(isa.movi(1, 0))
     b.emit(isa.movi(2, iterations))
@@ -341,7 +351,8 @@ def make_pointer_chase(
     if feed_stack_pointer:
         b.emit(isa.mov(9, 15))  # save real SP
     b.label("loop")
-    b.emit(isa.load(3, 3, 0))  # p = *p
+    for _ in range(unroll):
+        b.emit(isa.load(3, 3, 0))  # p = *p
     if feed_stack_pointer:
         # Make SP depend on the chain (then keep chasing from it).
         b.emit(isa.mov(15, 3))

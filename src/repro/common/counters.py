@@ -22,6 +22,7 @@ from typing import Dict
 
 ENV_FAST = "REPRO_FAST"
 ENV_MACRO = "REPRO_MACRO"
+ENV_BATCH = "REPRO_BATCH"
 
 _DISABLED_VALUES = {"0", "off", "false", "no"}
 
@@ -35,6 +36,14 @@ def macro_engine_enabled() -> bool:
     """Is the macro-op trace tier enabled?  (Layered on the fast engine:
     ``REPRO_MACRO`` has no effect under ``REPRO_FAST=0``.)"""
     return os.environ.get(ENV_MACRO, "1").strip().lower() not in _DISABLED_VALUES
+
+
+def batch_engine_enabled() -> bool:
+    """Is the multi-core batch stepper enabled?  (Layered on the fast
+    engine: ``REPRO_BATCH`` has no effect under ``REPRO_FAST=0``, and it
+    falls back to the scalar fast loop when numpy is unavailable or the
+    system has a single core.)"""
+    return os.environ.get(ENV_BATCH, "1").strip().lower() not in _DISABLED_VALUES
 
 
 @dataclass
@@ -83,6 +92,28 @@ class EngineCounters:
     macro_bail_divergence: int = 0
     #: Replay bails: run horizon / watch boundary reached.
     macro_bail_horizon: int = 0
+    #: Batch stepper (``REPRO_BATCH``): multi-core runs dispatched to it.
+    batch_runs: int = 0
+    #: Group clock jumps: every core idle, clock advanced in one hop.
+    batch_group_jumps: int = 0
+    #: Cycles covered by group jumps (accounted lazily via idle anchors).
+    batch_cycles_jumped: int = 0
+    #: Cores moved from the idle group back to the scalar run list because
+    #: their quiescence horizon came due.
+    batch_wakeups: int = 0
+    #: Cores parked in the idle group (horizon strictly in the future).
+    batch_idle_transitions: int = 0
+    #: Timeline events whose core hint woke only the destination core.
+    batch_targeted_invalidations: int = 0
+    #: Hint-less timeline events (faults etc.) that woke every idle core.
+    batch_full_invalidations: int = 0
+    #: Idle transitions refused because the core's state diverged from the
+    #: batchable fast path (pending uintr, armed fault interceptor, macro
+    #: scan/arm in progress) — the core stays on scalar ``Core.step``.
+    batch_divergence_blocks: int = 0
+    #: Multi-core runs that wanted the batch stepper but fell back to the
+    #: scalar fast loop (numpy unavailable).
+    batch_scalar_fallbacks: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

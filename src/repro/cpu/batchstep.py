@@ -1,0 +1,336 @@
+"""Numpy-vectorized multi-core batch stepper (``REPRO_BATCH``).
+
+The scalar fast loop in :meth:`MultiCoreSystem.run` visits *every* core at
+*every* cycle, even when most of them are provably quiescent — with 16
+cores and one busy sender that is 15 python-level horizon checks per cycle
+that never do anything.  This module groups homogeneous quiescent cores
+into struct-of-arrays numpy state and advances the whole group together
+between notification-visible horizons:
+
+* ``na`` — per-core quiescence horizon (``Core.next_activity_cycle``),
+  ``FAR_FUTURE`` while a core is actively stepping or halted.  The group
+  clock jump is a single vectorized ``min`` over this lane.
+* ``anchor`` — first cycle of the current idle window (-1 while active);
+  idle accounting is applied in bulk (``Core.note_skipped``) only when a
+  core wakes, exactly like the scalar fast loop's lazy idle anchors.
+* ``fetch_pc`` / ``rob_occ`` / ``serialize`` / ``kb_deadline`` /
+  ``apic_deadline`` — per-pipeline-stage mirrors of the idle lanes,
+  refreshed on demand in :meth:`BatchScheduler.lane_snapshot` (a parked
+  core is frozen, so a lazy sample equals a park-time sample);
+  diagnostics for the metrics registry and the tests (the authoritative
+  state stays on the ``Core`` objects).
+
+Only the *idle* side is vectorized: any core whose state diverges from the
+batchable fast path — pending user interrupts, an armed fault interceptor,
+a macro-op scan/arm in progress — never enters the idle group and keeps
+stepping through the existing scalar :meth:`Core.step`, which is the
+fallback the equality contract leans on (stepping a provably-quiescent
+cycle touches exactly the counters ``note_skipped`` reproduces, so batch
+and scalar runs are byte-identical).
+
+Wakeups arrive three ways, mirroring the scalar loop's invalidation rules:
+
+* a core's own horizon comes due (vectorized ``na <= cycle`` scan);
+* a timeline event with a core hint (IPIs and device interrupts name their
+  destination APIC) wakes just that core — *targeted invalidation*;
+* a hint-less timeline event (scheduled faults may mutate any core) wakes
+  every idle core — the scalar loop's conservative full invalidation.
+
+This module is simulation-pure (detlint PRO104): it reads only the state
+it is handed and keeps all mutable bookkeeping on the scheduler object.
+Numpy is optional — :func:`available` gates dispatch and
+``MultiCoreSystem.run`` falls back to the scalar fast loop without it.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop
+from typing import List, Optional, Sequence
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
+from repro.common.counters import GLOBAL_COUNTERS
+from repro.cpu.core import FAR_FUTURE
+
+HAVE_NUMPY = _np is not None
+
+
+def available() -> bool:
+    """Can the batch stepper run?  (numpy importable)"""
+    return _np is not None
+
+
+def _divergent(core) -> bool:
+    """May ``core`` enter the idle group, or must it stay on scalar step?
+
+    Conservative by construction: a deliverable pending user interrupt, an
+    armed fault interceptor, or a macro-op scan/arm in progress keeps the
+    core on the per-cycle scalar path.  Extra stepping is results-invariant
+    (the fast-engine contract), so this can only trade speed for safety.
+    The pending check mirrors :meth:`Core.next_activity_cycle`'s own
+    delivery clause — a *masked* pending interrupt (uif clear, or delivery
+    already in flight) cannot act before the proven horizon, so it may
+    park; a deliverable one must keep stepping.
+    """
+    if core.apic._pending and core.uintr.uif and core.delivery_state is None:
+        return True
+    if core.apic.fault_interceptor is not None:
+        return True
+    mac = core._macro
+    if mac is not None and (mac._scanning or mac._want_arm):
+        return True
+    return False
+
+
+class BatchScheduler:
+    """Struct-of-arrays idle-group state for one ``MultiCoreSystem`` run."""
+
+    __slots__ = (
+        "system",
+        "cores",
+        "n",
+        "na",
+        "anchor",
+        "fetch_pc",
+        "rob_occ",
+        "serialize",
+        "kb_deadline",
+        "apic_deadline",
+        "idle_min",
+        "run_list",
+        "in_run",
+    )
+
+    def __init__(self, system) -> None:
+        cores = system.cores
+        n = len(cores)
+        self.system = system
+        self.cores = cores
+        self.n = n
+        #: Quiescence horizon per core; FAR_FUTURE = active or halted.
+        self.na = _np.full(n, FAR_FUTURE, dtype=_np.int64)
+        #: Idle-window start per core; -1 = active (accounting not owed).
+        self.anchor = _np.full(n, -1, dtype=_np.int64)
+        #: Pipeline-stage mirrors, sampled at idle transitions.
+        self.fetch_pc = _np.zeros(n, dtype=_np.int64)
+        self.rob_occ = _np.zeros(n, dtype=_np.int64)
+        self.serialize = _np.zeros(n, dtype=bool)
+        self.kb_deadline = _np.full(n, FAR_FUTURE, dtype=_np.int64)
+        self.apic_deadline = _np.full(n, FAR_FUTURE, dtype=_np.int64)
+        #: Cached min of ``na`` (exact: updated on transition, recomputed
+        #: on wake).
+        self.idle_min = FAR_FUTURE
+        #: Sorted ids of actively-stepping cores (ascending: the scalar
+        #: loop steps cores in id order and the batch loop must match).
+        self.run_list: List[int] = [i for i, c in enumerate(cores) if not c.halted]
+        self.in_run = bytearray(n)
+        for i in self.run_list:
+            self.in_run[i] = 1
+
+    # -- idle-group membership -------------------------------------------
+
+    def _park(self, i: int, core, cycle: int, nxt: int) -> None:
+        """Move core ``i`` into the idle group until ``nxt``.
+
+        The scalar loop would observe ``na > cycle`` on its next visit and
+        open the anchor at ``cycle + 1`` (either in the per-core scan or
+        the group-jump path); parking at transition time plants the same
+        anchor, so the eventual ``note_skipped`` amounts are identical.
+        """
+        self.in_run[i] = 0
+        self.na[i] = nxt
+        self.anchor[i] = cycle + 1
+        if nxt < self.idle_min:
+            self.idle_min = nxt
+        GLOBAL_COUNTERS.batch_idle_transitions += 1
+
+    def _wake(self, i: int, cycle: int) -> None:
+        """Flush core ``i``'s idle window and put it back on the run list."""
+        if self.in_run[i]:
+            return
+        core = self.cores[i]
+        if core.halted:
+            return
+        anchor = int(self.anchor[i])
+        if anchor >= 0:
+            self.anchor[i] = -1
+            if cycle > anchor:
+                core.note_skipped(cycle - anchor)
+        self.na[i] = FAR_FUTURE
+        insort(self.run_list, i)
+        self.in_run[i] = 1
+
+    def _recompute_idle_min(self) -> None:
+        self.idle_min = int(self.na.min()) if self.n else FAR_FUTURE
+
+    def _wake_due(self, cycle: int) -> None:
+        """Wake every idle core whose horizon is due at ``cycle``."""
+        due = _np.nonzero(self.na <= cycle)[0]
+        for i in due:
+            self._wake(int(i), cycle)
+        GLOBAL_COUNTERS.batch_wakeups += len(due)
+        self._recompute_idle_min()
+
+    def _wake_all(self, cycle: int) -> None:
+        idle = _np.nonzero(self.na < FAR_FUTURE)[0]
+        for i in idle:
+            self._wake(int(i), cycle)
+        self.idle_min = FAR_FUTURE
+
+    def flush_anchors(self, stop: int) -> None:
+        """End-of-run: account every open idle window through ``stop``."""
+        open_idle = _np.nonzero(self.anchor >= 0)[0]
+        for i in open_idle:
+            core = self.cores[int(i)]
+            anchor = int(self.anchor[i])
+            self.anchor[i] = -1
+            if stop > anchor:
+                core.note_skipped(stop - anchor)
+
+    def lane_snapshot(self) -> dict:
+        """Diagnostic view of the SoA lanes (tests and metrics poke this).
+
+        The pipeline-stage mirrors are refreshed here, not in ``_park`` — a
+        parked core is frozen (nothing mutates its state until it wakes),
+        so sampling at snapshot time reads exactly the values the core
+        parked with, and the per-transition hot path stays free of the
+        sampling cost.
+        """
+        for i in range(self.n):
+            if self.anchor[i] < 0:
+                continue
+            core = self.cores[i]
+            self.fetch_pc[i] = core.fetch_pc
+            self.rob_occ[i] = len(core.rob)
+            self.serialize[i] = core._serialize_until >= 0
+            kb = core.uintr.kb_timer
+            fire = kb.next_fire_cycle() if kb.armed else None
+            self.kb_deadline[i] = fire if fire is not None else FAR_FUTURE
+            timer = core.apic_timer
+            fire = timer.next_fire_cycle() if timer.armed else None
+            self.apic_deadline[i] = fire if fire is not None else FAR_FUTURE
+        return {
+            "na": self.na.tolist(),
+            "anchor": self.anchor.tolist(),
+            "fetch_pc": self.fetch_pc.tolist(),
+            "rob_occ": self.rob_occ.tolist(),
+            "serialize": self.serialize.tolist(),
+            "kb_deadline": self.kb_deadline.tolist(),
+            "apic_deadline": self.apic_deadline.tolist(),
+            "run_list": list(self.run_list),
+        }
+
+
+def run_batched(
+    system,
+    end: int,
+    watch: Optional[Sequence],
+    macro_on: bool,
+) -> int:
+    """The batch main loop; returns the number of core-cycles stepped.
+
+    Drop-in replacement for the scalar fast branch of
+    :meth:`MultiCoreSystem.run`: same timeline-drain ordering, same idle
+    accounting, same macro-op boundary hook, same watch/halt semantics —
+    the only difference is *which* cores get visited each cycle (the run
+    list instead of all of them) and how the group clock jump target is
+    computed (a vectorized ``min`` over the idle lane).
+    """
+    sched = BatchScheduler(system)
+    cores = sched.cores
+    run_list = sched.run_list
+    timeline = system._timeline
+    g = GLOBAL_COUNTERS
+    g.batch_runs += 1
+    stepped = 0
+    cycle = system.cycle
+    jump = 0
+    if watch is None or not all(core.halted for core in watch):
+        while cycle < end:
+            if timeline and timeline[0][0] <= cycle:
+                wake_all = False
+                hints: List[int] = []
+                while timeline and timeline[0][0] <= cycle:
+                    entry = heappop(timeline)
+                    entry[2]()
+                    hint = entry[3]
+                    if hint is None:
+                        wake_all = True
+                    else:
+                        hints.append(hint)
+                if wake_all:
+                    # A hint-less event may have touched any core: the
+                    # scalar loop re-evaluates everyone, so wake everyone.
+                    g.batch_full_invalidations += 1
+                    sched._wake_all(cycle)
+                else:
+                    g.batch_targeted_invalidations += len(hints)
+                    for i in hints:
+                        sched._wake(i, cycle)
+                    sched._recompute_idle_min()
+            if sched.idle_min <= cycle:
+                sched._wake_due(cycle)
+            if run_list:
+                survivors: List[int] = []
+                for pos, i in enumerate(run_list):
+                    core = cores[i]
+                    mac = core._macro
+                    if mac is not None and (mac._scanning or mac._want_arm):
+                        jump = mac.on_boundary(cycle, end)
+                        if jump:
+                            # Replay covered [cycle, cycle + jump) in O(1);
+                            # formation requires every other core halted,
+                            # so the rest of the run list keeps its state.
+                            survivors.extend(run_list[pos:])
+                            break
+                    core.step(cycle)
+                    stepped += 1
+                    if core.halted:
+                        sched.in_run[i] = 0
+                        continue
+                    # No backoff here, unlike the scalar loop: there the
+                    # horizon scan is the per-visit cost worth amortising,
+                    # but for the batch loop a parked core costs nothing,
+                    # while every backoff cycle is a full (expensive)
+                    # ``step`` through a provably-stalled pipeline.  Park
+                    # at the first opportunity instead.
+                    nxt = core.next_activity_cycle()
+                    if nxt > cycle + 1:
+                        if _divergent(core):
+                            g.batch_divergence_blocks += 1
+                            survivors.append(i)
+                        else:
+                            sched._park(i, core, cycle, nxt)
+                    else:
+                        survivors.append(i)
+                run_list[:] = survivors
+            if jump:
+                cycle += jump
+                jump = 0
+                system.cycle = cycle
+                continue
+            system.cycle = cycle + 1
+            if watch is not None and all(core.halted for core in watch):
+                break
+            if not run_list:
+                # Group clock jump: every live core is in the idle lane.
+                target = sched.idle_min if sched.idle_min < end else end
+                if timeline:
+                    head_time = timeline[0][0]
+                    if head_time < target:
+                        target = head_time
+                if target > cycle + 1:
+                    g.batch_group_jumps += 1
+                    g.batch_cycles_jumped += target - (cycle + 1)
+                    system.cycle = target
+                    cycle = target
+                    continue
+            cycle += 1
+    # Flush outstanding idle windows: the naive stepper accounts every
+    # non-halted core through the last executed iteration.
+    sched.flush_anchors(system.cycle)
+    return stepped

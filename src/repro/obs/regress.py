@@ -17,7 +17,10 @@
   ``gate_speedup``).
 
 A baseline recorded from a dirty working tree (``meta.git_dirty``) earns a
-loud warning: its sha does not identify the measured code.
+loud warning: its sha does not identify the measured code.  A baseline
+whose ``schema`` differs from the one the fresh suite emits fails the gate
+outright: the suite's bench set or field meanings changed under it, so its
+numbers no longer gate anything — regenerate ``BENCH_cycletier.json``.
 
 This is the **one** module in the observability subsystem allowed to read
 the wall clock (it times host execution, not simulated time); the detlint
@@ -143,6 +146,21 @@ def compare(
         else "fresh run FAILED its own equality/speedup gates",
     )
 
+    base_schema = baseline.get("schema", 1)
+    fresh_schema = fresh.get("schema")
+    if fresh_schema is not None:
+        add(
+            "*",
+            "schema",
+            base_schema == fresh_schema,
+            f"baseline schema {base_schema} matches the suite"
+            if base_schema == fresh_schema
+            else (
+                f"baseline schema {base_schema} is stale (suite emits "
+                f"{fresh_schema}) — regenerate BENCH_cycletier.json"
+            ),
+        )
+
     for name in sorted(base_benches):
         base = base_benches[name]
         entry = fresh_benches.get(name)
@@ -211,6 +229,13 @@ def run_gate(
     else:
         report("baseline: schema 1 (no provenance metadata)")
     fresh = run_fresh(report=report)
+    if fresh.get("schema") is not None and base.get("schema", 1) != fresh.get("schema"):
+        report(
+            "bench-gate: WARNING baseline schema "
+            f"{base.get('schema', 1)} does not match the suite's schema "
+            f"{fresh.get('schema')} — the bench set or field meanings "
+            "changed under the baseline; regenerate BENCH_cycletier.json"
+        )
     verdict = compare(base, fresh, tolerance)
     for check in verdict.checks:
         marker = "PASS" if check.ok else "FAIL"

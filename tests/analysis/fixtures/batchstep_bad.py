@@ -1,0 +1,44 @@
+"""Batch-stepper-shaped true positives: impure SoA scheduler without slots.
+
+Models the shape of ``repro.cpu.batchstep`` (struct-of-arrays idle lanes
+for a group of cores) with every contract violation the real module must
+avoid: the manifest-listed scheduler class keeps an open ``__dict__``
+(PRO103), and the module reads ambient process state, the wall clock, and
+a mutable module-level lane cache (PRO104).  The pragmas stand in for the
+real SLOTS_MANIFEST / PURE_MODULES entries so the fixture exercises both
+rules without naming a repro module.
+"""
+# detlint: pure-module
+# detlint: slots-manifest[LaneScheduler]
+
+import os
+import time
+
+_lane_cache = {}
+
+
+class LaneScheduler:
+    """SoA idle lanes — but no ``__slots__``, so a fault injector can
+    scribble new attributes onto a live scheduler without an error."""
+
+    def __init__(self, cores):
+        self.cores = cores
+        self.na = [0] * len(cores)
+        self.anchor = [-1] * len(cores)
+
+    def park(self, i, horizon):
+        if os.environ.get("BATCH_DEBUG"):
+            print("park", i, time.monotonic())
+        self.na[i] = horizon
+
+    def wake(self, i):
+        cached = _lane_cache.get(i)
+        if cached is not None:
+            return cached
+        _lane_cache[i] = self.na[i]
+        return self.na[i]
+
+
+def reset_lanes():
+    global _lane_cache
+    _lane_cache = {}

@@ -1,0 +1,41 @@
+"""Batch-stepper-shaped clean twin: slotted SoA scheduler, pure module.
+
+The shape ``repro.cpu.batchstep`` actually ships: all mutable lane state
+lives on the slotted scheduler object, module level holds only read-only
+ALL_CAPS constants, and the engine toggle is read by the *caller* (the
+dispatch layer), never from inside the pure module.
+"""
+# detlint: pure-module
+# detlint: slots-manifest[LaneScheduler]
+
+FAR_HORIZON = 1 << 62
+_LANE_WIDTH = 64
+
+
+class LaneScheduler:
+    __slots__ = ("cores", "na", "anchor", "idle_min")
+
+    def __init__(self, cores):
+        self.cores = cores
+        self.na = [FAR_HORIZON] * len(cores)
+        self.anchor = [-1] * len(cores)
+        self.idle_min = FAR_HORIZON
+
+    def park(self, i, cycle, horizon):
+        """ALL_CAPS module constants are read-only by convention — allowed."""
+        self.na[i] = min(horizon, FAR_HORIZON)
+        self.anchor[i] = cycle + 1
+        if horizon < self.idle_min:
+            self.idle_min = horizon
+
+    def wake(self, i):
+        self.na[i] = FAR_HORIZON
+        self.anchor[i] = -1
+
+
+def lanes_are_local(widths):
+    """A local named like a module global elsewhere is not a global read."""
+    _lane_cache = {}
+    for i, width in enumerate(widths):
+        _lane_cache[i] = min(width, _LANE_WIDTH)
+    return _lane_cache

@@ -115,6 +115,27 @@ def test_pro104_flags_clock_env_global_and_mutable_reads():
     # ALL_CAPS constants and local shadows stay clean (see the good twin).
 
 
+def test_batchstep_shaped_fixture_flags_slots_and_purity():
+    """The batch-stepper contract, end to end: a SoA lane scheduler must be
+    slotted (PRO103) and its module simulation-pure (PRO104)."""
+    report = scan("batchstep_bad.py")
+    findings = report.new_findings
+    assert any(
+        f.rule_id == "PRO103" and "LaneScheduler" in f.message for f in findings
+    )
+    pro104 = [f.message for f in findings if f.rule_id == "PRO104"]
+    assert any("imports wall-clock/entropy source time" in m for m in pro104)
+    assert any("os.environ" in m for m in pro104)
+    assert any("_lane_cache" in m for m in pro104)
+
+
+def test_batchstep_shaped_fixture_clean_twin_passes():
+    report = scan("batchstep_good.py")
+    assert not any(
+        f.rule_id in ("PRO103", "PRO104") for f in report.new_findings
+    )
+
+
 def test_pro104_only_applies_to_pure_modules():
     # No pragma, not in PURE_MODULES: the same sins go unflagged by PRO104.
     report = scan("pro102_bad.py")

@@ -1,0 +1,206 @@
+"""Equality gate for the multi-core batch stepper (REPRO_BATCH).
+
+The batch stepper (``repro.cpu.batchstep``) parks quiescent cores in numpy
+struct-of-arrays lanes and only visits the active run list each cycle, so
+it gets the same contract as every other engine tier, three ways: the
+naive stepper (``REPRO_FAST=0``), the scalar fast loop with batching off
+(``REPRO_BATCH=0``), and the batch stepper must all produce byte-identical
+simulated results — final cycle count, every core's full ``CoreStats``
+snapshot, and every interrupt-delivery trace timestamp.
+
+The parametrizations probe the wake/fallback paths specifically:
+
+* **core counts** — extra pointer-chase workers with staggered KB timers
+  populate the idle lanes so group jumps and horizon wakeups actually
+  happen (2 cores barely idle together; 4+ cores exercise the group path).
+* **timer intervals** — each interval lands KB deadlines at different
+  offsets inside the senders' windows, moving the wake scan around.
+* **mid-batch cross-core IPI arrival** — the dedicated UIPI timer core
+  sends into the receiver while other cores sit in the idle lanes; the
+  IPI's core hint must wake exactly the destination (targeted
+  invalidation) at the correct cycle.
+* **fault plans** — scheduled faults are hint-less timeline events that
+  may mutate any core, so they must wake *every* idle core (the scalar
+  loop's conservative full invalidation); an armed fault interceptor
+  additionally blocks its core from ever entering the idle group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import microbench as mb
+from repro.common.counters import ENV_BATCH, ENV_FAST, ENV_MACRO, GLOBAL_COUNTERS
+from repro.cpu import batchstep
+from repro.cpu.delivery import DrainStrategy, FlushStrategy, TrackedStrategy
+from repro.cpu.multicore import MultiCoreSystem
+from repro.faults.harness import run_fault_cell, simulated_view
+from repro.faults.plan import plan_for_kind
+
+MAX_CYCLES = 2_000_000
+
+INTERVALS = (900, 2_500)
+CORE_COUNTS = (2, 4)
+
+STRATEGIES = {
+    "flush": FlushStrategy,
+    "drain": DrainStrategy,
+    "tracked": TrackedStrategy,
+}
+
+FAULT_KINDS = ("drop_send", "spurious_uintr", "timer_drift")
+
+
+def _observe(strategy_name: str, interval: int, cores_n: int):
+    """One traced cell: receiver + dedicated UIPI timer core + idle-prone
+    pointer-chase workers with staggered KB timers."""
+    workload = mb.make_count_loop(3_000)
+    sender = mb.make_uipi_timer_core(interval, 16)
+    programs = [workload.program, sender.program]
+    strategies = [STRATEGIES[strategy_name](), FlushStrategy()]
+    extras = []
+    for k in range(cores_n - 2):
+        extra = mb.make_pointer_chase(48, stride=64, iterations=100)
+        extras.append(extra)
+        programs.append(extra.program)
+        strategies.append(TrackedStrategy())
+    system = MultiCoreSystem(programs, strategies, trace=True)
+    workload.install(system.shared)
+    for extra in extras:
+        extra.install(system.shared)
+    system.connect_uipi(sender_core_id=1, receiver_core_id=0, user_vector=1)
+    system.enable_kb_timer(0)
+    system.cores[0].uintr.kb_timer.arm_periodic(interval + 137, now=0)
+    for k in range(cores_n - 2):
+        system.enable_kb_timer(2 + k)
+        system.cores[2 + k].uintr.kb_timer.arm_periodic(1_500 + 97 * k, now=0)
+    system.run(MAX_CYCLES, until_halted=[0])
+    assert system.cores[0].halted, "workload wedged"
+    return {
+        "cycles": system.cycle,
+        "stats": [dict(c.stats.snapshot().__dict__) for c in system.cores],
+        "trace": [
+            (event.time, event.kind, tuple(sorted(event.detail.items())))
+            for event in system.trace.events
+        ],
+    }
+
+
+CELLS = [
+    pytest.param(strategy, interval, cores_n, id=f"{strategy}-i{interval}-c{cores_n}")
+    for strategy in STRATEGIES
+    for interval in INTERVALS
+    for cores_n in CORE_COUNTS
+]
+
+
+@pytest.mark.parametrize("strategy,interval,cores_n", CELLS)
+def test_batch_matches_naive_and_scalar_fast(monkeypatch, strategy, interval, cores_n):
+    monkeypatch.setenv(ENV_FAST, "0")
+    naive = _observe(strategy, interval, cores_n)
+    monkeypatch.setenv(ENV_FAST, "1")
+    monkeypatch.setenv(ENV_BATCH, "0")
+    scalar = _observe(strategy, interval, cores_n)
+    monkeypatch.setenv(ENV_BATCH, "1")
+    batched = _observe(strategy, interval, cores_n)
+    assert scalar == naive
+    assert batched["cycles"] == naive["cycles"]
+    assert batched["stats"] == naive["stats"]
+    assert batched["trace"] == naive["trace"]
+
+
+def test_mid_batch_ipi_arrival_wakes_target_and_matches(monkeypatch):
+    """The non-vacuity witness: idle lanes were populated, the group clock
+    jumped, and cross-core IPIs landed via targeted invalidation — all
+    while staying byte-identical to the scalar fast loop."""
+    monkeypatch.setenv(ENV_FAST, "1")
+    monkeypatch.setenv(ENV_BATCH, "0")
+    reference = _observe("flush", 900, 4)
+    monkeypatch.setenv(ENV_BATCH, "1")
+    GLOBAL_COUNTERS.reset()
+    batched = _observe("flush", 900, 4)
+    assert batched == reference
+    g = GLOBAL_COUNTERS
+    assert g.batch_runs >= 1
+    assert g.batch_idle_transitions >= 1
+    assert g.batch_wakeups >= 1
+    assert g.batch_group_jumps >= 1
+    assert g.batch_targeted_invalidations >= 1
+
+
+@pytest.mark.parametrize("batch", ("0", "1"))
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_fault_cells_identical_with_batch_stepper(monkeypatch, kind, batch):
+    """Fault plans must not open a batch-stepper equivalence gap.
+
+    Scheduled faults are hint-less timeline events, so the batch loop's
+    full invalidation must wake every idle core exactly when the scalar
+    loop re-evaluates everyone; message faults arm the APIC interceptor,
+    which keeps that core out of the idle group entirely.
+    """
+    monkeypatch.setenv(ENV_BATCH, batch)
+    plan = plan_for_kind(kind, seed=0, core=0, count=2, horizon=3_000)
+    naive = run_fault_cell(plan, "flush", engine="naive")
+    fast = run_fault_cell(plan, "flush", engine="fast")
+    assert simulated_view(fast) == simulated_view(naive)
+
+
+def test_interceptor_blocks_batching(monkeypatch):
+    """An armed APIC fault interceptor keeps its core on scalar stepping.
+
+    ``drop_send`` installs ``apic.fault_interceptor`` on core 0; with a
+    stall-heavy workload the core repeatedly *wants* to idle, and every
+    attempt must be refused (``batch_divergence_blocks``) — the cell still
+    proves equality, so the refusals are pure conservatism, not a bail.
+    """
+    monkeypatch.setenv(ENV_BATCH, "1")
+    plan = plan_for_kind("drop_send", seed=0, core=0, count=2, horizon=3_000)
+    naive = run_fault_cell(plan, "flush", engine="naive", workload_name="pointer_chase")
+    GLOBAL_COUNTERS.reset()
+    fast = run_fault_cell(plan, "flush", engine="fast", workload_name="pointer_chase")
+    assert simulated_view(fast) == simulated_view(naive)
+    assert GLOBAL_COUNTERS.batch_divergence_blocks >= 1
+
+
+def test_hintless_timeline_event_wakes_all_lanes(monkeypatch):
+    """Scheduled (hint-less) faults trigger full invalidation, not targeted."""
+    monkeypatch.setenv(ENV_BATCH, "1")
+    plan = plan_for_kind("timer_drift", seed=0, core=0, count=2, horizon=3_000)
+    GLOBAL_COUNTERS.reset()
+    run_fault_cell(plan, "flush", engine="fast", workload_name="pointer_chase")
+    assert GLOBAL_COUNTERS.batch_full_invalidations >= 1
+
+
+def test_numpy_unavailable_falls_back_to_scalar(monkeypatch):
+    """Without numpy the run silently takes the scalar fast loop.
+
+    ``REPRO_BATCH=1`` stays honest on minimal installs: dispatch checks
+    :func:`batchstep.available` and counts the fallback instead of
+    crashing on the missing import.
+    """
+    monkeypatch.setenv(ENV_FAST, "1")
+    monkeypatch.setenv(ENV_BATCH, "1")
+    reference = _observe("flush", 900, 2)
+    monkeypatch.setattr(batchstep, "_np", None)
+    assert not batchstep.available()
+    GLOBAL_COUNTERS.reset()
+    fallback = _observe("flush", 900, 2)
+    assert fallback == reference
+    assert GLOBAL_COUNTERS.batch_scalar_fallbacks >= 1
+    assert GLOBAL_COUNTERS.batch_runs == 0
+
+
+def test_soa_lane_layout():
+    """White-box: the scheduler's SoA lanes start coherent with the cores."""
+    workload = mb.make_count_loop(100)
+    sender = mb.make_uipi_timer_core(900, 2)
+    system = MultiCoreSystem(
+        [workload.program, sender.program], [FlushStrategy(), FlushStrategy()]
+    )
+    workload.install(system.shared)
+    sched = batchstep.BatchScheduler(system)
+    snap = sched.lane_snapshot()
+    assert snap["run_list"] == [0, 1]
+    assert len(snap["na"]) == 2
+    assert all(v == batchstep.FAR_FUTURE for v in snap["na"])
+    assert snap["anchor"] == [-1, -1]

@@ -82,6 +82,31 @@ class TestCompare:
         result = compare(base, _payload(), tolerance=0.0)
         assert result.ok
 
+    def test_stale_baseline_schema_fails(self):
+        base = _payload(1.0)
+        base["schema"] = 3
+        fresh = _payload(1.0)
+        fresh["schema"] = 4
+        result = compare(base, fresh, tolerance=0.25)
+        assert not result.ok
+        (failure,) = result.failures()
+        assert (failure.bench, failure.check) == ("*", "schema")
+        assert "regenerate" in failure.note
+
+    def test_schemaless_baseline_vs_schemad_suite_fails(self):
+        fresh = _payload(1.0)
+        fresh["schema"] = 4
+        result = compare(_payload(1.0), fresh, tolerance=0.25)
+        assert any(f.check == "schema" for f in result.failures())
+
+    def test_matching_schema_passes(self):
+        base = _payload(1.0)
+        base["schema"] = 4
+        fresh = _payload(1.0)
+        fresh["schema"] = 4
+        result = compare(base, fresh, tolerance=0.25)
+        assert result.ok
+
     def test_as_dict_schema(self):
         payload = compare(_payload(), _payload(), tolerance=0.25).as_dict()
         assert payload["schema"] == "repro.obs.bench_gate/v1"
@@ -124,6 +149,18 @@ class TestRunGate:
         assert code == EXIT_OK
         verdict = json.loads(out.read_text())
         assert verdict["schema"] == "repro.obs.bench_gate/v1"
+
+    def test_stale_schema_warning_reported(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "BENCH.json"
+        payload = _payload(1.0)
+        payload["schema"] = 3
+        baseline.write_text(json.dumps(payload))
+        fresh = _payload(1.0)
+        fresh["schema"] = 4
+        monkeypatch.setattr(regress, "run_fresh", lambda report: fresh)
+        lines = []
+        assert run_gate(baseline=baseline, report=lines.append) == EXIT_REGRESSION
+        assert any("WARNING baseline schema" in line for line in lines)
 
     def test_schema2_baseline_provenance_reported(self, tmp_path, monkeypatch):
         baseline = tmp_path / "BENCH.json"
