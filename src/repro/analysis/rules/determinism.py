@@ -44,6 +44,21 @@ _WALL_CLOCK_CALLS = {
 #: (fine as long as a seed is passed — checked separately for default_rng).
 _NUMPY_SEEDABLE = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}
 
+#: The only ``repro.*`` modules that may construct RNGs at all — even
+#: seeded ones.  Everything else must draw through these (derived streams
+#: via :func:`repro.common.rng.derive_seed`, plan/scenario generation via
+#: the seeded generator modules), so every random decision in a simulated
+#: result is reachable from one named seed.  Files outside a ``repro``
+#: package root (fixtures, scripts) carry a bare-stem module name and are
+#: exempt from this containment check.
+SEEDED_RNG_MODULES = (
+    "repro.common.rng",
+    "repro.faults.plan",
+    "repro.net.lpm",
+    "repro.apps.rocksdb",
+    "repro.scenario.generate",
+)
+
 
 def build_alias_map(tree: ast.AST) -> Dict[str, str]:
     """Map local names to canonical dotted module paths.
@@ -142,13 +157,29 @@ class UnseededRandomRule(Rule):
 
     rule_id = "DET002"
     description = (
-        "bare random.* / numpy.random.* draw, or an RNG constructed without "
-        "a seed"
+        "bare random.* / numpy.random.* draw, an RNG constructed without a "
+        "seed, or a seeded RNG constructed outside the generator modules"
     )
     hint = (
         "draw from a named, seeded stream (repro.common.rng.RngStreams) or "
-        "construct random.Random(seed) / numpy.random.default_rng(seed)"
+        "construct random.Random(seed) / numpy.random.default_rng(seed) "
+        "inside a SEEDED_RNG_MODULES generator module"
     )
+
+    def _containment_finding(
+        self, module: ModuleSource, node: ast.Call, what: str
+    ) -> Optional[Finding]:
+        """Flag a *seeded* constructor in a repro module off the allowlist."""
+        if not module.in_layer("repro"):
+            return None  # bare-stem fixtures/scripts are exempt
+        if module.in_layer(*SEEDED_RNG_MODULES):
+            return None
+        return self.finding(
+            module,
+            node,
+            f"seeded {what} constructed outside the seeded-RNG generator "
+            f"modules ({', '.join(SEEDED_RNG_MODULES)})",
+        )
 
     def _call_is_unseeded(self, node: ast.Call) -> bool:
         if node.args:
@@ -174,6 +205,12 @@ class UnseededRandomRule(Rule):
                         yield self.finding(
                             module, node, "random.Random() constructed without a seed"
                         )
+                    else:
+                        contained = self._containment_finding(
+                            module, node, "random.Random"
+                        )
+                        if contained is not None:
+                            yield contained
                 elif tail != "SystemRandom":
                     yield self.finding(
                         module,
@@ -187,6 +224,12 @@ class UnseededRandomRule(Rule):
                         yield self.finding(
                             module, node, "numpy.random.default_rng() without a seed"
                         )
+                    else:
+                        contained = self._containment_finding(
+                            module, node, "numpy.random.default_rng"
+                        )
+                        if contained is not None:
+                            yield contained
                 elif tail not in _NUMPY_SEEDABLE:
                     yield self.finding(
                         module,

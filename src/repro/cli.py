@@ -9,6 +9,8 @@ Usage::
     python -m repro perf-selftest [--jobs N]
     python -m repro bench-gate [--tolerance 25%] [--baseline PATH] [--json-out PATH]
     python -m repro lint [paths...] [--json] [--list-rules]
+    python -m repro fuzz [--seeds N] [--root-seed N] [--time-budget S] [--no-shrink]
+    python -m repro fuzz repro .repro-fuzz/<fingerprint>.json
 
 ``--full`` runs closer to benchmark scale; the default is a quick variant
 (seconds to a couple of minutes per experiment).  ``--jobs N`` fans
@@ -450,6 +452,139 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _write_fuzz_metrics(path: str, report, shrunk: int, saved: int) -> None:
+    import json
+
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    summary = report.summary()
+    registry.set_counter("fuzz.scenarios_run", summary["scenarios_run"])
+    registry.set_counter("fuzz.findings", summary["findings"])
+    registry.set_counter("fuzz.unique_fingerprints", summary["unique_fingerprints"])
+    registry.set_counter("fuzz.shrunk", shrunk)
+    registry.set_counter("fuzz.artifacts_saved", saved)
+    for kind, count in sorted(summary["by_kind"].items()):
+        registry.set_counter(f"fuzz.findings.{kind}", count)
+    registry.gauge("fuzz.elapsed_seconds", summary["elapsed_seconds"])
+    registry.gauge("fuzz.stopped_on_budget", float(summary["stopped_on_budget"]))
+    registry.absorb_engine_counters()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(registry.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def _cmd_fuzz(args) -> int:
+    if getattr(args, "fuzz_command", None) == "repro":
+        return _cmd_fuzz_repro(args)
+    from repro.common.errors import ConfigError
+    from repro.scenario.corpus import CrashCorpus
+    from repro.scenario.fuzz import fuzz
+    from repro.scenario.generate import ScenarioGenerator
+    from repro.scenario.shrink import shrink
+
+    def progress(index, scenario, scenario_findings) -> None:
+        for finding in scenario_findings:
+            print(
+                f"seed {index} [{scenario.scenario_id()}]: {finding.kind} on "
+                f"{finding.leg} ({finding.fingerprint}) — {finding.detail}"
+            )
+
+    try:
+        generator = ScenarioGenerator(args.root_seed)
+        report = fuzz(
+            generator,
+            seeds=args.seeds,
+            start=args.start,
+            time_budget=args.time_budget,
+            progress=progress,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    corpus = CrashCorpus(args.corpus_dir) if args.corpus_dir else CrashCorpus()
+    # One shrink per new fingerprint: a bug that fires on many seeds is
+    # minimized once, from its first occurrence.
+    first_by_fp = {}
+    for finding in report.findings:
+        first_by_fp.setdefault(finding.fingerprint, finding)
+    shrunk = 0
+    saved = 0
+    for fp, finding in sorted(first_by_fp.items()):
+        if corpus.path_for(fp).exists():
+            print(f"{fp}: already in corpus, skipping shrink")
+            continue
+        shrink_result = None
+        if not args.no_shrink:
+            shrink_result = shrink(finding)
+            if shrink_result.shrank:
+                shrunk += 1
+                finding = shrink_result.finding
+        path = corpus.save(finding, shrink_result)
+        if path is not None:
+            saved += 1
+            note = ""
+            if shrink_result is not None and shrink_result.shrank:
+                note = (
+                    f" (shrunk {shrink_result.original.size_key()} -> "
+                    f"{finding.scenario.size_key()} in "
+                    f"{shrink_result.steps_accepted} steps)"
+                )
+            print(f"{fp}: saved {path}{note}")
+
+    summary = report.summary()
+    budget_note = " (stopped on time budget)" if report.stopped_on_budget else ""
+    print(
+        f"fuzz: {summary['scenarios_run']} scenario(s), seeds "
+        f"{report.first_seed}..{report.last_seed}, "
+        f"{summary['findings']} finding(s), "
+        f"{summary['unique_fingerprints']} unique fingerprint(s), "
+        f"{summary['elapsed_seconds']}s{budget_note}"
+    )
+    if args.metrics_out:
+        _write_fuzz_metrics(args.metrics_out, report, shrunk, saved)
+    if report.clean:
+        print("fuzz: OK — engines agree and all invariants held")
+        return 0
+    return 1
+
+
+def _cmd_fuzz_repro(args) -> int:
+    from repro.common.errors import ConfigError
+    from repro.scenario.corpus import CrashCorpus
+    from repro.scenario.fuzz import run_one
+
+    try:
+        artifact = CrashCorpus().load(args.artifact)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario = artifact["scenario_obj"]
+    target = artifact["fingerprint"]
+    print(
+        f"replaying {args.artifact}: scenario {scenario.scenario_id()}, "
+        f"expecting {artifact['kind']} on {artifact['leg']} ({target})"
+    )
+    findings = run_one(scenario)
+    for finding in findings:
+        marker = "MATCH" if finding.fingerprint == target else "other"
+        print(
+            f"  [{marker}] {finding.kind} on {finding.leg} "
+            f"({finding.fingerprint}) — {finding.detail}"
+        )
+    if any(f.fingerprint == target for f in findings):
+        print("fuzz repro: reproduced")
+        return 0
+    print(
+        f"fuzz repro: NOT reproduced — {len(findings)} finding(s), none "
+        f"matching {target}",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _cmd_bench_gate(args) -> int:
     from pathlib import Path
 
@@ -603,6 +738,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_lint_parser(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="constrained-random differential fuzzing across engine legs "
+        "(naive vs fast vs fast+macro vs fast+batch) with shrinking and a "
+        "crash corpus",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=100, metavar="N",
+        help="number of generated scenarios to run (default 100)",
+    )
+    fuzz.add_argument(
+        "--start", type=int, default=0, metavar="N",
+        help="first scenario index (default 0)",
+    )
+    fuzz.add_argument(
+        "--root-seed", type=int, default=0, metavar="N",
+        help="generator root seed (default 0); the scenario stream is "
+        "byte-stable per (root seed, index)",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop drawing new scenarios after this much wall clock "
+        "(a scenario in flight always finishes)",
+    )
+    fuzz.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="crash-corpus directory (default .repro-fuzz)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="save findings as-is instead of minimizing them first",
+    )
+    fuzz.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write fuzz + engine metrics as JSON (repro.obs.metrics/v1)",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command")
+    fuzz_repro = fuzz_sub.add_parser(
+        "repro",
+        help="replay a saved corpus artifact and demand the same fingerprint",
+    )
+    fuzz_repro.add_argument("artifact", help="path to a .repro-fuzz/*.json artifact")
+    fuzz_repro.set_defaults(func=_cmd_fuzz)
     return parser
 
 

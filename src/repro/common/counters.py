@@ -23,6 +23,9 @@ from typing import Dict
 ENV_FAST = "REPRO_FAST"
 ENV_MACRO = "REPRO_MACRO"
 ENV_BATCH = "REPRO_BATCH"
+#: Sweep parallelism (owned by :mod:`repro.perf.engine`; named here so the
+#: active-flag snapshot below covers every engine-shaping variable).
+ENV_JOBS = "REPRO_JOBS"
 
 _DISABLED_VALUES = {"0", "off", "false", "no"}
 
@@ -44,6 +47,23 @@ def batch_engine_enabled() -> bool:
     falls back to the scalar fast loop when numpy is unavailable or the
     system has a single core.)"""
     return os.environ.get(ENV_BATCH, "1").strip().lower() not in _DISABLED_VALUES
+
+
+def active_engine_flags() -> Dict[str, str]:
+    """Snapshot the engine-shaping environment, resolved to effective values.
+
+    The tier toggles come back as ``"1"``/``"0"`` (what the engines will
+    actually do, not the raw string); ``REPRO_JOBS`` comes back verbatim
+    (or ``""`` when unset).  Replay tooling embeds this snapshot in failure
+    artifacts — e.g. the :class:`~repro.common.errors.InvariantViolation`
+    plan dump — so a failure re-runs under the same tiers that produced it.
+    """
+    return {
+        ENV_FAST: "1" if fast_engine_enabled() else "0",
+        ENV_MACRO: "1" if macro_engine_enabled() else "0",
+        ENV_BATCH: "1" if batch_engine_enabled() else "0",
+        ENV_JOBS: os.environ.get(ENV_JOBS, ""),
+    }
 
 
 @dataclass

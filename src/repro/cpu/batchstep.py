@@ -24,9 +24,10 @@ Only the *idle* side is vectorized: any core whose state diverges from the
 batchable fast path — pending user interrupts, an armed fault interceptor,
 a macro-op scan/arm in progress — never enters the idle group and keeps
 stepping through the existing scalar :meth:`Core.step`, which is the
-fallback the equality contract leans on (stepping a provably-quiescent
-cycle touches exactly the counters ``note_skipped`` reproduces, so batch
-and scalar runs are byte-identical).
+fallback the equality contract leans on (``note_skipped`` reproduces the
+full effect of stepping a provably-quiescent cycle — the stall counters
+*and* the ready-heap re-deferrals naive's issue stage would have made —
+so batch and scalar runs are byte-identical).
 
 Wakeups arrive three ways, mirroring the scalar loop's invalidation rules:
 

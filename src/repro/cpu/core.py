@@ -348,16 +348,42 @@ class Core:
     def note_skipped(self, cycles: int) -> None:
         """Account ``cycles`` quiescent cycles without stepping them.
 
-        A quiescent cycle in the naive stepper touches exactly two counters:
+        A quiescent cycle in the naive stepper touches two counters —
         ``stats.cycles`` (every stepped cycle) and
         ``stats.serialize_stall_cycles`` (the issue stage increments it every
-        cycle a serializing µop is in flight).  Reproducing both keeps the
-        stats snapshot byte-identical.
+        cycle a serializing µop is in flight) — and, crucially, it also
+        *re-defers* every due-but-blocked ready-heap entry to the next cycle
+        (see ``_issue_stage``).  That time bump is not cosmetic: entries pop
+        in ``(time, seq)`` order, so a blocked load left at a stale time
+        would later pop *ahead* of a store that became ready mid-window,
+        flipping speculative issue order and with it the memory-order squash
+        pattern.  All callers share one convention — ``self.cycle`` is the
+        last stepped cycle and the next step lands at
+        ``self.cycle + cycles + 1`` — so the heap is normalized to exactly
+        the state the naive stepper would arrive with.
         """
         self.stats.cycles += cycles
         self.engine_cycles_skipped += cycles
         if self._serialize_until >= 0:
+            # Naive's issue stage early-outs while a serializing µop is in
+            # flight: it counts the stall and pops nothing.
             self.stats.serialize_stall_cycles += cycles
+            return
+        ready_heap = self.ready_heap
+        target = self.cycle + cycles + 1
+        if not ready_heap or ready_heap[0][0] >= target:
+            return
+        # The skip was only taken because no due entry is issuable, so every
+        # entry due inside the window is either stale (dropped at its first
+        # due pop) or blocked (re-deferred each cycle, landing at ``target``).
+        deferred: List[Tuple[int, int, UOp]] = []
+        while ready_heap and ready_heap[0][0] < target:
+            _, seq, uop = heapq.heappop(ready_heap)
+            if uop.squashed or uop.state != ST_READY:
+                continue
+            deferred.append((target, seq, uop))
+        for item in deferred:
+            heapq.heappush(ready_heap, item)
 
     def next_activity_cycle(self) -> int:
         """The earliest future cycle at which stepping this core could change

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
+from repro.common.counters import active_engine_flags
 from repro.common.errors import InvariantViolation
 from repro.cpu.backend import ST_READY, ST_WAITING
 from repro.faults.plan import FaultPlan
@@ -74,7 +75,12 @@ class InvariantChecker:
 
     def _violation(self, message: str) -> InvariantViolation:
         dump = self.plan.dumps() if self.plan is not None else None
-        return InvariantViolation(message, plan_dump=dump)
+        # Snapshot the engine tiers at raise time: the violation fired
+        # under whatever flags the failing run was using, and a replay is
+        # only a replay under those same tiers.
+        return InvariantViolation(
+            message, plan_dump=dump, engine_flags=active_engine_flags()
+        )
 
     def _check(self, condition: bool, message: str) -> None:
         self.checks_run += 1

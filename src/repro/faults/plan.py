@@ -69,6 +69,43 @@ CYCLE_TIER_KINDS: Tuple[str, ...] = tuple(
     k for k in FAULT_KINDS if k != "ctx_switch"
 )
 
+#: Upper bound for cycle-valued fields (``at``/``index``/``delay``) in
+#: deserialized plans.  Far past any reachable simulation horizon, but it
+#: keeps a corrupted dump from smuggling in a value that arithmetic
+#: downstream (deadline += delay, schedule(at - cycle)) silently wraps or
+#: that stalls a replay forever.
+MAX_CYCLE_VALUE = 2**62
+
+
+def _require_plan_int(value: object, what: str) -> int:
+    """An actual non-negative bounded int — bools, floats, and strings are
+    deserialization errors, not coercions."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{what} must be an integer, got {value!r}")
+    if value < 0:
+        raise ConfigError(f"{what} must be non-negative, got {value}")
+    if value > MAX_CYCLE_VALUE:
+        raise ConfigError(f"{what} is out of range (> {MAX_CYCLE_VALUE}): {value}")
+    return value
+
+
+def _reject_unknown_keys(obj: object, allowed: Tuple[str, ...], what: str) -> dict:
+    """Strict JSON object policy: unknown keys are errors, never dropped.
+
+    A plan dump is a replay artifact — a key this version doesn't
+    understand means the dump came from a different schema, and silently
+    ignoring it would replay a *different* fault schedule than the one
+    that produced the failure.
+    """
+    if not isinstance(obj, dict):
+        raise ConfigError(f"{what} must be a JSON object, got {type(obj).__name__}")
+    unknown = sorted(set(obj) - set(allowed))
+    if unknown:
+        raise ConfigError(
+            f"{what} has unknown key(s) {unknown}; expected a subset of {sorted(allowed)}"
+        )
+    return obj
+
 
 @dataclass(frozen=True, slots=True)
 class Fault:
@@ -94,6 +131,10 @@ class Fault:
             raise ConfigError(f"fault core must be non-negative, got {self.core}")
         if self.at < 0 or self.index < 0 or self.delay < 0:
             raise ConfigError(f"fault fields must be non-negative: {self}")
+        if max(self.at, self.index, self.delay) > MAX_CYCLE_VALUE:
+            raise ConfigError(
+                f"fault cycle fields are out of range (> {MAX_CYCLE_VALUE}): {self}"
+            )
         if self.kind in MESSAGE_KINDS:
             if self.index < 1:
                 raise ConfigError(
@@ -113,12 +154,18 @@ class Fault:
 
     @classmethod
     def from_json(cls, obj: dict) -> "Fault":
+        _reject_unknown_keys(obj, ("kind", "core", "at", "index", "delay"), "fault")
+        if "kind" not in obj:
+            raise ConfigError("fault is missing required key 'kind'")
+        kind = obj["kind"]
+        if not isinstance(kind, str):
+            raise ConfigError(f"fault kind must be a string, got {kind!r}")
         return cls(
-            kind=obj["kind"],
-            core=obj.get("core", 0),
-            at=obj.get("at", 0),
-            index=obj.get("index", 0),
-            delay=obj.get("delay", 0),
+            kind=kind,
+            core=_require_plan_int(obj.get("core", 0), "fault core"),
+            at=_require_plan_int(obj.get("at", 0), "fault at"),
+            index=_require_plan_int(obj.get("index", 0), "fault index"),
+            delay=_require_plan_int(obj.get("delay", 0), "fault delay"),
         )
 
 
@@ -145,13 +192,26 @@ class FaultPlan:
 
     @classmethod
     def loads(cls, text: str) -> "FaultPlan":
-        return cls.from_json(json.loads(text))
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"fault plan JSON does not parse: {exc}") from exc
+        return cls.from_json(obj)
 
     @classmethod
     def from_json(cls, obj: dict) -> "FaultPlan":
+        _reject_unknown_keys(obj, ("seed", "faults"), "fault plan")
+        for key in ("seed", "faults"):
+            if key not in obj:
+                raise ConfigError(f"fault plan is missing required key {key!r}")
+        faults = obj["faults"]
+        if not isinstance(faults, list):
+            raise ConfigError(
+                f"fault plan 'faults' must be a list, got {type(faults).__name__}"
+            )
         return cls(
-            seed=obj["seed"],
-            faults=tuple(Fault.from_json(f) for f in obj["faults"]),
+            seed=_require_plan_int(obj["seed"], "fault plan seed"),
+            faults=tuple(Fault.from_json(f) for f in faults),
         )
 
     def for_core(self, core: int) -> Tuple[Fault, ...]:

@@ -1,0 +1,185 @@
+"""Scenario -> SystemConfig + FaultPlan: the deterministic compiler.
+
+This module is pinned simulation-pure (detlint PRO104): compiling the same
+scenario twice must build byte-identical systems, so nothing here may read
+the wall clock, entropy, or ambient process state.  All randomness in a
+compiled scenario flows through the scenario's own seeds
+(:meth:`FaultPlan.random` for the fault schedule), and all configuration
+through the validated dataclass tree.
+
+``build_system`` returns the un-run pieces — the caller (the fuzz driver,
+a test, the ``repro fuzz repro`` replayer) decides which engine flags to
+run under and whether to arm the :class:`FaultInjector` /
+:class:`InvariantChecker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apps import microbench as mb
+from repro.common.errors import ConfigError
+from repro.cpu.config import SystemConfig
+from repro.cpu.delivery import (
+    DeliveryStrategy,
+    DrainStrategy,
+    FlushStrategy,
+    TrackedStrategy,
+)
+from repro.cpu.multicore import MultiCoreSystem
+from repro.faults.plan import FaultPlan
+from repro.scenario.dsl import CoreSpec, FaultSpec, Scenario, WorkloadSpec
+
+#: strategy name -> constructor (one fresh instance per core per build).
+STRATEGY_FACTORIES = {
+    "flush": FlushStrategy,
+    "drain": DrainStrategy,
+    "tracked": TrackedStrategy,
+}
+
+
+def compile_workload(
+    spec: WorkloadSpec, *, handler_counter: int = mb.HANDLER_COUNTER_ADDR
+) -> mb.Workload:
+    """Build the microbenchmark a workload spec names.
+
+    ``handler_counter`` is the address the default interrupt handler
+    bumps; multi-core scenarios pass a per-core address so handlers on
+    different cores never race on the same line.
+    """
+    knob = spec.knob
+    if spec.kind == "count_loop":
+        return mb.make_count_loop(
+            knob("iterations", 1_000), handler_counter=handler_counter
+        )
+    if spec.kind == "fib":
+        return mb.make_fib(knob("n", 9), handler_counter=handler_counter)
+    if spec.kind == "base64":
+        return mb.make_base64(
+            iterations=knob("iterations", 500), handler_counter=handler_counter
+        )
+    if spec.kind == "fnv_hash":
+        return mb.make_fnv_hash(
+            iterations=knob("iterations", 500),
+            buffer_words=knob("buffer_words", 256),
+            handler_counter=handler_counter,
+        )
+    if spec.kind == "memops":
+        return mb.make_memops(
+            iterations=knob("iterations", 200),
+            footprint_kb=knob("footprint_kb", 16),
+            handler_counter=handler_counter,
+        )
+    if spec.kind == "pointer_chase":
+        return mb.make_pointer_chase(
+            knob("num_nodes", 32),
+            stride=knob("stride", 64),
+            iterations=knob("iterations", 100),
+            unroll=knob("unroll", 1),
+            handler_counter=handler_counter,
+        )
+    if spec.kind == "matmul":
+        return mb.make_matmul(size=knob("size", 8), handler_counter=handler_counter)
+    if spec.kind == "quicksort":
+        return mb.make_quicksort(
+            n=knob("n", 64), seed=knob("seed", 1), handler_counter=handler_counter
+        )
+    raise AssertionError(f"WorkloadSpec validated an unknown kind {spec.kind!r}")
+
+
+def compile_core(spec: CoreSpec, core_id: int = 0) -> mb.Workload:
+    """Build the program/memory image for one core spec."""
+    if spec.role == "workload":
+        assert spec.workload is not None  # CoreSpec validation guarantees it
+        # One cache line per core: handler counters must never alias.
+        counter = mb.HANDLER_COUNTER_ADDR + 64 * core_id
+        return compile_workload(spec.workload, handler_counter=counter)
+    if spec.role == "uipi_sender":
+        assert spec.interval is not None and spec.count is not None
+        return mb.make_uipi_timer_core(spec.interval, spec.count)
+    return mb.make_idle()
+
+
+def compile_plan(spec: FaultSpec, *, cores: int) -> FaultPlan:
+    """Materialize the fault schedule a spec describes.
+
+    Explicit faults win; otherwise the seeded random form draws through
+    :meth:`FaultPlan.random`, which is byte-stable per seed.
+    """
+    if spec.is_explicit:
+        return FaultPlan(seed=spec.seed, faults=spec.faults)
+    if spec.count == 0:
+        return FaultPlan(seed=spec.seed, faults=())
+    return FaultPlan.random(
+        spec.seed,
+        cores=cores,
+        horizon=spec.horizon,
+        count=spec.count,
+        kinds=spec.kinds,
+        max_index=spec.max_index,
+        max_delay=spec.max_delay,
+    )
+
+
+@dataclass(slots=True)
+class BuiltScenario:
+    """A compiled, un-run scenario: the system plus everything needed to
+    arm injection, watch for halt, and label results."""
+
+    scenario: Scenario
+    system: MultiCoreSystem
+    plan: FaultPlan
+    #: Core ids whose halt ends the run (the workload cores).
+    watch_cores: Tuple[int, ...]
+
+
+def build_system(scenario: Scenario, *, trace: bool = True) -> BuiltScenario:
+    """Compile a scenario into a fresh, deterministic system.
+
+    Every call builds an independent system — callers run one system per
+    engine leg so no state leaks between legs.
+    """
+    workloads: List[mb.Workload] = [
+        compile_core(spec, core_id=i) for i, spec in enumerate(scenario.cores)
+    ]
+    strategies: List[DeliveryStrategy] = [
+        STRATEGY_FACTORIES[spec.strategy]() for spec in scenario.cores
+    ]
+    system = MultiCoreSystem(
+        [w.program for w in workloads],
+        strategies,
+        config=SystemConfig.sapphire_rapids_like(),
+        trace=trace,
+    )
+    for workload in workloads:
+        workload.install(system.shared)
+    for link in scenario.links:
+        system.connect_uipi(
+            sender_core_id=link.sender,
+            receiver_core_id=link.receiver,
+            user_vector=link.vector,
+        )
+    for core_id, spec in enumerate(scenario.cores):
+        if spec.role != "workload":
+            continue
+        core = system.cores[core_id]
+        core.uintr.safepoint_mode = spec.safepoint
+        if spec.kb_timer is not None:
+            system.enable_kb_timer(core_id)
+            core.uintr.kb_timer.arm_periodic(spec.kb_timer.period, now=0)
+    plan = compile_plan(scenario.faults, cores=len(scenario.cores))
+    receivers = {link.receiver for link in scenario.links}
+    for fault in plan.faults:
+        # The DSL checks explicit faults; a seeded random spec only
+        # materializes here, so the same precondition is enforced again.
+        if fault.kind == "spurious_uintr" and fault.core not in receivers:
+            raise ConfigError(
+                f"fault plan (seed {plan.seed}) schedules spurious_uintr on "
+                f"core {fault.core}, which receives no UIPI link (no UPID); "
+                f"use explicit faults targeting a receiver core"
+            )
+    watch = tuple(
+        i for i, spec in enumerate(scenario.cores) if spec.role == "workload"
+    )
+    return BuiltScenario(scenario=scenario, system=system, plan=plan, watch_cores=watch)

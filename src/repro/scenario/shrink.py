@@ -1,0 +1,270 @@
+"""Greedy scenario minimization that preserves the failure fingerprint.
+
+The shrinker repeatedly proposes strictly-smaller variants of a failing
+scenario (by :meth:`Scenario.size_key` — cores, then faults, then timers,
+then knob mass, then cycle budget) and keeps a variant only if re-running
+its engine matrix reproduces a finding with the *same fingerprint*.
+Because fingerprints normalize digit runs (see
+:func:`repro.scenario.fuzz.fingerprint`), halving an interval or an
+iteration count keeps the failure's identity while the scenario gets
+smaller; a variant that fails *differently* (or not at all) is rejected.
+
+Before shrinking, a seeded random :class:`FaultSpec` is materialized into
+its explicit fault list (same schedule, via the compiler), so individual
+fault entries become droppable.
+
+Passes, in order — structure first, then magnitudes:
+
+1. drop cores (highest index first; links/faults remapped, linkless
+   senders cascade away)
+2. drop explicit fault entries
+3. drop KB timers
+4. simplify workloads to a small ``count_loop``
+5. halve workload knobs (toward each knob's schema minimum)
+6. halve sender load (interval, count) and timer periods
+7. halve ``max_cycles``
+
+Each accepted step restarts the pass list, so shrinking is quadratic in
+the worst case but bounded by ``max_attempts`` reproduction runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Set
+
+from repro.scenario.compile import compile_plan
+from repro.scenario.dsl import (
+    MIN_MAX_CYCLES,
+    MIN_SENDER_INTERVAL,
+    MIN_TIMER_PERIOD,
+    WORKLOAD_KNOBS,
+    CoreSpec,
+    FaultSpec,
+    Scenario,
+    UipiLink,
+    WorkloadSpec,
+)
+from repro.scenario.fuzz import FuzzFinding, run_one
+
+#: The workload every core simplifies toward: the cheapest kind, sized at
+#: the generator's own minimum.
+SIMPLEST_WORKLOAD = ("count_loop", (("iterations", 100),))
+
+
+def _materialize_faults(scenario: Scenario) -> Scenario:
+    """Turn a seeded random fault spec into the explicit schedule it
+    compiles to, so the shrinker can drop entries one at a time."""
+    spec = scenario.faults
+    if spec.is_explicit or spec.count == 0:
+        return scenario
+    plan = compile_plan(spec, cores=len(scenario.cores))
+    explicit = FaultSpec(seed=spec.seed, faults=plan.faults)
+    return replace(scenario, faults=explicit)
+
+
+def _try_scenario(**kwargs) -> Optional[Scenario]:
+    """Build a candidate; invalid combinations are skipped, not raised."""
+    try:
+        return Scenario(**kwargs)
+    except Exception:  # noqa: BLE001 - candidate validation is the filter
+        return None
+
+
+def _drop_cores(scenario: Scenario, drop: Set[int]) -> Optional[Scenario]:
+    """Remove a set of cores, remapping links and faults.
+
+    Cascades: a sender whose link died (its receiver was dropped) is
+    dropped too, because the DSL requires every sender to have a link.
+    """
+    drop = set(drop)
+    while True:
+        live_links = [
+            l
+            for l in scenario.links
+            if l.sender not in drop and l.receiver not in drop
+        ]
+        linked_senders = {l.sender for l in live_links}
+        orphans = {
+            i
+            for i, c in enumerate(scenario.cores)
+            if c.role == "uipi_sender" and i not in drop and i not in linked_senders
+        }
+        if not orphans:
+            break
+        drop |= orphans
+    if len(drop) >= len(scenario.cores):
+        return None
+    remap = {}
+    new_cores: List[CoreSpec] = []
+    for i, core in enumerate(scenario.cores):
+        if i in drop:
+            continue
+        remap[i] = len(new_cores)
+        new_cores.append(core)
+    new_links = tuple(
+        UipiLink(sender=remap[l.sender], receiver=remap[l.receiver], vector=l.vector)
+        for l in live_links
+    )
+    faults = scenario.faults
+    if faults.is_explicit:
+        kept = tuple(
+            replace(f, core=remap[f.core]) for f in faults.faults if f.core not in drop
+        )
+        faults = FaultSpec(seed=faults.seed, faults=kept)
+    return _try_scenario(
+        name=scenario.name,
+        cores=tuple(new_cores),
+        links=new_links,
+        faults=faults,
+        engines=scenario.engines,
+        max_cycles=scenario.max_cycles,
+        seed=scenario.seed,
+    )
+
+
+def _replace_core(scenario: Scenario, index: int, core: CoreSpec) -> Optional[Scenario]:
+    cores = list(scenario.cores)
+    cores[index] = core
+    return _try_scenario(
+        name=scenario.name,
+        cores=tuple(cores),
+        links=scenario.links,
+        faults=scenario.faults,
+        engines=scenario.engines,
+        max_cycles=scenario.max_cycles,
+        seed=scenario.seed,
+    )
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Every one-step shrink of ``scenario``, structure first."""
+    # 1. drop cores, highest index first (dropping later cores never
+    #    renumbers the earlier ones a fault might depend on).
+    for i in reversed(range(len(scenario.cores))):
+        candidate = _drop_cores(scenario, {i})
+        if candidate is not None:
+            yield candidate
+    # 2. drop explicit fault entries.
+    faults = scenario.faults
+    if faults.is_explicit:
+        for j in range(len(faults.faults)):
+            kept = faults.faults[:j] + faults.faults[j + 1 :]
+            yield replace(scenario, faults=FaultSpec(seed=faults.seed, faults=kept))
+    # 3. drop KB timers.
+    for i, core in enumerate(scenario.cores):
+        if core.kb_timer is not None:
+            candidate = _replace_core(scenario, i, replace(core, kb_timer=None))
+            if candidate is not None:
+                yield candidate
+    # 4. simplify workloads to the cheapest kind.
+    simple_kind, simple_knobs = SIMPLEST_WORKLOAD
+    for i, core in enumerate(scenario.cores):
+        if core.workload is not None and core.workload.kind != simple_kind:
+            simple = WorkloadSpec(kind=simple_kind, knobs=simple_knobs)
+            candidate = _replace_core(scenario, i, replace(core, workload=simple))
+            if candidate is not None:
+                yield candidate
+    # 5. halve workload knobs toward their schema minimums.
+    for i, core in enumerate(scenario.cores):
+        if core.workload is None:
+            continue
+        schema = WORKLOAD_KNOBS[core.workload.kind]
+        for name, value in core.workload.knobs:
+            lo = schema[name][0]
+            smaller = max(lo, value // 2)
+            if smaller == value:
+                continue
+            knobs = tuple(
+                (k, smaller if k == name else v) for k, v in core.workload.knobs
+            )
+            workload = WorkloadSpec(kind=core.workload.kind, knobs=knobs)
+            candidate = _replace_core(scenario, i, replace(core, workload=workload))
+            if candidate is not None:
+                yield candidate
+    # 6. halve sender load and timer periods.
+    for i, core in enumerate(scenario.cores):
+        if core.role == "uipi_sender":
+            assert core.interval is not None and core.count is not None
+            for patch in (
+                {"interval": max(MIN_SENDER_INTERVAL, core.interval // 2)},
+                {"count": max(1, core.count // 2)},
+            ):
+                patched = replace(core, **patch)
+                if patched != core:
+                    candidate = _replace_core(scenario, i, patched)
+                    if candidate is not None:
+                        yield candidate
+        if core.kb_timer is not None:
+            period = max(MIN_TIMER_PERIOD, core.kb_timer.period // 2)
+            if period != core.kb_timer.period:
+                patched = replace(core, kb_timer=replace(core.kb_timer, period=period))
+                candidate = _replace_core(scenario, i, patched)
+                if candidate is not None:
+                    yield candidate
+    # 7. halve the cycle budget.
+    smaller_budget = max(MIN_MAX_CYCLES, scenario.max_cycles // 2)
+    if smaller_budget != scenario.max_cycles:
+        yield replace(scenario, max_cycles=smaller_budget)
+
+
+def _reproduces(scenario: Scenario, target_fingerprint: str) -> Optional[FuzzFinding]:
+    """Run the candidate's matrix; return its matching finding, if any."""
+    for finding in run_one(scenario):
+        if finding.fingerprint == target_fingerprint:
+            return finding
+    return None
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """The minimized finding plus how the search went."""
+
+    finding: FuzzFinding
+    original: Scenario
+    steps_accepted: int
+    attempts: int
+
+    @property
+    def shrank(self) -> bool:
+        return self.finding.scenario.size_key() < self.original.size_key()
+
+
+def shrink(finding: FuzzFinding, *, max_attempts: int = 150) -> ShrinkResult:
+    """Greedily minimize ``finding.scenario`` preserving its fingerprint.
+
+    Every acceptance is re-validated by a full engine-matrix run, so the
+    result is always a *currently reproducing* finding — the returned
+    detail text is the one observed on the minimized scenario.
+    """
+    original = finding.scenario
+    target = finding.fingerprint
+    attempts = 0
+    accepted = 0
+
+    materialized = _materialize_faults(original)
+    if materialized is not original:
+        attempts += 1
+        reproduced = _reproduces(materialized, target)
+        if reproduced is not None:
+            finding = reproduced
+    current = finding
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current.scenario):
+            if attempts >= max_attempts:
+                break
+            if not candidate.size_key() < current.scenario.size_key():
+                continue
+            attempts += 1
+            reproduced = _reproduces(candidate, target)
+            if reproduced is not None:
+                current = reproduced
+                accepted += 1
+                progress = True
+                break
+    return ShrinkResult(
+        finding=current, original=original, steps_accepted=accepted, attempts=attempts
+    )

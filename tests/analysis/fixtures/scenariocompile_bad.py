@@ -1,0 +1,27 @@
+# detlint: pure-module
+"""A scenario->system compiler shaped like repro.scenario.compile, with
+every purity sin PRO104 pins down: ambient clocks and entropy, environment
+reads, and mutable module state that would leak between compiles."""
+
+import os
+import random
+import time
+
+_compile_cache = {}
+
+
+def compile_workload(spec):
+    started = time.perf_counter()  # wall clock in a pure module
+    if os.environ.get("REPRO_COMPILE_MODE") == "quick":  # ambient config
+        return {"kind": spec["kind"], "quick": True, "at": started}
+    cached = _compile_cache.get(spec["kind"])  # mutable module global
+    if cached is not None:
+        return cached
+    built = {"kind": spec["kind"], "jitter": random.random()}
+    _compile_cache[spec["kind"]] = built
+    return built
+
+
+def reset_cache():
+    global _compile_cache
+    _compile_cache = {}

@@ -1,0 +1,21 @@
+# detlint: pure-module
+"""The clean twin of scenariocompile_bad: a compiler that is a pure
+function of its spec — constants are ALL_CAPS, every decision flows from
+the argument, nothing ambient is read and nothing module-level mutates."""
+
+STRATEGY_FACTORIES = {
+    "flush": lambda: ("flush",),
+    "drain": lambda: ("drain",),
+}
+
+DEFAULT_ITERATIONS = 1_000
+
+
+def compile_workload(spec):
+    iterations = spec.get("iterations", DEFAULT_ITERATIONS)
+    return {"kind": spec["kind"], "iterations": iterations}
+
+
+def compile_core(spec, core_id=0):
+    strategy = STRATEGY_FACTORIES[spec["strategy"]]()
+    return {"core": core_id, "strategy": strategy, "workload": compile_workload(spec)}

@@ -8,6 +8,7 @@ from repro.common.errors import ConfigError
 from repro.faults.plan import (
     CYCLE_TIER_KINDS,
     FAULT_KINDS,
+    MAX_CYCLE_VALUE,
     Fault,
     FaultPlan,
     merge_plans,
@@ -95,6 +96,67 @@ class TestSerialisation:
             ),
         )
         assert FaultPlan.loads(plan.dumps()) == plan
+
+
+class TestStrictRoundTrip:
+    """Construction-time validation parity with the scenario DSL: a plan
+    JSON that drifted (extra keys, absurd cycle values, wrong shapes) fails
+    loudly at load, never deep inside a replay."""
+
+    def _dump(self, **overrides):
+        plan = FaultPlan(seed=3, faults=(Fault(kind="upid_stall", at=10),))
+        obj = json.loads(plan.dumps())
+        obj.update(overrides)
+        return json.dumps(obj)
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            FaultPlan.loads(self._dump(flavor="extra"))
+
+    def test_unknown_fault_key_rejected(self):
+        obj = json.loads(self._dump())
+        obj["faults"][0]["oops"] = 1
+        with pytest.raises(ConfigError, match="unknown"):
+            FaultPlan.loads(json.dumps(obj))
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps({"seed": 1}))
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps({"faults": []}))
+
+    def test_faults_must_be_a_list(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps({"seed": 1, "faults": {"0": {}}}))
+
+    def test_malformed_json_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.loads("{not json")
+
+    def test_out_of_range_cycle_values_rejected(self):
+        obj = json.loads(self._dump())
+        obj["faults"][0]["at"] = MAX_CYCLE_VALUE + 1
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps(obj))
+        with pytest.raises(ConfigError):
+            Fault(kind="upid_stall", at=MAX_CYCLE_VALUE + 1)
+        # The boundary itself is legal.
+        Fault(kind="upid_stall", at=MAX_CYCLE_VALUE)
+
+    def test_bool_and_non_int_fields_rejected(self):
+        obj = json.loads(self._dump())
+        obj["faults"][0]["at"] = True
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps(obj))
+        obj["faults"][0]["at"] = "10"
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps(obj))
+
+    def test_fault_kind_must_be_string(self):
+        obj = json.loads(self._dump())
+        obj["faults"][0]["kind"] = 7
+        with pytest.raises(ConfigError):
+            FaultPlan.loads(json.dumps(obj))
 
 
 class TestHelpers:

@@ -89,6 +89,60 @@ class TestCheckpointResume:
         assert GLOBAL_COUNTERS.sweep_points_resumed - before == 3
         assert not ckpt.path.exists()
 
+    def test_worker_death_mid_write_salvages_intact_prefix(self, tmp_path):
+        """A worker killed mid-``record`` leaves the final JSONL line
+        truncated at an arbitrary byte.  Resume must salvage every intact
+        line and re-run only the torn point (plus the never-run tail)."""
+        points = [1, 2, 3, 4, 5]
+        ckpt = _checkpoint_for(str(tmp_path), _square, points)
+        for i in (0, 1, 2):
+            ckpt.record(i, points[i] ** 2)
+        # The dying worker got partway through point 3's line: append the
+        # record, then chop the file mid-payload (no trailing newline).
+        ckpt.record(3, points[3] ** 2)
+        raw = ckpt.path.read_bytes()
+        assert raw.endswith(b"\n")
+        ckpt.path.write_bytes(raw[: len(raw) - 9])
+
+        loaded = ckpt.load(len(points))
+        assert loaded == {0: 1, 1: 4, 2: 9}
+
+        executed = []
+
+        def spy(x):
+            executed.append(x)
+            return x * x
+
+        spy.__module__ = _square.__module__
+        spy.__qualname__ = _square.__qualname__  # same checkpoint identity
+        before = GLOBAL_COUNTERS.sweep_points_resumed
+        runner = SweepRunner(jobs=1, checkpoint_dir=str(tmp_path))
+        assert runner.map(spy, points) == [1, 4, 9, 16, 25]
+        assert executed == [4, 5]
+        assert GLOBAL_COUNTERS.sweep_points_resumed - before == 3
+        assert not ckpt.path.exists()
+
+    def test_truncation_at_every_byte_never_loses_intact_lines(self, tmp_path):
+        """Sweep the tear point across the whole file: wherever the kill
+        landed, load() returns exactly the records whose lines survived."""
+        points = [1, 2, 3]
+        ckpt = _checkpoint_for(str(tmp_path), _square, points)
+        for i in range(len(points)):
+            ckpt.record(i, points[i] ** 2)
+        raw = ckpt.path.read_bytes()
+        line_ends = [i + 1 for i, b in enumerate(raw) if b == ord("\n")]
+        expected_full = {0: 1, 1: 4, 2: 9}
+        for cut in range(len(raw) + 1):
+            ckpt.path.write_bytes(raw[:cut])
+            survived = sum(1 for end in line_ends if end <= cut)
+            loaded = ckpt.load(len(points))
+            # Every value is right, every newline-terminated line is kept,
+            # and at most the torn final line is salvaged beyond those
+            # (a cut landing exactly at a line's closing brace still parses).
+            assert all(loaded[i] == expected_full[i] for i in loaded), cut
+            assert set(range(survived)) <= set(loaded), cut
+            assert len(loaded) <= survived + 1, cut
+
     def test_corrupt_checkpoint_lines_skipped(self, tmp_path):
         points = [1, 2, 3]
         ckpt = _checkpoint_for(str(tmp_path), _square, points)

@@ -1,0 +1,150 @@
+"""Scenario compiler: deterministic builds, correct wiring."""
+
+import pytest
+
+from repro.apps import microbench as mb
+from repro.common.errors import ConfigError
+from repro.faults.plan import Fault, FaultPlan
+from repro.scenario.compile import (
+    build_system,
+    compile_core,
+    compile_plan,
+    compile_workload,
+)
+from repro.scenario.dsl import (
+    ENGINE_LEG_NAMES,
+    CoreSpec,
+    FaultSpec,
+    Scenario,
+    TimerSpec,
+    UipiLink,
+    WorkloadSpec,
+)
+
+
+def wl(kind="count_loop", **knobs):
+    if not knobs:
+        knobs = {"iterations": 100}
+    return WorkloadSpec(kind=kind, knobs=tuple(sorted(knobs.items())))
+
+
+def scenario(**overrides):
+    base = dict(
+        name="c",
+        cores=(CoreSpec(role="workload", workload=wl()),),
+        links=(),
+        faults=FaultSpec(seed=1),
+        engines=ENGINE_LEG_NAMES,
+        max_cycles=10_000,
+        seed=7,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestCompileWorkload:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            wl(),
+            wl("fib", n=6),
+            wl("base64", iterations=2),
+            wl("fnv_hash", iterations=8, buffer_words=64),
+            wl("memops", iterations=8, footprint_kb=1),
+            wl("pointer_chase", num_nodes=16, stride=64, iterations=8),
+            wl("matmul", size=3),
+            wl("quicksort", n=8, seed=1),
+        ],
+        ids=lambda s: s.kind,
+    )
+    def test_every_kind_compiles_to_a_workload(self, spec):
+        built = compile_workload(spec)
+        assert isinstance(built, mb.Workload)
+        assert built.program
+
+    def test_same_spec_same_program(self):
+        spec = wl("quicksort", n=16, seed=5)
+        a, b = compile_workload(spec), compile_workload(spec)
+        assert [str(i) for i in a.program.instructions] == [
+            str(i) for i in b.program.instructions
+        ]
+
+    def test_per_core_handler_counters_never_alias(self):
+        spec = CoreSpec(role="workload", workload=wl())
+        programs = [
+            "\n".join(
+                str(i) for i in compile_core(spec, core_id=c).program.instructions
+            )
+            for c in (0, 1)
+        ]
+        assert programs[0] != programs[1]
+        assert str(mb.HANDLER_COUNTER_ADDR + 64) in programs[1]
+
+
+class TestCompilePlan:
+    def test_explicit_faults_win(self):
+        faults = (Fault(kind="upid_stall", core=0, at=10),)
+        spec = FaultSpec(seed=9, count=5, faults=faults)
+        assert compile_plan(spec, cores=2) == FaultPlan(seed=9, faults=faults)
+
+    def test_zero_count_is_empty(self):
+        assert compile_plan(FaultSpec(seed=9), cores=2).faults == ()
+
+    def test_seeded_draw_is_byte_stable(self):
+        spec = FaultSpec(seed=9, count=4)
+        a = compile_plan(spec, cores=3)
+        assert a == compile_plan(spec, cores=3)
+        assert len(a.faults) <= 4
+        assert set(a.kinds()) <= set(spec.kinds)
+
+
+class TestBuildSystem:
+    def test_builds_are_independent(self):
+        s = scenario()
+        a, b = build_system(s), build_system(s)
+        assert a.system is not b.system
+        a.system.run(max_cycles=s.max_cycles)
+        assert not b.system.cores[0].halted
+
+    def test_watch_cores_are_the_workload_cores(self):
+        s = scenario(
+            cores=(
+                CoreSpec(role="workload", workload=wl()),
+                CoreSpec(role="uipi_sender", interval=500, count=3),
+                CoreSpec(role="idle"),
+                CoreSpec(role="workload", workload=wl("fib", n=5)),
+            ),
+            links=(UipiLink(sender=1, receiver=0, vector=9),),
+        )
+        assert build_system(s).watch_cores == (0, 3)
+
+    def test_links_strategies_and_timers_are_wired(self):
+        s = scenario(
+            cores=(
+                CoreSpec(
+                    role="workload",
+                    workload=wl(),
+                    strategy="drain",
+                    safepoint=True,
+                    kb_timer=TimerSpec(period=1024),
+                ),
+                CoreSpec(role="uipi_sender", interval=500, count=3),
+            ),
+            links=(UipiLink(sender=1, receiver=0, vector=33),),
+        )
+        built = build_system(s)
+        receiver = built.system.cores[0]
+        assert type(receiver.strategy).__name__ == "DrainStrategy"
+        assert receiver.uintr.safepoint_mode is True
+        assert receiver.uintr.kb_timer.enabled
+        assert receiver.uintr.kb_timer.period == 1024
+        sender = built.system.cores[1]
+        assert sender.uitt is not None  # the UIPI link registered a UITT entry
+
+    def test_seeded_spurious_on_linkless_core_rejected(self):
+        # The DSL cannot see inside a seeded draw; the compiler re-checks.
+        s = scenario(
+            faults=FaultSpec(seed=2, count=8, kinds=("spurious_uintr",))
+        )
+        with pytest.raises(ConfigError, match="spurious_uintr"):
+            build_system(s)

@@ -186,3 +186,109 @@ class TestBenchGate:
 
         monkeypatch.setattr(regress, "run_gate", lambda **kwargs: 1)
         assert main(["bench-gate"]) == 1
+
+
+class TestFuzz:
+    """The fuzz CLI end to end, including the acceptance flow:
+    hook -> caught -> shrunk -> saved -> replayed by ``fuzz repro``."""
+
+    HOOK = "REPRO_FUZZ_TEST_DIVERGENCE"
+
+    def test_clean_seeds_exit_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(self.HOOK, raising=False)
+        corpus = tmp_path / "corpus"
+        assert (
+            main(["fuzz", "--seeds", "2", "--corpus-dir", str(corpus)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fuzz: OK" in out
+        assert "2 scenario(s)" in out
+        assert not corpus.exists()  # nothing to save
+
+    def test_findings_exit_one_and_land_in_corpus(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(self.HOOK, "fast+batch")
+        corpus = tmp_path / "corpus"
+        rc = main(
+            [
+                "fuzz",
+                "--seeds",
+                "1",
+                "--corpus-dir",
+                str(corpus),
+                "--no-shrink",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "divergence on fast+batch" in out
+        artifacts = list(corpus.glob("*.json"))
+        assert len(artifacts) == 1
+
+    def test_rerun_dedups_against_existing_corpus(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(self.HOOK, "fast+batch")
+        corpus = tmp_path / "corpus"
+        args = ["fuzz", "--seeds", "1", "--corpus-dir", str(corpus), "--no-shrink"]
+        assert main(args) == 1
+        capsys.readouterr()
+        assert main(args) == 1  # findings still reported...
+        assert "already in corpus" in capsys.readouterr().out
+        assert len(list(corpus.glob("*.json"))) == 1  # ...but stored once
+
+    def test_metrics_out_writes_schema(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.delenv(self.HOOK, raising=False)
+        metrics = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seeds",
+                    "1",
+                    "--corpus-dir",
+                    str(tmp_path / "c"),
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        obj = json.loads(metrics.read_text())
+        assert obj["schema"] == "repro.obs.metrics/v1"
+        assert obj["counters"]["fuzz.scenarios_run"] == 1
+        assert obj["counters"]["fuzz.findings"] == 0
+
+    def test_bad_artifact_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["fuzz", "repro", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_acceptance_flow_shrink_then_replay(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # 1. Seeded bug hook on: the fuzzer catches the divergence and
+        #    shrinks it to a strictly smaller scenario.
+        monkeypatch.setenv(self.HOOK, "fast+batch")
+        corpus = tmp_path / "corpus"
+        assert (
+            main(["fuzz", "--seeds", "1", "--corpus-dir", str(corpus)]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "shrunk" in out
+        (artifact,) = corpus.glob("*.json")
+
+        # 2. The shrunk artifact replays: same fingerprint reproduces.
+        assert main(["fuzz", "repro", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "[MATCH]" in out
+        assert "fuzz repro: reproduced" in out
+
+        # 3. Hook off (bug "fixed"): the artifact no longer reproduces.
+        monkeypatch.delenv(self.HOOK)
+        assert main(["fuzz", "repro", str(artifact)]) == 1
+        assert "NOT reproduced" in capsys.readouterr().err
