@@ -51,6 +51,11 @@ class OffloadRequest:
             raise ConfigError(f"request {self.rid} has not been handled")
         return self.handled_time - self.complete_time
 
+    def mark_handled(self, now: float) -> None:
+        """Record when the CPU observed the completion — the owner-side
+        mutation point for notification-lag accounting."""
+        self.handled_time = now
+
 
 class LatencyModel:
     """Offload response time: a mean plus bounded uniform noise.

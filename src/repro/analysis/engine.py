@@ -1,21 +1,23 @@
 """The detlint scan engine: file discovery, rule dispatch, report assembly.
 
-The engine is deliberately boring: collect files, parse each once, run every
-registered rule over the parsed module, drop suppressed findings, partition
-the rest against the baseline, and return a :class:`LintReport`.  All policy
-(what is a hazard, what is grandfathered) lives in the rules and the
-baseline file; all presentation lives in :mod:`repro.analysis.lint`.
+The engine is deliberately boring: collect files, parse each exactly once
+into a :class:`ProgramModel` shared by every rule family, run the per-module
+rules over each parsed module and the whole-program rules over the model,
+drop suppressed findings, partition the rest against the baseline, and
+return a :class:`LintReport`.  All policy (what is a hazard, what is
+grandfathered) lives in the rules and the baseline file; all presentation
+lives in :mod:`repro.analysis.lint`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.baseline import BaselineKey, load_baseline, split_by_baseline
 from repro.analysis.findings import Finding
-from repro.analysis.rules import ModuleSource, Rule, all_rules
+from repro.analysis.rules import ModuleSource, ProgramModel, ProgramRule, Rule, all_rules
 from repro.analysis.suppressions import Suppressions
 from repro.common.errors import ConfigError
 
@@ -98,6 +100,9 @@ class LintReport:
     #: Files that failed to parse, as (display_path, error) pairs — these
     #: gate too: an unparseable file is an unauditable file.
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: The shared whole-program view the scan ran over (parsed modules +
+    #: lazily-extracted state model); ``--statemodel-out`` reads it.
+    program: Optional[ProgramModel] = None
 
     @property
     def ok(self) -> bool:
@@ -123,8 +128,16 @@ def run_rules(
     if baseline is None:
         baseline = load_baseline(baseline_path) if baseline_path is not None else set()
 
+    module_rules = [r for r in rules if not isinstance(r, ProgramRule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
+
     report = LintReport(rules_run=len(rules))
     raw: List[Finding] = []
+
+    # Phase 1: parse every file exactly once; the resulting sources are the
+    # single shared corpus for per-module and whole-program rules alike.
+    sources: List[ModuleSource] = []
+    suppressions_by_path: Dict[str, Suppressions] = {}
     for path in collect_files(paths):
         display = display_path_for(path)
         try:
@@ -134,13 +147,30 @@ def run_rules(
             report.parse_errors.append((display, str(exc)))
             continue
         report.files_scanned += 1
-        suppressions = Suppressions(text)
-        for rule in rules:
+        sources.append(module)
+        suppressions_by_path[display] = Suppressions(text)
+
+    def emit(finding: Finding) -> None:
+        suppressions = suppressions_by_path.get(finding.path)
+        if suppressions is not None and suppressions.is_suppressed(
+            finding.rule_id, finding.line
+        ):
+            report.suppressed_count += 1
+        else:
+            raw.append(finding)
+
+    # Phase 2: per-module rules.
+    for module in sources:
+        for rule in module_rules:
             for finding in rule.check(module):
-                if suppressions.is_suppressed(finding.rule_id, finding.line):
-                    report.suppressed_count += 1
-                else:
-                    raw.append(finding)
+                emit(finding)
+
+    # Phase 3: whole-program rules over the shared model.
+    program = ProgramModel(sources)
+    report.program = program
+    for rule in program_rules:
+        for finding in rule.check_program(program):
+            emit(finding)
 
     raw.sort(key=Finding.sort_key)
     new, old, stale = split_by_baseline(raw, baseline)

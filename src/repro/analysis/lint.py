@@ -7,6 +7,7 @@ Usage (via the main CLI)::
     python -m repro lint --json                # machine-readable findings
     python -m repro lint --list-rules          # rule catalogue
     python -m repro lint --write-baseline      # grandfather current findings
+    python -m repro lint --statemodel-out f.json   # dump the engine state model
 
 Exit codes: 0 clean (no new findings), 1 new findings or parse errors,
 2 usage/configuration error.  Baselined findings and suppressed counts are
@@ -73,6 +74,15 @@ def build_lint_parser(parser: Optional[argparse.ArgumentParser] = None) -> argpa
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    parser.add_argument(
+        "--statemodel-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the extracted engine state model (schema-versioned, "
+            "byte-stable JSON) to FILE after the scan"
+        ),
+    )
     return parser
 
 
@@ -111,6 +121,13 @@ def run_lint(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.statemodel_out is not None and report.program is not None:
+        from repro.analysis.statemodel import state_model_to_json
+
+        out_path = Path(args.statemodel_out)
+        out_path.write_text(state_model_to_json(report.program.state_model))
+        print(f"wrote state model to {out_path}", file=sys.stderr)
 
     if args.write_baseline:
         if baseline_path is None:

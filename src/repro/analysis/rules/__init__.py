@@ -1,4 +1,4 @@
-"""The detlint rule engine: rule base class, registry, and module model.
+"""The detlint rule engine: rule base class, registry, and program model.
 
 A rule is a stateless object with an ``rule_id``, a one-line description,
 and a ``check(module)`` generator yielding :class:`Finding` records.  Rules
@@ -6,20 +6,28 @@ see one module at a time as a :class:`ModuleSource` — path, dotted module
 name (when the file lives under a ``repro`` package root), raw text, split
 lines, and the parsed AST.
 
+Whole-program rules subclass :class:`ProgramRule` instead and implement
+``check_program(program)``: they see the :class:`ProgramModel` — every
+module parsed exactly once, shared across all rule families, plus the
+lazily-extracted engine state model (:mod:`repro.analysis.statemodel`).
+
 Adding a rule:
 
 1. subclass :class:`Rule` in ``repro.analysis.rules.determinism`` (D-rules:
    nondeterministic *inputs*) or ``repro.analysis.rules.protocol`` (P-rules:
-   simulation-purity and engine-contract violations), or a new module;
+   simulation-purity and engine-contract violations), or :class:`ProgramRule`
+   in ``repro.analysis.rules.state`` (S-rules: state-surface coverage and
+   write ownership), or a new module;
 2. decorate it with :func:`register`;
-3. make sure the module is imported from this package (the two built-in rule
+3. make sure the module is imported from this package (the built-in rule
    modules are imported at the bottom of this file);
 4. add a paired good/bad fixture under ``tests/analysis/fixtures/`` and a
-   case in ``tests/analysis/test_detlint_rules.py``.
+   case in ``tests/analysis/test_rules.py``.
 
 Rule identifiers: ``DET0xx`` for determinism-input rules, ``PRO1xx`` for
-protocol/purity rules.  Never reuse a retired identifier — baselines and
-suppression comments reference them textually.
+protocol/purity rules, ``STA2xx`` for state-model rules.  Never reuse a
+retired identifier — baselines and suppression comments reference them
+textually.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Type
 
 from repro.analysis.findings import Finding
+from repro.analysis.statemodel import StateModel, extract_state_model
 
 
 class ModuleSource:
@@ -91,6 +100,56 @@ class Rule:
         )
 
 
+class ProgramModel:
+    """Every scanned module, parsed once; the shared whole-program view.
+
+    Built by the engine after file discovery and handed to every
+    :class:`ProgramRule`.  The engine state model is extracted lazily (and
+    exactly once) on first access — rule families share both the parse and
+    the extraction.
+    """
+
+    __slots__ = ("sources", "by_module", "_state_model")
+
+    def __init__(self, sources: List[ModuleSource]) -> None:
+        self.sources: List[ModuleSource] = list(sources)
+        #: Last-wins by dotted name; fixture files keep bare-stem keys.
+        self.by_module: Dict[str, ModuleSource] = {s.module: s for s in self.sources}
+        self._state_model: Optional[StateModel] = None
+
+    @property
+    def state_model(self) -> StateModel:
+        if self._state_model is None:
+            self._state_model = extract_state_model(self.sources)
+        return self._state_model
+
+    def has_modules(self, *modules: str) -> bool:
+        return all(module in self.by_module for module in modules)
+
+
+class ProgramRule(Rule):
+    """Base class for whole-program rules (STA2xx).
+
+    ``check`` (the per-module entry point) is a no-op; the engine dispatches
+    these once per scan through ``check_program``.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def program_finding(
+        self,
+        module: ModuleSource,
+        node: Optional[ast.AST],
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return self.finding(module, node if node is not None else module.tree, message, hint)
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -116,3 +175,4 @@ def rule_ids() -> List[str]:
 # Import the built-in rule modules so registration runs on package import.
 from repro.analysis.rules import determinism as _determinism  # noqa: E402,F401
 from repro.analysis.rules import protocol as _protocol  # noqa: E402,F401
+from repro.analysis.rules import state as _state  # noqa: E402,F401

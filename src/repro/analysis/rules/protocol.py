@@ -36,38 +36,14 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import ModuleSource, Rule, register
+from repro.analysis.statemodel import derive_slots_manifest
 
 #: Hot-path classes that must declare ``__slots__``, keyed by module.
-#: Growing the model?  Add per-event/per-uop/per-packet classes here.
-SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = {
-    "repro.sim.event": ("Event", "EventQueue"),
-    "repro.sim.simulator": ("Simulator",),
-    "repro.sim.trace": ("TraceEvent", "TraceRecorder"),
-    "repro.obs.ring": ("RingBuffer",),
-    "repro.obs.events": ("InstantEvent", "SpanEvent"),
-    "repro.obs.spans": ("Tracer", "SpanHandle"),
-    "repro.obs.hist": ("LatencyHistogram",),
-    "repro.obs.registry": ("MetricsRegistry",),
-    "repro.cpu.core": ("Core",),
-    "repro.cpu.backend": ("UOp",),
-    "repro.cpu.batchstep": ("BatchScheduler",),
-    "repro.cpu.hotness": ("HotnessTracker",),
-    "repro.cpu.macroop": (
-        "MacroController",
-        "_UopShot",
-        "_Snapshot",
-        "_Match",
-        "_CacheOverlay",
-    ),
-    "repro.cpu.uopcache": ("UopCache", "UopCacheEntry"),
-    "repro.cpu.uintr_state": ("KBTimerState", "UserInterruptFile"),
-    "repro.uintr.apic": ("PendingInterrupt", "LocalApic"),
-    "repro.uintr.upid": ("UPID",),
-    "repro.net.packet": ("Packet",),
-    "repro.kernel.threads": ("KernelThread",),
-    "repro.accel.dsa": ("OffloadRequest",),
-    "repro.runtime.timerwheel": ("TimeoutHandle",),
-}
+#: Derived from :data:`repro.analysis.statemodel.STATE_CLASSES` — the single
+#: registry shared with the STA2xx state rules, so PRO103 and STA2xx can
+#: never disagree about which classes are hot-path.  Growing the model?  Add
+#: per-event/per-uop/per-packet classes to ``STATE_CLASSES``.
+SLOTS_MANIFEST: Dict[str, Tuple[str, ...]] = derive_slots_manifest()
 
 #: Fixture/ad-hoc files can demand slots for local classes with a
 #: ``slots-manifest[ClassA,ClassB]`` pragma (written after the usual

@@ -1,0 +1,707 @@
+"""S-rules (STA2xx): state-surface coverage and write ownership.
+
+PR 8's differential fuzzer found the canonical fast-tier bug *dynamically*:
+a mutable ``Core`` field (``ready_heap`` staleness through ``note_skipped``)
+that the batch tier's skip proof did not account for.  These rules move that
+bug class to lint time, using the whole-program state model extracted by
+:mod:`repro.analysis.statemodel`:
+
+- STA201: every mutable ``Core`` field must be referenced by the macro-op
+  tier's snapshot/compare module (``repro.cpu.macroop``) or listed in
+  :data:`MACRO_SNAPSHOT_EXEMPT` with the replay invariant that makes it
+  safe.  Adding a field to ``Core`` without teaching the sigma snapshot
+  becomes a lint failure, not a fuzzer find.
+- STA202: the batch tier's activity surface (``repro.cpu.batchstep`` plus
+  ``Core.next_activity_cycle``/``Core.note_skipped``) must reference every
+  mutable ``Core`` field or exempt it in :data:`BATCH_ACTIVITY_EXEMPT`;
+  additionally every ``BatchScheduler`` lane-mirror slot must be refreshed
+  inside ``lane_snapshot`` or exempted in :data:`LANE_MIRROR_EXEMPT`.
+- STA203: dataclasses carrying ``to_json``/``from_json`` codecs (the
+  Scenario DSL and FaultPlan) must mention every field name in *both*
+  directions — a field added to the dataclass but not the codec would
+  silently drop state on round-trip.
+- STA204: read-only modules (``repro.obs``, ``repro.faults.invariants``)
+  must not store to engine-state fields owned by other packages; the
+  InvariantChecker's "read-only" promise becomes machine-checked.  Declared
+  interception points (:data:`WRITE_GRANTS`) are the only exceptions.
+- STA205: cross-package attribute writes to modeled engine state must come
+  from the owning package or a declared grant — only ``repro.cpu`` writes
+  ``Core`` microarchitectural fields; fault injection mutates only through
+  its declared interception points.
+
+Fixture pragmas (all ``# detlint:``-prefixed, like the PRO-family pragmas)
+let single-file fixtures exercise each rule without shipping a fake engine:
+
+- ``state-class[Name owner=pkg core hot]`` — declare a modeled class
+  (parsed by :mod:`repro.analysis.statemodel`).
+- ``snapshot-fn[f,g]`` — STA201: these functions are the snapshot surface
+  for the file's ``core``-flagged classes.
+- ``activity-fn[f,g]`` — STA202: these functions are the activity surface.
+- ``lane-class[Name refresh=fn]`` — STA202: check ``Name``'s mirror slots
+  against stores in method ``fn``.
+- ``exempt[Class.field] -- reason`` — exempt one field from the coverage
+  rules; the reason is mandatory.
+- ``write-grant[Class.field pkg]`` — STA204/205: declare an interception
+  point granting ``pkg`` write access (fixture-local).
+- ``read-only-module`` — STA204: apply the read-only contract to the file.
+
+Write-resolution semantics (shared with the state model): a store resolves
+strictly when the receiver name hints a modeled class, else to every class
+declaring the field; ambiguous writes pass if *any* candidate permits them,
+and fields of the writing module's own non-modeled classes are skipped —
+ambiguity can relax a finding but never invent one (zero false positives on
+the clean tree is the contract).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleSource, ProgramModel, ProgramRule, Rule, register
+from repro.analysis.statemodel import (
+    ClassModel,
+    StateModel,
+    local_class_fields,
+    nonmodel_class_fields,
+    stored_attr_names,
+)
+
+# ---------------------------------------------------------------------------
+# Declared policy: who may write what, and which fields the fast tiers may
+# ignore.  Every entry carries the invariant that justifies it — these are
+# audit artifacts, not an escape hatch (satellite rule: never baseline a
+# true positive silently).
+
+#: Modules that must be read-only over engine state (prefix match).
+READ_ONLY_MODULES: Tuple[str, ...] = ("repro.obs", "repro.faults.invariants")
+
+#: Dataclass-codec modules STA203 audits.
+JSON_CODEC_MODULES: Tuple[str, ...] = ("repro.scenario.dsl", "repro.faults.plan")
+
+#: Declared cross-package write grants: ``"Class.field" -> (module prefixes)``.
+#: These are the *interception points* — the complete, reviewed list of
+#: places allowed to mutate another package's engine state.
+WRITE_GRANTS: Dict[str, Tuple[str, ...]] = {
+    # §4.4 safepoint mode is an architectural MSR bit: the xui feature API
+    # is its canonical writer, and the scenario compiler / fault harness set
+    # it at configuration time (before cycle 0), never mid-simulation.
+    "UserInterruptFile.safepoint_mode": (
+        "repro.xui",
+        "repro.scenario.compile",
+        "repro.faults.harness",
+    ),
+    # §4.3 the KB timer is kernel-managed: enable/disable and vector
+    # assignment are syscall surface (kernel writes), arming is done by the
+    # user-level instruction inside repro.cpu (owner).
+    "KBTimerState.enabled": ("repro.kernel",),
+    "KBTimerState.vector": ("repro.kernel",),
+    # Declared fault-injection interception points: the injector may drift a
+    # timer deadline and install an APIC-level interceptor — and nothing
+    # else.  Any new injector mutation must be granted here to pass lint.
+    "KBTimerState.deadline": ("repro.faults.injector",),
+    "LocalApic.fault_interceptor": ("repro.faults.injector",),
+    # The InvariantChecker installs its probe hook on the core; the probe
+    # itself only reads (that is exactly what STA204 enforces elsewhere).
+    "Core.invariant_probe": ("repro.faults.invariants",),
+}
+
+#: Shared justification for the run-loop's memoized next-activity cache.
+#: These four fields summarize the primary activity sources (heaps, timers,
+#: stalls); a stale summary can only *shorten* a skip (forcing a re-scan),
+#: never extend one, so neither tier needs to version them.
+_NA_CACHE_REASON = (
+    "run-loop memoization of next_activity_cycle; re-derived from the "
+    "primary sources (heaps/timers/stalls), staleness can only shorten a skip"
+)
+
+#: Shared justification for configuration-time installs: written before
+#: cycle 0 (system wiring / kernel registration), constant during simulation.
+_CONFIG_TIME_REASON = "installed at configuration time, constant during simulation"
+
+#: STA201 — mutable ``Core`` fields the macro-op sigma snapshot may ignore,
+#: each with the replay invariant that makes ignoring it safe.  This is the
+#: complete audited list: every other mutable Core field must be referenced
+#: by ``repro.cpu.macroop`` or lint fails.
+MACRO_SNAPSHOT_EXEMPT: Dict[str, str] = {
+    "_idle_anchor": _NA_CACHE_REASON,
+    "_na_backoff": _NA_CACHE_REASON,
+    "_na_streak": _NA_CACHE_REASON,
+    "_next_activity": _NA_CACHE_REASON,
+    "_macro": _CONFIG_TIME_REASON + " (the MacroController handle itself)",
+    "invariant_probe": _CONFIG_TIME_REASON + " (declared fault-hook grant)",
+    "uitt": _CONFIG_TIME_REASON + " (connect_uipi / kernel UITT registration)",
+    "engine_cycles_skipped": (
+        "engine-tier skip accounting that intentionally differs between "
+        "naive/fast/macro tiers; excluded from the equality contract"
+    ),
+    "macro_pc": (
+        "sigma arm/match requires empty inject/macro queues (macroop guards "
+        "read macro_pos/macro_queue), so the macro-sequence PC is dead state "
+        "at every snapshot boundary"
+    ),
+}
+
+#: Shared justification for data-path fields only the lane's own step()
+#: (or its interrupt-delivery path, which runs inside step()) mutates: a
+#: skipped lane executes nothing, and the skip proof consults only timing
+#: sources (heaps, timers, stalls), never data-path values.
+_STEP_ONLY_REASON = (
+    "mutated only while the lane itself steps (pipeline/delivery path); a "
+    "skipped lane executes nothing and the horizon proof reads only timing "
+    "sources"
+)
+
+#: STA202 — mutable ``Core`` fields the batch-tier activity surface
+#: (batchstep + next_activity_cycle + note_skipped) may ignore.  Complete
+#: audited list, same contract as :data:`MACRO_SNAPSHOT_EXEMPT`.
+BATCH_ACTIVITY_EXEMPT: Dict[str, str] = {
+    "arch_regs": _STEP_ONLY_REASON,
+    "reg_producer": _STEP_ONLY_REASON,
+    "iq_count": _STEP_ONLY_REASON,
+    "_seq": _STEP_ONLY_REASON,
+    "_current_fetch_line": _STEP_ONLY_REASON,
+    "_last_chain_uop": _STEP_ONLY_REASON,
+    "interrupt_path": _STEP_ONLY_REASON,
+    "current_interrupt": _STEP_ONLY_REASON,
+    "macro_pc": _STEP_ONLY_REASON,
+    "_macro_rec": _STEP_ONLY_REASON + " (macro-tier recorder bookkeeping)",
+    "_trace_resume_pending": _STEP_ONLY_REASON,
+    "last_program_commit_cycle": _STEP_ONLY_REASON,
+    "_notif_pir": (
+        "written during interrupt recognition, which only happens on a "
+        "stepped cycle; a pending notification already forces the lane out "
+        "of the batched fast path via _divergent"
+    ),
+    "_idle_anchor": _NA_CACHE_REASON,
+    "_na_backoff": _NA_CACHE_REASON,
+    "_na_streak": _NA_CACHE_REASON,
+    "_next_activity": _NA_CACHE_REASON,
+    "invariant_probe": _CONFIG_TIME_REASON + " (declared fault-hook grant)",
+    "uitt": _CONFIG_TIME_REASON + " (connect_uipi / kernel UITT registration)",
+}
+
+#: STA202 — ``BatchScheduler`` slots that are not per-lane mirror caches
+#: refreshed by ``lane_snapshot``.  Everything else in the class is a
+#: SoA mirror of Core state and must be written there.
+LANE_MIRROR_EXEMPT: Dict[str, str] = {
+    "system": "configuration handle, fixed in __init__",
+    "cores": "configuration handle, fixed in __init__",
+    "n": "configuration constant, fixed in __init__",
+    "idle_min": "configuration constant, fixed in __init__",
+    "na": (
+        "authoritative per-lane horizon, maintained incrementally by "
+        "run_batched at every step/skip — the mirror IS the source of truth, "
+        "not a cache to refresh"
+    ),
+    "anchor": (
+        "authoritative per-lane anchor cycle, maintained incrementally by "
+        "run_batched alongside `na`"
+    ),
+    "run_list": "transient scratch rebuilt by run_batched on every pass",
+    "in_run": "transient scratch rebuilt by run_batched on every pass",
+}
+
+# ---------------------------------------------------------------------------
+# Pragmas
+
+_SNAPSHOT_FN_RE = re.compile(r"#\s*detlint:\s*snapshot-fn\[([A-Za-z0-9_,\s]+)\]")
+_ACTIVITY_FN_RE = re.compile(r"#\s*detlint:\s*activity-fn\[([A-Za-z0-9_,\s]+)\]")
+_LANE_CLASS_RE = re.compile(r"#\s*detlint:\s*lane-class\[(\w+)\s+refresh=(\w+)\]")
+_EXEMPT_RE = re.compile(r"#\s*detlint:\s*exempt\[(\w+)\.(\w+)\]\s*--\s*(\S.*)")
+_GRANT_RE = re.compile(r"#\s*detlint:\s*write-grant\[(\w+)\.(\w+)\s+([\w.]+)\]")
+_JSON_CODEC_RE = re.compile(r"#\s*detlint:\s*json-codec\b")
+_READ_ONLY_RE = re.compile(r"#\s*detlint:\s*read-only-module\b")
+
+
+def _fn_list(regex: re.Pattern, text: str) -> List[str]:
+    names: List[str] = []
+    for match in regex.finditer(text):
+        names.extend(part.strip() for part in match.group(1).split(",") if part.strip())
+    return names
+
+
+def _pragma_exemptions(text: str) -> Dict[Tuple[str, str], str]:
+    return {
+        (match.group(1), match.group(2)): match.group(3).strip()
+        for match in _EXEMPT_RE.finditer(text)
+    }
+
+
+def _pragma_grants(text: str) -> Dict[str, Tuple[str, ...]]:
+    grants: Dict[str, Tuple[str, ...]] = {}
+    for match in _GRANT_RE.finditer(text):
+        key = f"{match.group(1)}.{match.group(2)}"
+        grants[key] = grants.get(key, ()) + (match.group(3),)
+    return grants
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+
+class _Loc:
+    """Minimal node stand-in carrying a source location for findings."""
+
+    __slots__ = ("lineno", "col_offset")
+
+    def __init__(self, lineno: int, col_offset: int = 0) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+def _attr_mentions(tree: ast.AST) -> Set[str]:
+    """Every attribute name referenced anywhere in ``tree`` (any context)."""
+    return {
+        node.attr for node in ast.walk(tree) if isinstance(node, ast.Attribute)
+    }
+
+
+def _functions_named(tree: ast.AST, names: Set[str]) -> List[ast.AST]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name in names
+    ]
+
+
+def _class_def(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _in_pkg(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def _is_read_only(module: ModuleSource) -> bool:
+    return any(_in_pkg(module.module, prefix) for prefix in READ_ONLY_MODULES) or bool(
+        _READ_ONLY_RE.search(module.text)
+    )
+
+
+def _write_allowed(
+    module: str,
+    cls: ClassModel,
+    attr: str,
+    extra_grants: Dict[str, Tuple[str, ...]],
+) -> bool:
+    # No same-module free pass: ownership is the declared owner package.
+    # Registered classes live inside their owner prefix, so their defining
+    # module passes via _in_pkg; pragma classes honor the owner= token.
+    if _in_pkg(module, cls.owner):
+        return True
+    key = f"{cls.name}.{attr}"
+    for prefix in WRITE_GRANTS.get(key, ()) + extra_grants.get(key, ()):
+        if _in_pkg(module, prefix):
+            return True
+    return False
+
+
+def _local_nonmodel_fields(module: ModuleSource, model: StateModel) -> Set[str]:
+    """Fields of classes defined in ``module`` that are *not* in the state
+    model — writes to these are the module's own business."""
+    modeled = {cls.name for cls in model.classes if cls.module == module.module}
+    return nonmodel_class_fields(module.tree, modeled)
+
+
+# ---------------------------------------------------------------------------
+# STA201 / STA202 — snapshot & activity coverage
+
+
+class _CoverageRule(ProgramRule):
+    """Shared machinery: audit mutable core-state fields against a reader
+    surface, honouring an exemption manifest."""
+
+    def _audit(
+        self,
+        program: ProgramModel,
+        cls: ClassModel,
+        anchor: ModuleSource,
+        readers: Set[str],
+        exempt: Dict[str, str],
+        surface: str,
+        manifest: str,
+    ) -> Iterator[Finding]:
+        field_names = {info.name for info in cls.fields}
+        for info in cls.mutable_fields():
+            if info.name in readers:
+                continue
+            reason = exempt.get(info.name)
+            if reason:
+                continue
+            yield self.program_finding(
+                anchor,
+                None,
+                f"mutable {cls.name} field `{info.name}` is not referenced by "
+                f"{surface} and carries no exemption",
+                hint=(
+                    f"teach {surface} about the field, or add it to "
+                    f"{manifest} with the invariant that makes skipping it "
+                    "safe for replay"
+                ),
+            )
+        for name in sorted(exempt):
+            if name not in field_names:
+                yield self.program_finding(
+                    anchor,
+                    None,
+                    f"stale exemption: `{name}` is not a field of {cls.name}",
+                    hint=f"delete the entry from {manifest}",
+                )
+
+
+@register
+class MacroSnapshotCoverageRule(_CoverageRule):
+    """STA201 — the sigma snapshot must know every mutable Core field."""
+
+    rule_id = "STA201"
+    description = (
+        "mutable core-state field not covered by the macro-op snapshot "
+        "module and not exempted as replay-invariant"
+    )
+    hint = (
+        "extend _snapshot_core/_sigma_match, or exempt the field in "
+        "MACRO_SNAPSHOT_EXEMPT with the invariant that keeps replay exact"
+    )
+
+    _READER_MODULE = "repro.cpu.macroop"
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        model = program.state_model
+        for cls in model.core_classes():
+            source = program.by_module.get(cls.module)
+            if source is None:
+                continue
+            if cls.module == "repro.cpu.core":
+                reader = program.by_module.get(self._READER_MODULE)
+                if reader is None:
+                    continue  # partial scan: no snapshot contract in view
+                readers = _attr_mentions(reader.tree)
+                exempt = dict(MACRO_SNAPSHOT_EXEMPT)
+                anchor = reader
+            else:
+                fn_names = set(_fn_list(_SNAPSHOT_FN_RE, source.text))
+                if not fn_names:
+                    continue  # fixture declared no snapshot surface
+                readers = set()
+                for fn in _functions_named(source.tree, fn_names):
+                    readers |= _attr_mentions(fn)
+                exempt = {
+                    field: reason
+                    for (name, field), reason in _pragma_exemptions(source.text).items()
+                    if name == cls.name
+                }
+                anchor = source
+            yield from self._audit(
+                program,
+                cls,
+                anchor,
+                readers,
+                exempt,
+                surface=f"the snapshot surface of {anchor.module}",
+                manifest="MACRO_SNAPSHOT_EXEMPT",
+            )
+
+
+@register
+class BatchActivityCoverageRule(_CoverageRule):
+    """STA202 — the batch tier's skip proof must know every mutable Core
+    field, and every lane-mirror slot must be refreshed."""
+
+    rule_id = "STA202"
+    description = (
+        "mutable core-state field invisible to the batch-tier activity "
+        "surface, or a lane-mirror slot that lane_snapshot never refreshes"
+    )
+    hint = (
+        "reference the field from the activity surface (batchstep, "
+        "next_activity_cycle, note_skipped), refresh the mirror in "
+        "lane_snapshot, or exempt it with the invariant that keeps the "
+        "skip proof sound"
+    )
+
+    _READER_MODULE = "repro.cpu.batchstep"
+    _ACTIVITY_FNS = {"next_activity_cycle", "note_skipped"}
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        model = program.state_model
+        for cls in model.core_classes():
+            source = program.by_module.get(cls.module)
+            if source is None:
+                continue
+            if cls.module == "repro.cpu.core":
+                reader = program.by_module.get(self._READER_MODULE)
+                if reader is None:
+                    continue
+                readers = _attr_mentions(reader.tree)
+                for fn in _functions_named(source.tree, self._ACTIVITY_FNS):
+                    readers |= _attr_mentions(fn)
+                exempt = dict(BATCH_ACTIVITY_EXEMPT)
+                anchor = reader
+            else:
+                fn_names = set(_fn_list(_ACTIVITY_FN_RE, source.text))
+                if not fn_names:
+                    continue
+                readers = set()
+                for fn in _functions_named(source.tree, fn_names):
+                    readers |= _attr_mentions(fn)
+                exempt = {
+                    field: reason
+                    for (name, field), reason in _pragma_exemptions(source.text).items()
+                    if name == cls.name
+                }
+                anchor = source
+            yield from self._audit(
+                program,
+                cls,
+                anchor,
+                readers,
+                exempt,
+                surface=f"the batch activity surface of {anchor.module}",
+                manifest="BATCH_ACTIVITY_EXEMPT",
+            )
+        yield from self._check_lane_mirrors(program)
+
+    def _lane_targets(
+        self, program: ProgramModel
+    ) -> Iterator[Tuple[ModuleSource, str, str, Dict[str, str]]]:
+        real = program.by_module.get(self._READER_MODULE)
+        if real is not None:
+            yield real, "BatchScheduler", "lane_snapshot", dict(LANE_MIRROR_EXEMPT)
+        for source in program.sources:
+            for match in _LANE_CLASS_RE.finditer(source.text):
+                exempt = {
+                    field: reason
+                    for (name, field), reason in _pragma_exemptions(source.text).items()
+                    if name == match.group(1)
+                }
+                yield source, match.group(1), match.group(2), exempt
+
+    def _check_lane_mirrors(self, program: ProgramModel) -> Iterator[Finding]:
+        for source, cls_name, refresh, exempt in self._lane_targets(program):
+            cls = _class_def(source.tree, cls_name)
+            if cls is None:
+                continue
+            slots = local_class_fields(cls)
+            refresh_fn = next(
+                iter(_functions_named(cls, {refresh})), None
+            )
+            if refresh_fn is None:
+                yield self.program_finding(
+                    source,
+                    cls,
+                    f"lane class {cls_name} has no `{refresh}` refresh method",
+                )
+                continue
+            stored = stored_attr_names(refresh_fn)
+            field_names = set(slots)
+            for slot in sorted(slots):
+                if slot in stored:
+                    continue
+                if slot in exempt and exempt[slot]:
+                    continue
+                yield self.program_finding(
+                    source,
+                    refresh_fn,
+                    f"lane-mirror slot `{slot}` of {cls_name} is never "
+                    f"refreshed in {refresh}() and carries no exemption",
+                )
+            for name in sorted(exempt):
+                if name not in field_names:
+                    yield self.program_finding(
+                        source,
+                        cls,
+                        f"stale exemption: `{name}` is not a slot of {cls_name}",
+                        hint="delete the entry from LANE_MIRROR_EXEMPT",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# STA203 — JSON codec completeness
+
+
+@register
+class JsonRoundTripRule(Rule):
+    """STA203 — to_json/from_json must mention every dataclass field."""
+
+    rule_id = "STA203"
+    description = (
+        "dataclass codec (to_json/from_json) does not mention every field "
+        "in both directions — round-trip would drop state"
+    )
+    hint = (
+        "emit and parse the field by its literal name in both to_json and "
+        "from_json (the strict unknown-key check makes renames loud; this "
+        "rule makes *omissions* loud too)"
+    )
+
+    def _applies(self, module: ModuleSource) -> bool:
+        return module.module in JSON_CODEC_MODULES or bool(
+            _JSON_CODEC_RE.search(module.text)
+        )
+
+    @staticmethod
+    def _is_dataclass(cls: ast.ClassDef) -> bool:
+        for decorator in cls.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else getattr(target, "id", "")
+            )
+            if name == "dataclass":
+                return True
+        return False
+
+    @staticmethod
+    def _string_constants(fn: ast.AST) -> Set[str]:
+        return {
+            node.value
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str)
+        }
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self._applies(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not self._is_dataclass(node):
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            to_json = methods.get("to_json")
+            from_json = methods.get("from_json")
+            if to_json is None or from_json is None:
+                continue
+            fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and "ClassVar" not in ast.unparse(stmt.annotation)
+            ]
+            for direction, fn in (("to_json", to_json), ("from_json", from_json)):
+                mentioned = self._string_constants(fn) | _attr_mentions(fn)
+                for field in fields:
+                    if field not in mentioned:
+                        yield self.finding(
+                            module,
+                            fn,
+                            f"{node.name}.{direction} never mentions field "
+                            f"`{field}` — JSON round-trip would drop it",
+                        )
+
+
+# ---------------------------------------------------------------------------
+# STA204 / STA205 — write ownership
+
+
+class _OwnershipRule(ProgramRule):
+    """Shared resolution: map attribute stores to modeled classes and judge
+    them against the ownership map + declared grants."""
+
+    def _violations(
+        self, program: ProgramModel, module: ModuleSource
+    ) -> Iterator[Tuple[int, str, str, Tuple[ClassModel, ...]]]:
+        model = program.state_model
+        grants = _pragma_grants(module.text)
+        local_fields: Optional[Set[str]] = None
+        for write in model.writes:
+            if write.module != module.module or write.self_direct:
+                continue
+            candidates = model.classes_with_field(write.attr)
+            if not candidates:
+                continue
+            strict = tuple(
+                cls
+                for cls in candidates
+                if cls.name.lower() == write.receiver
+                or _hinted_class(write.receiver) == cls.name
+            )
+            if strict:
+                candidates = strict
+            else:
+                if local_fields is None:
+                    local_fields = _local_nonmodel_fields(module, model)
+                if write.attr in local_fields:
+                    continue  # plausibly the module's own class; never guess
+            if any(
+                _write_allowed(module.module, cls, write.attr, grants)
+                for cls in candidates
+            ):
+                continue
+            yield write.line, write.attr, write.receiver, candidates
+
+
+def _hinted_class(receiver: str) -> str:
+    from repro.analysis.statemodel import RECEIVER_HINTS
+
+    return RECEIVER_HINTS.get(receiver, "")
+
+
+@register
+class ReadOnlyEngineStateRule(_OwnershipRule):
+    """STA204 — obs/invariants are read-only over engine state."""
+
+    rule_id = "STA204"
+    description = (
+        "read-only module (repro.obs, repro.faults.invariants) stores to an "
+        "engine-state field owned by another package"
+    )
+    hint = (
+        "observability and invariant checking must only read engine state; "
+        "if this mutation is a deliberate probe hook, declare it in "
+        "WRITE_GRANTS so the interception point is reviewed"
+    )
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        for module in program.sources:
+            if not _is_read_only(module):
+                continue
+            for line, attr, receiver, candidates in self._violations(program, module):
+                names = "/".join(sorted(cls.name for cls in candidates))
+                yield self.program_finding(
+                    module,
+                    _Loc(line),
+                    f"read-only module writes engine state "
+                    f"`{receiver or '<expr>'}.{attr}` ({names})",
+                )
+
+
+@register
+class WriteOwnershipRule(_OwnershipRule):
+    """STA205 — engine state is written only by its owner or a grant."""
+
+    rule_id = "STA205"
+    description = (
+        "attribute write to modeled engine state from outside the owning "
+        "package without a declared grant/interception point"
+    )
+    hint = (
+        "route the mutation through the owner's API, or — if this is a "
+        "genuine architectural surface (syscall, MSR, fault hook) — declare "
+        "it in WRITE_GRANTS with the contract that justifies it"
+    )
+
+    def check_program(self, program: ProgramModel) -> Iterator[Finding]:
+        for module in program.sources:
+            if _is_read_only(module):
+                continue  # STA204's jurisdiction; avoid double findings
+            for line, attr, receiver, candidates in self._violations(program, module):
+                owners = ", ".join(
+                    sorted({f"{cls.name} (owner {cls.owner})" for cls in candidates})
+                )
+                yield self.program_finding(
+                    module,
+                    _Loc(line),
+                    f"write to engine state `{receiver or '<expr>'}.{attr}` "
+                    f"from {module.module}; field belongs to {owners}",
+                )

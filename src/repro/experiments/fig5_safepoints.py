@@ -37,6 +37,7 @@ from repro.cpu.multicore import MultiCoreSystem
 from repro.experiments import cycletier
 from repro.perf import SweepRunner
 from repro.perf.cache import default_cache
+from repro.xui.features import enable_safepoint_mode
 
 MECHANISMS = ("polling", "uipi", "hw_safepoints")
 
@@ -100,7 +101,7 @@ def _run_safepoints(factory, quantum: int) -> int:
         workload.install(system.shared)
         system.enable_kb_timer(0)
         core = system.cores[0]
-        core.uintr.safepoint_mode = True
+        enable_safepoint_mode(core)
         core.uintr.kb_timer.arm_periodic(quantum, now=0)
         system.run(cycletier.MAX_CYCLES, until_halted=[0])
         if not core.halted:

@@ -165,7 +165,7 @@ class _ClosedLoopClient:
     # -- completion -----------------------------------------------------------
 
     def _handle(self, request: OffloadRequest) -> None:
-        request.handled_time = self.sim.now
+        request.mark_handled(self.sim.now)
         self.account.charge("handle", HANDLE_COST)
         self.completed.append(request)
         self._outstanding = None

@@ -1,0 +1,23 @@
+"""STA201 fixture: a core-state class with a mutable field the declared
+snapshot surface never reads — replay would silently diverge."""
+# detlint: state-class[MiniCore owner=engine.cpu core]
+# detlint: snapshot-fn[snapshot_core]
+
+
+class MiniCore:
+    __slots__ = ("cycle", "fetch_pc", "spill_mask")
+
+    def __init__(self):
+        self.cycle = 0
+        self.fetch_pc = 0
+        self.spill_mask = 0
+
+    def step(self):
+        self.cycle += 1
+        self.fetch_pc += 1
+        self.spill_mask |= self.fetch_pc & 7
+
+
+def snapshot_core(core):
+    # spill_mask is mutable but never captured here: STA201.
+    return (core.cycle, core.fetch_pc)

@@ -1,0 +1,23 @@
+"""STA201 clean twin: every mutable field is snapshotted or exempted with
+a stated replay invariant."""
+# detlint: state-class[MiniCore owner=engine.cpu core]
+# detlint: snapshot-fn[snapshot_core]
+# detlint: exempt[MiniCore.spill_mask] -- scratch mask, re-derived from the uop stream on every replay
+
+
+class MiniCore:
+    __slots__ = ("cycle", "fetch_pc", "spill_mask")
+
+    def __init__(self):
+        self.cycle = 0
+        self.fetch_pc = 0
+        self.spill_mask = 0
+
+    def step(self):
+        self.cycle += 1
+        self.fetch_pc += 1
+        self.spill_mask |= self.fetch_pc & 7
+
+
+def snapshot_core(core):
+    return (core.cycle, core.fetch_pc)

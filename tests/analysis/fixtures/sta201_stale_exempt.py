@@ -1,0 +1,19 @@
+"""STA201 fixture: an exemption naming a field that no longer exists —
+the manifest must shrink with the model."""
+# detlint: state-class[MiniCore owner=engine.cpu core]
+# detlint: snapshot-fn[snapshot_core]
+# detlint: exempt[MiniCore.gone_field] -- removed two refactors ago
+
+
+class MiniCore:
+    __slots__ = ("cycle",)
+
+    def __init__(self):
+        self.cycle = 0
+
+    def step(self):
+        self.cycle += 1
+
+
+def snapshot_core(core):
+    return (core.cycle,)

@@ -1,0 +1,47 @@
+"""STA202 clean twin: deferred work lives in the audited heap, every lane
+mirror is refreshed, and config handles carry stated exemptions."""
+# detlint: state-class[LoopCore owner=engine.cpu core]
+# detlint: activity-fn[next_activity_cycle,note_skipped]
+# detlint: lane-class[LaneSched refresh=lane_snapshot]
+# detlint: exempt[LaneSched.cores] -- configuration handle, fixed in __init__
+
+
+class LoopCore:
+    __slots__ = ("cycle", "ready_heap", "deferred_wakeups")
+
+    def __init__(self):
+        self.cycle = 0
+        self.ready_heap = []
+        self.deferred_wakeups = []
+
+    def retire(self):
+        self.deferred_wakeups = [self.cycle + 4]
+
+    def note_skipped(self, cycles):
+        # The deferred list is folded into the horizon: no silent skip.
+        self.cycle += cycles
+        if self.deferred_wakeups:
+            self.ready_heap.extend(self.deferred_wakeups)
+            self.deferred_wakeups = []
+
+    def next_activity_cycle(self):
+        if self.deferred_wakeups:
+            return min(self.deferred_wakeups)
+        if self.ready_heap:
+            return self.ready_heap[0]
+        return self.cycle + 1
+
+
+class LaneSched:
+    __slots__ = ("cores", "fetch_pc", "rob_occ")
+
+    def __init__(self, cores):
+        self.cores = list(cores)
+        self.fetch_pc = [0] * len(self.cores)
+        self.rob_occ = [0] * len(self.cores)
+
+    def lane_snapshot(self):
+        for i, core in enumerate(self.cores):
+            self.fetch_pc[i] = core.fetch_pc
+            self.rob_occ[i] = len(core.ready_heap)
+        return {"fetch_pc": self.fetch_pc, "rob_occ": self.rob_occ}

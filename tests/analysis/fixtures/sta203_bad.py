@@ -1,0 +1,20 @@
+"""STA203 fixture: a dataclass codec that forgets a field in both
+directions — round-trip silently drops state."""
+# detlint: json-codec
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimerSpec:
+    name: str
+    period: int
+    vector: int
+
+    def to_json(self):
+        # vector is never emitted: a saved spec loses it.
+        return {"name": self.name, "period": self.period}
+
+    @staticmethod
+    def from_json(payload):
+        # ... and never parsed: a loaded spec resets it.
+        return TimerSpec(payload["name"], payload["period"], 0)

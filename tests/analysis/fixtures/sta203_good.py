@@ -1,0 +1,22 @@
+"""STA203 clean twin: every field crosses the JSON boundary by name in
+both directions."""
+# detlint: json-codec
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimerSpec:
+    name: str
+    period: int
+    vector: int
+
+    def to_json(self):
+        return {"name": self.name, "period": self.period, "vector": self.vector}
+
+    @staticmethod
+    def from_json(payload):
+        return TimerSpec(
+            name=payload["name"],
+            period=payload["period"],
+            vector=payload["vector"],
+        )

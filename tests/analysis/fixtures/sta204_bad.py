@@ -1,0 +1,17 @@
+"""STA204 fixture: a 'read-only' probe module that scribbles on engine
+state it is only supposed to observe."""
+# detlint: read-only-module
+# detlint: state-class[ProbeCore owner=engine.cpu]
+
+
+class ProbeCore:
+    __slots__ = ("cycle", "halted")
+
+    def __init__(self):
+        self.cycle = 0
+        self.halted = False
+
+
+def probe(core):
+    core.halted = True  # a probe must not mutate the machine
+    return core.cycle

@@ -1,0 +1,22 @@
+"""STA204 clean twin: the probe only reads, and the one installation-time
+hook write is a declared interception point."""
+# detlint: read-only-module
+# detlint: state-class[ProbeCore owner=engine.cpu]
+# detlint: write-grant[ProbeCore.probe_hook sta204_good]
+
+
+class ProbeCore:
+    __slots__ = ("cycle", "halted", "probe_hook")
+
+    def __init__(self):
+        self.cycle = 0
+        self.halted = False
+        self.probe_hook = None
+
+
+def install(core, hook):
+    core.probe_hook = hook  # declared grant: the install-time hook point
+
+
+def probe(core):
+    return (core.cycle, core.halted)

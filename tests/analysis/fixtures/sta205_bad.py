@@ -1,0 +1,15 @@
+"""STA205 fixture: a helper module reaching into engine-owned state
+without a declared grant."""
+# detlint: state-class[EngineCore owner=engine.cpu]
+
+
+class EngineCore:
+    __slots__ = ("cycle", "fetch_pc")
+
+    def __init__(self):
+        self.cycle = 0
+        self.fetch_pc = 0
+
+
+def warp_clock(core, cycles):
+    core.cycle += cycles  # only engine.cpu may move the machine clock

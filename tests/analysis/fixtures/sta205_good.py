@@ -1,0 +1,21 @@
+"""STA205 clean twin: reads are free, and the one cross-package mutation
+is a declared interception point (write-grant)."""
+# detlint: state-class[EngineCore owner=engine.cpu]
+# detlint: write-grant[EngineCore.fault_hook sta205_good]
+
+
+class EngineCore:
+    __slots__ = ("cycle", "fetch_pc", "fault_hook")
+
+    def __init__(self):
+        self.cycle = 0
+        self.fetch_pc = 0
+        self.fault_hook = None
+
+
+def install_fault_hook(core, hook):
+    core.fault_hook = hook  # declared grant: the fault-injection seam
+
+
+def read_clock(core):
+    return core.cycle

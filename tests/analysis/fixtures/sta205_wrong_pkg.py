@@ -1,0 +1,16 @@
+"""STA205 fixture: a write-grant is package-scoped — the same field
+written from outside the granted package is still a violation."""
+# detlint: state-class[EngineCore owner=engine.cpu]
+# detlint: write-grant[EngineCore.fault_hook engine.faults]
+
+
+class EngineCore:
+    __slots__ = ("cycle", "fault_hook")
+
+    def __init__(self):
+        self.cycle = 0
+        self.fault_hook = None
+
+
+def hijack(core, hook):
+    core.fault_hook = hook  # grant names engine.faults, not this module

@@ -27,6 +27,11 @@ ALL_RULE_IDS = (
     "PRO102",
     "PRO103",
     "PRO104",
+    "STA201",
+    "STA202",
+    "STA203",
+    "STA204",
+    "STA205",
 )
 
 
@@ -216,6 +221,71 @@ def test_real_scenario_modules_scan_clean():
     )
     assert report.ok
     assert report.new_findings == []
+
+
+def test_sta201_names_the_uncovered_field():
+    report = scan("sta201_bad.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA201"]
+    assert any("spill_mask" in m and "MiniCore" in m for m in messages)
+    # Covered fields stay out of the report.
+    assert not any("fetch_pc" in m for m in messages)
+
+
+def test_sta201_flags_stale_exemptions():
+    # An exemption naming a field that no longer exists is itself a finding:
+    # the manifest must shrink with the model.
+    report = scan("sta201_stale_exempt.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA201"]
+    assert any("stale exemption" in m and "gone_field" in m for m in messages)
+
+
+def test_sta202_catches_note_skipped_regression_shape():
+    """The PR-8 bug shape: deferred work parked in a field the activity
+    surface (``next_activity_cycle``/``note_skipped``) never consults, so a
+    multi-cycle skip can jump straight past a due wakeup."""
+    report = scan("sta202_bad.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA202"]
+    assert any("deferred_wakeups" in m and "LoopCore" in m for m in messages)
+    # The heap itself is consulted by the horizon proof: not a finding.
+    assert not any("ready_heap" in m for m in messages)
+
+
+def test_sta202_catches_stale_lane_mirror():
+    report = scan("sta202_bad.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA202"]
+    assert any("rob_occ" in m and "lane_snapshot" in m for m in messages)
+    # fetch_pc is refreshed through a subscript store — must stay clean.
+    assert not any("fetch_pc" in m for m in messages)
+
+
+def test_sta203_names_the_dropped_field_per_direction():
+    report = scan("sta203_bad.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA203"]
+    assert any("vector" in m and "to_json" in m for m in messages)
+    assert any("vector" in m and "from_json" in m for m in messages)
+    assert not any("period" in m for m in messages)
+
+
+def test_sta204_message_names_module_and_class():
+    report = scan("sta204_bad.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA204"]
+    assert any("halted" in m and "ProbeCore" in m for m in messages)
+
+
+def test_sta205_message_names_the_owner():
+    report = scan("sta205_bad.py")
+    messages = [f.message for f in report.new_findings if f.rule_id == "STA205"]
+    assert any(
+        "cycle" in m and "EngineCore" in m and "engine.cpu" in m
+        for m in messages
+    )
+
+
+def test_sta205_write_grant_is_package_scoped():
+    # The same granted write from a module *outside* the granted package is
+    # still a finding: grants name interception points, not open season.
+    report = scan("sta205_wrong_pkg.py")
+    assert any(f.rule_id == "STA205" for f in report.new_findings)
 
 
 def test_findings_are_totally_ordered():
