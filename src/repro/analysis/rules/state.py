@@ -79,7 +79,14 @@ from repro.analysis.statemodel import (
 READ_ONLY_MODULES: Tuple[str, ...] = ("repro.obs", "repro.faults.invariants")
 
 #: Dataclass-codec modules STA203 audits.
-JSON_CODEC_MODULES: Tuple[str, ...] = ("repro.scenario.dsl", "repro.faults.plan")
+JSON_CODEC_MODULES: Tuple[str, ...] = (
+    "repro.scenario.dsl",
+    "repro.faults.plan",
+    "repro.cluster.topology",
+    "repro.cluster.shard",
+    "repro.cluster.aggregate",
+    "repro.cluster.report",
+)
 
 #: Declared cross-package write grants: ``"Class.field" -> (module prefixes)``.
 #: These are the *interception points* — the complete, reviewed list of

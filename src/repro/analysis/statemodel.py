@@ -122,6 +122,11 @@ STATE_CLASSES: Tuple[StateClassSpec, ...] = (
     _spec("repro.kernel.threads", "KernelThread"),
     _spec("repro.accel.dsa", "OffloadRequest"),
     _spec("repro.runtime.timerwheel", "TimeoutHandle"),
+    _spec("repro.cluster.topology", "ClusterTopology"),
+    _spec("repro.cluster.topology", "ShardSpec"),
+    _spec("repro.cluster.topology", "TenantSpec"),
+    _spec("repro.cluster.shard", "ShardJob"),
+    _spec("repro.cluster.shard", "ShardResult"),
 )
 
 #: Receiver-name hints: a write through a receiver with one of these names

@@ -604,6 +604,96 @@ def _cmd_bench_gate(args) -> int:
         return 2
 
 
+def _cmd_cluster(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.common.errors import ConfigError
+    from repro.common.units import cycles_to_us
+
+    try:
+        from repro.cluster import ClusterDriver, ClusterTopology
+        from repro.cluster.driver import report_to_metrics
+        from repro.notify.costs import CostModel
+
+        topology = ClusterTopology(
+            name=args.name,
+            tenants=args.tenants,
+            shards=args.shards,
+            hosts=args.hosts,
+            cores_per_shard=args.cores_per_shard,
+            scenario=args.scenario,
+            strategies=tuple(args.strategies.split(",")),
+            tenant_rps=args.tenant_rps,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+        )
+        costs = CostModel.from_cycle_model() if args.calibrate else None
+        driver = ClusterDriver(
+            topology,
+            jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir,
+            costs=costs,
+        )
+        report = driver.run()
+        if args.selfcheck:
+            rerun = ClusterDriver(
+                topology, jobs=args.jobs, checkpoint_dir=args.checkpoint_dir, costs=costs
+            ).run()
+            if rerun.dumps() != report.dumps():
+                print("cluster selfcheck: re-run report NOT byte-identical", file=sys.stderr)
+                return 1
+            print("cluster selfcheck: re-run report byte-identical")
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    scale = report.scale_factor
+    scale_label = f"{scale:,.0f}x" if scale >= 1 else f"{scale:.2g}x"
+    rows = []
+    for agg in report.aggregates:
+        rows.append(
+            [
+                agg.strategy,
+                f"{agg.tenants:,}",
+                f"{agg.count:,}",
+                f"{cycles_to_us(agg.p50):.2f}" if agg.p50 is not None else "-",
+                f"{cycles_to_us(agg.p99):.2f}" if agg.p99 is not None else "-",
+                f"{cycles_to_us(agg.p999):.2f}" if agg.p999 is not None else "-",
+                f"{agg.preemptions_total:,}",
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "tenants", "samples", "p50 (us)", "p99 (us)", "p999 (us)", "preemptions"],
+            rows,
+            title=(
+                f"Cluster {topology.name!r}: {topology.tenants:,} tenants / "
+                f"{topology.shards} shards / {topology.hosts} hosts "
+                f"({scale_label} paper scale, mode={driver.last_mode})"
+            ),
+        )
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(report.dumps())
+        print(f"cluster report written to {args.json_out}")
+    if args.metrics_out:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report_to_metrics(report, registry)
+        Path(args.metrics_out).write_text(json.dumps(registry.as_dict(), indent=2) + "\n")
+        print(f"cluster metrics written to {args.metrics_out}")
+    if not report.verdict.applicable:
+        print("ordering verdict: not applicable (needs all three strategies with samples)")
+        return 0
+    if report.verdict.ok:
+        print("ordering verdict: OK — p999 flush > tracked > timer (Figure 7 at scale)")
+        return 0
+    print("ordering verdict: FAILED — p999 not ordered flush > tracked > timer", file=sys.stderr)
+    return 1
+
+
 def _cmd_perf_selftest(args) -> int:
     from repro.common.errors import ConfigError
     from repro.perf.selftest import run_selftest
@@ -710,6 +800,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the gate verdict as JSON",
     )
     bench_gate.set_defaults(func=_cmd_bench_gate)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded datacenter simulation: sweep notification strategies "
+        "over tenants x shards and check the Figure-7 p999 ordering",
+    )
+    cluster.add_argument("--name", default="cluster", help="topology name (report identity)")
+    cluster.add_argument("--tenants", type=int, default=4096, help="total tenants")
+    cluster.add_argument("--shards", type=int, default=16, help="independent shards")
+    cluster.add_argument("--hosts", type=int, default=4, help="simulated hosts")
+    cluster.add_argument(
+        "--cores-per-shard", type=int, default=1, metavar="N", help="worker cores per shard"
+    )
+    cluster.add_argument(
+        "--scenario",
+        default="rocksdb",
+        choices=("rocksdb", "timers", "fanout"),
+        help="tenant workload template",
+    )
+    cluster.add_argument(
+        "--strategies",
+        default="flush,tracked,timer",
+        metavar="LIST",
+        help="comma-separated notification strategies (default all three)",
+    )
+    cluster.add_argument(
+        "--tenant-rps", type=float, default=50.0, metavar="R", help="per-tenant request rate"
+    )
+    cluster.add_argument(
+        "--duration-ms", type=float, default=20.0, metavar="MS", help="simulated window per shard"
+    )
+    cluster.add_argument("--seed", type=int, default=0, help="root seed")
+    cluster.add_argument(
+        "--jobs", type=int, default=None, metavar="N", help="worker processes (default: auto)"
+    )
+    cluster.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="JSONL checkpoint directory: a killed run resumes from completed shards",
+    )
+    cluster.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="derive delivery costs from the cycle-tier model instead of paper defaults",
+    )
+    cluster.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run the topology twice and require byte-identical reports",
+    )
+    cluster.add_argument("--json-out", default=None, metavar="PATH", help="write the report JSON")
+    cluster.add_argument(
+        "--metrics-out", default=None, metavar="PATH", help="write cluster.* metrics JSON"
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     faultsweep = sub.add_parser(
         "faultsweep",

@@ -1,0 +1,35 @@
+"""Sharded event-tier datacenter simulation for million-tenant workloads.
+
+The cluster layer composes thousands of independent event-tier runtime
+simulations ("shards") into one experiment: :mod:`.topology` maps tenants
+onto shards and hosts, :mod:`.shard` runs one (shard, strategy) cell as a
+pure picklable job, :mod:`.driver` fans the cells over the process-pool
+:class:`~repro.perf.engine.SweepRunner` with checkpoint/resume, and
+:mod:`.aggregate` / :mod:`.report` merge per-shard latency histograms into
+cluster-wide percentiles and a Figure-7 ordering verdict.
+"""
+
+from repro.cluster.aggregate import OrderingVerdict, StrategyAggregate
+from repro.cluster.driver import ClusterDriver
+from repro.cluster.report import ClusterReport
+from repro.cluster.shard import ShardJob, ShardResult, run_shard_job
+from repro.cluster.topology import (
+    CLUSTER_STRATEGIES,
+    ClusterTopology,
+    ShardSpec,
+    TenantSpec,
+)
+
+__all__ = [
+    "CLUSTER_STRATEGIES",
+    "ClusterDriver",
+    "ClusterReport",
+    "ClusterTopology",
+    "OrderingVerdict",
+    "ShardJob",
+    "ShardResult",
+    "ShardSpec",
+    "StrategyAggregate",
+    "TenantSpec",
+    "run_shard_job",
+]

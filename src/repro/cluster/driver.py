@@ -1,0 +1,102 @@
+"""The cluster driver: fan (shard x strategy) jobs over the sweep engine.
+
+One :class:`ClusterDriver` expands a topology into its (strategy, shard)
+grid of :class:`~repro.cluster.shard.ShardJob`\\ s, runs them through
+:class:`~repro.perf.engine.SweepRunner` (process pool, salvage, retries,
+JSONL checkpoint/resume keyed by the job list's canonical hash), and
+aggregates the per-shard results into a :class:`ClusterReport`.
+
+Restartability falls out of the sweep engine: with ``checkpoint_dir`` set,
+a killed million-tenant run re-executes only the shards that had not
+completed, and — because every job is a pure function of its own fields —
+the resumed report is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.notify.costs import CostModel
+from repro.obs.registry import MetricsRegistry
+from repro.perf.engine import SweepRunner
+from repro.cluster.aggregate import aggregate_strategy, ordering_verdict
+from repro.cluster.report import ClusterReport
+from repro.cluster.shard import ShardJob, ShardResult, run_shard_job
+from repro.cluster.topology import ClusterTopology
+
+
+class ClusterDriver:
+    """Runs one topology end to end; see the module docstring."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        jobs: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        costs: Optional[CostModel] = None,
+    ) -> None:
+        self.topology = topology
+        self.costs = costs or CostModel.paper_defaults()
+        self.runner = SweepRunner(jobs, checkpoint_dir=checkpoint_dir)
+
+    @property
+    def last_mode(self) -> str:
+        """How the most recent run executed (serial/parallel/salvaged)."""
+        return self.runner.last_mode
+
+    def shard_jobs(self) -> List[ShardJob]:
+        """The full (strategy-major, then shard-index) job grid."""
+        topology = self.topology
+        jobs: List[ShardJob] = []
+        for strategy in topology.strategies:
+            for spec in topology.shard_specs():
+                jobs.append(
+                    ShardJob(
+                        shard_index=spec.index,
+                        host=spec.host,
+                        strategy=strategy,
+                        workers=spec.workers,
+                        groups=(topology.tenant_spec_for_shard(spec.index),),
+                        duration_ms=topology.duration_ms,
+                        seed=spec.seed,
+                        sub_bits=topology.sub_bits,
+                        costs=self.costs,
+                    )
+                )
+        return jobs
+
+    def run(self) -> ClusterReport:
+        """Execute every shard job and aggregate into the cluster report."""
+        jobs = self.shard_jobs()
+        results: List[ShardResult] = self.runner.map(run_shard_job, jobs)
+        per_strategy = len(self.topology.shard_specs())
+        aggregates = tuple(
+            aggregate_strategy(
+                strategy, results[i * per_strategy : (i + 1) * per_strategy]
+            )
+            for i, strategy in enumerate(self.topology.strategies)
+        )
+        return ClusterReport(
+            topology=self.topology,
+            aggregates=aggregates,
+            verdict=ordering_verdict(aggregates),
+        )
+
+
+def report_to_metrics(report: ClusterReport, registry: MetricsRegistry) -> None:
+    """Publish a cluster report under the ``cluster.`` metrics namespace.
+
+    Counters and gauges land at ``cluster.<strategy>.*``; each strategy's
+    merged latency distribution folds into ``cluster.<strategy>.latency``
+    via the registry's histogram merge path.
+    """
+    registry.gauge("cluster.scale_factor", report.scale_factor)
+    registry.set_counter("cluster.tenants", report.topology.tenants)
+    registry.set_counter("cluster.shards", report.topology.shards)
+    for agg in report.aggregates:
+        prefix = f"cluster.{agg.strategy}"
+        registry.set_counter(f"{prefix}.offered", agg.offered)
+        registry.set_counter(f"{prefix}.completed", agg.completed)
+        registry.set_counter(f"{prefix}.in_window", agg.in_window)
+        registry.set_counter(f"{prefix}.preemptions_total", agg.preemptions_total)
+        registry.merge_histogram(f"{prefix}.latency", agg.histogram())

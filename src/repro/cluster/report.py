@@ -1,0 +1,115 @@
+"""The cluster report: byte-stable JSON consumable by bench-gate.
+
+A :class:`ClusterReport` is a pure function of the topology (no wall
+clock, no hostnames, no execution mode), so re-running the same topology
+and seed reproduces the report byte for byte — the property the CI
+determinism check and the checkpoint-resume tests assert.  The ``checks``
+list mirrors the bench-gate shape (``{"bench", "check", "ok", "note"}``)
+so the same blocking-CI reader consumes both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.units import cycles_to_us
+from repro.scenario.dsl import _reject_unknown
+from repro.cluster.aggregate import OrderingVerdict, StrategyAggregate
+from repro.cluster.topology import ClusterTopology
+
+#: Report schema identifier (bump on incompatible change).
+REPORT_SCHEMA = "repro.cluster.report/v1"
+
+#: The paper's evaluation scale: Figure 7 drives O(10^3) open RocksDB
+#: connections at one server, so "1000x paper scale" means >= one million
+#: tenants across the cluster.
+PAPER_SCALE_TENANTS = 1_000
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterReport:
+    """Everything one cluster run produced, in canonical form."""
+
+    topology: ClusterTopology
+    aggregates: Tuple[StrategyAggregate, ...]
+    verdict: OrderingVerdict
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.aggregates, tuple) or not self.aggregates:
+            raise ConfigError("cluster report needs a non-empty tuple of aggregates")
+        names = [agg.strategy for agg in self.aggregates]
+        if sorted(names) != sorted(self.topology.strategies):
+            raise ConfigError(
+                f"aggregate strategies {sorted(names)} do not match topology "
+                f"strategies {sorted(self.topology.strategies)}"
+            )
+
+    @property
+    def scale_factor(self) -> float:
+        return self.topology.tenants / PAPER_SCALE_TENANTS
+
+    def checks(self) -> list:
+        """Bench-gate-shaped pass/fail checks for CI blocking."""
+        bench = f"cluster/{self.topology.name}"
+        out = [
+            {
+                "bench": bench,
+                "check": "samples_recorded",
+                "ok": all(agg.count > 0 for agg in self.aggregates),
+                "note": "every strategy recorded at least one latency sample",
+            }
+        ]
+        if self.verdict.applicable:
+            p999_us = {
+                name: (None if value is None else round(cycles_to_us(value), 3))
+                for name, value in sorted(self.verdict.p999.items())
+            }
+            out.append(
+                {
+                    "bench": bench,
+                    "check": "ordering_p999",
+                    "ok": self.verdict.ok,
+                    "note": f"expect p999 flush > tracked > timer; got (us) {p999_us}",
+                }
+            )
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "topology": self.topology.to_json(),
+            "aggregates": [agg.to_json() for agg in self.aggregates],
+            "verdict": self.verdict.to_json(),
+            "scale": {
+                "tenants": self.topology.tenants,
+                "paper_tenants": PAPER_SCALE_TENANTS,
+                "factor": self.scale_factor,
+            },
+            "checks": self.checks(),
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "ClusterReport":
+        _reject_unknown(
+            obj,
+            ("schema", "topology", "aggregates", "verdict", "scale", "checks"),
+            "cluster report",
+        )
+        schema = obj.get("schema", REPORT_SCHEMA)
+        if schema != REPORT_SCHEMA:
+            raise ConfigError(f"unsupported cluster report schema {schema!r}")
+        aggregates = obj.get("aggregates", [])
+        if not isinstance(aggregates, (list, tuple)):
+            raise ConfigError("report aggregates must be a list")
+        return cls(
+            topology=ClusterTopology.from_json(obj.get("topology", {})),
+            aggregates=tuple(StrategyAggregate.from_json(a) for a in aggregates),
+            verdict=OrderingVerdict.from_json(obj.get("verdict", {})),
+        )
+
+    def dumps(self) -> str:
+        """Byte-stable canonical dump (the re-run determinism contract)."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":")) + "\n"

@@ -1,0 +1,315 @@
+"""Cluster topology: tenants -> shards -> hosts, validated and canonical.
+
+A :class:`ClusterTopology` is the whole experiment's identity: how many
+tenants, how they partition into shards, which hosts the shards land on,
+what workload template each tenant runs and which notification strategies
+are swept.  It follows the scenario-DSL idiom — frozen slotted dataclasses,
+``__post_init__`` validation raising :class:`ConfigError`, strict
+``from_json`` that rejects unknown keys, and a byte-stable ``dumps`` whose
+hash (:meth:`ClusterTopology.topology_id`) keys checkpoints and reports.
+
+Shard independence is what makes the fan-out exact: tenants never share
+queues or cores across shards, every shard derives its own RNG seed via
+:func:`~repro.common.rng.derive_seed`, and — deliberately — the *same*
+shard seed is used for every strategy (common random numbers), so the
+flush/tracked/timer comparison sees identical arrival processes and the
+ordering verdict is never an artifact of sampling noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed
+from repro.notify.mechanisms import Mechanism
+from repro.scenario.dsl import _reject_unknown, _require_int
+from repro.scenario.tenants import TENANT_TEMPLATES
+
+#: Strategy names swept by the cluster layer, in Figure-7 p999 order
+#: (worst first): UIPI with full state flush, xUI tracked-state IPI, and
+#: the xUI kernel-bypass timer.
+CLUSTER_STRATEGIES: Tuple[str, ...] = ("flush", "tracked", "timer")
+
+#: Strategy -> event-tier preemption mechanism (drives both the runtime's
+#: per-quantum preemption cost and the per-event delivery cost).
+STRATEGY_MECHANISMS = {
+    "flush": Mechanism.UIPI,
+    "tracked": Mechanism.XUI_TRACKED_IPI,
+    "timer": Mechanism.XUI_KB_TIMER,
+}
+
+#: Histogram resolution for cluster latency: 256 sub-buckets per octave
+#: (~0.4% quantization error).  The flush-vs-tracked p999 gap is a few
+#: hundred cycles on ~10k-cycle tails (~4%), so the default ~6% resolution
+#: could collapse the ordering into one bucket; 8 bits cannot.
+CLUSTER_SUB_BITS = 8
+
+#: Timer-core capacity bound: UIPI-style mechanisms multiplex one sender
+#: core across workers (see ``CostModel.timer_core_capacity``); 22 workers
+#: is the 5-us-quantum capacity, so larger shards would be rejected by the
+#: runtime anyway.
+MAX_CORES_PER_SHARD = 22
+
+MAX_TENANTS = 1_000_000_000
+MAX_SHARDS = 65_536
+
+
+def _require_number(value: Any, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantSpec:
+    """A homogeneous group of tenants: template, head-count, per-tenant rate."""
+
+    template: str
+    count: int
+    rps: float
+
+    def __post_init__(self) -> None:
+        if self.template not in TENANT_TEMPLATES:
+            known = ", ".join(sorted(TENANT_TEMPLATES))
+            raise ConfigError(
+                f"tenant template must be one of [{known}], got {self.template!r}"
+            )
+        _require_int(self.count, "tenant count")
+        if not 1 <= self.count <= MAX_TENANTS:
+            raise ConfigError(f"tenant count must be in [1, {MAX_TENANTS}], got {self.count}")
+        rps = _require_number(self.rps, "tenant rps")
+        if not 0 < rps <= 1_000_000:
+            raise ConfigError(f"tenant rps must be in (0, 1e6], got {self.rps!r}")
+
+    def to_json(self) -> dict:
+        return {"template": self.template, "count": self.count, "rps": self.rps}
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "TenantSpec":
+        _reject_unknown(obj, ("template", "count", "rps"), "tenant spec")
+        return cls(
+            template=obj.get("template", "rocksdb"),
+            count=_require_int(obj.get("count", 1), "tenant count"),
+            rps=_require_number(obj.get("rps", 1.0), "tenant rps"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One shard's placement and sizing (derived from the topology)."""
+
+    index: int
+    host: int
+    tenants: int
+    workers: int
+    scenario: str
+    seed: int
+
+    def __post_init__(self) -> None:
+        _require_int(self.index, "shard index")
+        _require_int(self.host, "shard host")
+        _require_int(self.tenants, "shard tenants")
+        _require_int(self.workers, "shard workers")
+        _require_int(self.seed, "shard seed")
+        if self.index < 0 or self.host < 0:
+            raise ConfigError(f"shard index/host must be >= 0, got {self.index}/{self.host}")
+        if self.tenants < 0:
+            raise ConfigError(f"shard tenants must be >= 0, got {self.tenants}")
+        if not 1 <= self.workers <= MAX_CORES_PER_SHARD:
+            raise ConfigError(
+                f"shard workers must be in [1, {MAX_CORES_PER_SHARD}], got {self.workers}"
+            )
+        if self.scenario not in TENANT_TEMPLATES:
+            raise ConfigError(f"unknown shard scenario {self.scenario!r}")
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "host": self.host,
+            "tenants": self.tenants,
+            "workers": self.workers,
+            "scenario": self.scenario,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "ShardSpec":
+        _reject_unknown(
+            obj, ("index", "host", "tenants", "workers", "scenario", "seed"), "shard spec"
+        )
+        return cls(
+            index=_require_int(obj.get("index", 0), "shard index"),
+            host=_require_int(obj.get("host", 0), "shard host"),
+            tenants=_require_int(obj.get("tenants", 0), "shard tenants"),
+            workers=_require_int(obj.get("workers", 1), "shard workers"),
+            scenario=obj.get("scenario", "rocksdb"),
+            seed=_require_int(obj.get("seed", 0), "shard seed"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterTopology:
+    """The validated, canonical identity of one cluster experiment."""
+
+    name: str = "cluster"
+    tenants: int = 4096
+    shards: int = 16
+    hosts: int = 4
+    cores_per_shard: int = 1
+    scenario: str = "rocksdb"
+    strategies: Tuple[str, ...] = CLUSTER_STRATEGIES
+    tenant_rps: float = 50.0
+    duration_ms: float = 20.0
+    seed: int = 0
+    sub_bits: int = CLUSTER_SUB_BITS
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(f"topology name must be a non-empty string, got {self.name!r}")
+        _require_int(self.tenants, "tenants")
+        _require_int(self.shards, "shards")
+        _require_int(self.hosts, "hosts")
+        _require_int(self.cores_per_shard, "cores_per_shard")
+        _require_int(self.seed, "seed")
+        _require_int(self.sub_bits, "sub_bits")
+        if not 1 <= self.tenants <= MAX_TENANTS:
+            raise ConfigError(f"tenants must be in [1, {MAX_TENANTS}], got {self.tenants}")
+        if not 1 <= self.shards <= MAX_SHARDS:
+            raise ConfigError(f"shards must be in [1, {MAX_SHARDS}], got {self.shards}")
+        if self.tenants < self.shards:
+            raise ConfigError(
+                f"need at least one tenant per shard: {self.tenants} tenants < "
+                f"{self.shards} shards"
+            )
+        if not 1 <= self.hosts <= self.shards:
+            raise ConfigError(f"hosts must be in [1, shards], got {self.hosts}")
+        if not 1 <= self.cores_per_shard <= MAX_CORES_PER_SHARD:
+            raise ConfigError(
+                f"cores_per_shard must be in [1, {MAX_CORES_PER_SHARD}], "
+                f"got {self.cores_per_shard}"
+            )
+        if self.scenario not in TENANT_TEMPLATES:
+            known = ", ".join(sorted(TENANT_TEMPLATES))
+            raise ConfigError(f"scenario must be one of [{known}], got {self.scenario!r}")
+        if not isinstance(self.strategies, tuple) or not self.strategies:
+            raise ConfigError("strategies must be a non-empty tuple")
+        seen = []
+        for strategy in self.strategies:
+            if strategy not in STRATEGY_MECHANISMS:
+                raise ConfigError(
+                    f"strategy must be one of {CLUSTER_STRATEGIES}, got {strategy!r}"
+                )
+            if strategy in seen:
+                raise ConfigError(f"duplicate strategy {strategy!r}")
+            seen.append(strategy)
+        rps = _require_number(self.tenant_rps, "tenant_rps")
+        if not 0 < rps <= 1_000_000:
+            raise ConfigError(f"tenant_rps must be in (0, 1e6], got {self.tenant_rps!r}")
+        duration = _require_number(self.duration_ms, "duration_ms")
+        if not 1.0 <= duration <= 10_000.0:
+            raise ConfigError(f"duration_ms must be in [1, 10000], got {self.duration_ms!r}")
+        if not 1 <= self.sub_bits <= 12:
+            raise ConfigError(f"sub_bits must be in [1, 12], got {self.sub_bits}")
+
+    # -- derived placement ---------------------------------------------------
+
+    def tenants_for_shard(self, index: int) -> int:
+        """Balanced partition: the first ``tenants % shards`` shards get one extra."""
+        if not 0 <= index < self.shards:
+            raise ConfigError(f"shard index must be in [0, {self.shards}), got {index}")
+        base, extra = divmod(self.tenants, self.shards)
+        return base + (1 if index < extra else 0)
+
+    def host_for_shard(self, index: int) -> int:
+        """Round-robin shard placement across hosts."""
+        return index % self.hosts
+
+    def seed_for_shard(self, index: int) -> int:
+        """Stable per-shard child seed.  Strategy is deliberately *not* part
+        of the derivation: every strategy replays the same arrivals on a
+        shard (common random numbers), so the ordering verdict compares
+        mechanisms, not noise."""
+        return derive_seed(self.seed, "cluster-shard", index)
+
+    def shard_specs(self) -> Tuple[ShardSpec, ...]:
+        return tuple(
+            ShardSpec(
+                index=index,
+                host=self.host_for_shard(index),
+                tenants=self.tenants_for_shard(index),
+                workers=self.cores_per_shard,
+                scenario=self.scenario,
+                seed=self.seed_for_shard(index),
+            )
+            for index in range(self.shards)
+        )
+
+    def tenant_spec_for_shard(self, index: int) -> TenantSpec:
+        return TenantSpec(
+            template=self.scenario, count=self.tenants_for_shard(index), rps=self.tenant_rps
+        )
+
+    # -- canonical form ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "tenants": self.tenants,
+            "shards": self.shards,
+            "hosts": self.hosts,
+            "cores_per_shard": self.cores_per_shard,
+            "scenario": self.scenario,
+            "strategies": list(self.strategies),
+            "tenant_rps": self.tenant_rps,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+            "sub_bits": self.sub_bits,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "ClusterTopology":
+        _reject_unknown(
+            obj,
+            (
+                "name",
+                "tenants",
+                "shards",
+                "hosts",
+                "cores_per_shard",
+                "scenario",
+                "strategies",
+                "tenant_rps",
+                "duration_ms",
+                "seed",
+                "sub_bits",
+            ),
+            "cluster topology",
+        )
+        strategies = obj.get("strategies", list(CLUSTER_STRATEGIES))
+        if not isinstance(strategies, (list, tuple)):
+            raise ConfigError(f"strategies must be a list, got {strategies!r}")
+        return cls(
+            name=obj.get("name", "cluster"),
+            tenants=_require_int(obj.get("tenants", 4096), "tenants"),
+            shards=_require_int(obj.get("shards", 16), "shards"),
+            hosts=_require_int(obj.get("hosts", 4), "hosts"),
+            cores_per_shard=_require_int(obj.get("cores_per_shard", 1), "cores_per_shard"),
+            scenario=obj.get("scenario", "rocksdb"),
+            strategies=tuple(strategies),
+            tenant_rps=_require_number(obj.get("tenant_rps", 50.0), "tenant_rps"),
+            duration_ms=_require_number(obj.get("duration_ms", 20.0), "duration_ms"),
+            seed=_require_int(obj.get("seed", 0), "seed"),
+            sub_bits=_require_int(obj.get("sub_bits", CLUSTER_SUB_BITS), "sub_bits"),
+        )
+
+    def dumps(self) -> str:
+        """Byte-stable canonical form: equal topologies dump identically."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    def topology_id(self) -> str:
+        """Content hash of the canonical dump (experiment identity)."""
+        return hashlib.sha256(self.dumps().encode("utf-8")).hexdigest()[:12]

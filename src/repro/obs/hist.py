@@ -108,6 +108,84 @@ class LatencyHistogram:
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
 
+    @classmethod
+    def merge_many(
+        cls, histograms: Iterable["LatencyHistogram"], sub_bits: Optional[int] = None
+    ) -> "LatencyHistogram":
+        """Fold an iterable of histograms into one fresh histogram.
+
+        Linear in total occupied buckets — use this instead of repeatedly
+        merging into a growing accumulator when combining thousands of
+        shard histograms (the repeated-merge pattern re-walks the
+        accumulator's buckets each time).  ``sub_bits`` defaults to the
+        first histogram's resolution; an empty iterable needs it explicit
+        (or falls back to :data:`DEFAULT_SUB_BITS`).
+        """
+        merged: Optional[LatencyHistogram] = None
+        if sub_bits is not None:
+            merged = cls(sub_bits)
+        for hist in histograms:
+            if merged is None:
+                merged = cls(hist.sub_bits)
+            merged.merge(hist)
+        return merged if merged is not None else cls(DEFAULT_SUB_BITS)
+
+    # -- exact state (shard-result transport) --------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Exact, JSON-safe state: :meth:`from_state` round-trips losslessly.
+
+        Unlike :meth:`as_dict` (a human-facing summary), this preserves the
+        raw bucket indices and the float ``sum``, so a histogram can cross a
+        process boundary (e.g. inside a cluster shard result) and merge into
+        cluster-wide percentiles without re-quantization drift.
+        """
+        return {
+            "sub_bits": self.sub_bits,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "counts": {str(index): self._counts[index] for index in sorted(self._counts)},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_state` output (validating)."""
+        if not isinstance(state, dict):
+            raise ConfigError(f"histogram state must be a dict, got {type(state).__name__}")
+        try:
+            sub_bits = state["sub_bits"]
+            count = state["count"]
+            total = state["sum"]
+            lo = state["min"]
+            hi = state["max"]
+            counts = state["counts"]
+        except KeyError as exc:
+            raise ConfigError(f"histogram state missing key {exc}") from exc
+        hist = cls(sub_bits)
+        if not isinstance(counts, dict):
+            raise ConfigError("histogram state 'counts' must be a dict")
+        bucket_total = 0
+        for key in counts:
+            n = counts[key]
+            index = int(key)
+            if index < 0 or not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+                raise ConfigError(f"invalid histogram bucket {key!r}: {n!r}")
+            hist._counts[index] = n
+            bucket_total += n
+        if bucket_total != count:
+            raise ConfigError(
+                f"histogram state count {count} != bucket total {bucket_total}"
+            )
+        if count and (lo is None or hi is None):
+            raise ConfigError("non-empty histogram state needs min and max")
+        hist.count = count
+        hist.sum = float(total)
+        hist.min = None if lo is None else float(lo)
+        hist.max = None if hi is None else float(hi)
+        return hist
+
     # -- reading -------------------------------------------------------------
 
     @property

@@ -71,6 +71,17 @@ class MetricsRegistry:
         """Record one sample into histogram ``name``."""
         self.histogram(name).record(value)
 
+    def merge_histogram(self, name: str, other: LatencyHistogram) -> None:
+        """Fold a pre-built histogram into ``name`` (created on first use
+        with ``other``'s resolution) — the merge path cluster aggregation
+        uses to publish per-strategy latency under one metrics namespace."""
+        _check_name(name)
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = LatencyHistogram(other.sub_bits)
+            self._histograms[name] = hist
+        hist.merge(other)
+
     # -- absorbing existing counter structs ----------------------------------
 
     def absorb_mapping(self, prefix: str, values: Mapping[str, Any]) -> None:

@@ -50,6 +50,7 @@ import logging
 import os
 import pickle
 import time
+import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -134,20 +135,43 @@ class _Watchdog(Exception):
     """Internal: no point completed within the timeout window."""
 
 
+#: Budget for one checkpoint JSONL line's payload, in hex characters.
+#: A payload over the budget is zlib-compressed; if still over, the
+#: compressed hex is split across ``{"i", "p", "of", "z"}`` chunk lines so a
+#: torn write can only ever lose whole points, never corrupt the file for
+#: every later reader.
+CHECKPOINT_LINE_BUDGET = 1 << 20
+
+
 class _Checkpoint:
-    """Append-only JSONL sweep checkpoint: one ``{"i": idx, "r": hex}``
-    line per completed point (pickled result, hex-encoded).
+    """Append-only JSONL sweep checkpoint: one record per completed point.
+
+    Record formats (``load`` accepts all three, ``record`` picks the
+    smallest that fits :data:`CHECKPOINT_LINE_BUDGET`):
+
+    - ``{"i": idx, "r": hex}`` — pickled result, hex-encoded (the common
+      case for small points);
+    - ``{"i": idx, "z": hex}`` — zlib-compressed pickle, hex-encoded;
+    - ``{"i": idx, "p": k, "of": n, "z": hex}`` — the compressed hex split
+      into ``n`` chunks; the point restores only once all ``n`` parts are
+      present (a shard result with a large histogram easily exceeds one
+      line's budget).
 
     Loading tolerates arbitrary damage — a corrupt, truncated, or stale
-    line is skipped (that point simply re-runs); a damaged checkpoint can
-    cost time, never correctness.
+    line (or an incomplete chunk set) is skipped and that point simply
+    re-runs; a damaged checkpoint can cost time, never correctness.
     """
 
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path, line_budget: int = CHECKPOINT_LINE_BUDGET) -> None:
         self.path = path
+        if line_budget < 1:
+            raise ConfigError(f"checkpoint line budget must be >= 1, got {line_budget}")
+        self.line_budget = line_budget
 
     def load(self, n_points: int) -> Dict[int, Any]:
         results: Dict[int, Any] = {}
+        parts: Dict[int, Dict[int, str]] = {}  # idx -> part number -> hex chunk
+        expected: Dict[int, int] = {}  # idx -> part count
         try:
             text = self.path.read_text()
         except (OSError, UnicodeDecodeError):
@@ -159,22 +183,58 @@ class _Checkpoint:
             try:
                 obj = json.loads(line)
                 idx = obj["i"]
-                value = pickle.loads(bytes.fromhex(obj["r"]))
+                if not (isinstance(idx, int) and 0 <= idx < n_points):
+                    continue
+                if "r" in obj:
+                    results[idx] = pickle.loads(bytes.fromhex(obj["r"]))
+                elif "of" in obj:
+                    part, of, chunk = obj["p"], obj["of"], obj["z"]
+                    if not (isinstance(part, int) and isinstance(of, int)):
+                        continue
+                    if not (of >= 1 and 0 <= part < of and isinstance(chunk, str)):
+                        continue
+                    expected[idx] = of
+                    parts.setdefault(idx, {})[part] = chunk
+                    have = parts[idx]
+                    if len(have) == of:
+                        payload = "".join(have[k] for k in range(of))
+                        results[idx] = pickle.loads(zlib.decompress(bytes.fromhex(payload)))
+                else:
+                    results[idx] = pickle.loads(zlib.decompress(bytes.fromhex(obj["z"])))
             except Exception:
                 continue
-            if isinstance(idx, int) and 0 <= idx < n_points:
-                results[idx] = value
         return results
 
     def record(self, idx: int, result: Any) -> None:
         try:
-            payload = pickle.dumps(result).hex()
+            data = pickle.dumps(result)
         except Exception:
             return  # unpicklable result: the point just re-runs on resume
+        budget = self.line_budget
+        payload = data.hex()
+        if len(payload) <= budget:
+            lines = [json.dumps({"i": idx, "r": payload})]
+        else:
+            packed = zlib.compress(data, 6).hex()
+            if len(packed) <= budget:
+                lines = [json.dumps({"i": idx, "z": packed})]
+            else:
+                n_parts = (len(packed) + budget - 1) // budget
+                lines = [
+                    json.dumps(
+                        {
+                            "i": idx,
+                            "p": part,
+                            "of": n_parts,
+                            "z": packed[part * budget : (part + 1) * budget],
+                        }
+                    )
+                    for part in range(n_parts)
+                ]
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("a") as fh:
-                fh.write(json.dumps({"i": idx, "r": payload}) + "\n")
+                fh.write("\n".join(lines) + "\n")
                 fh.flush()
         except OSError as exc:
             log.warning("sweep checkpoint write failed (%s): %s", self.path, exc)

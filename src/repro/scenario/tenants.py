@@ -1,0 +1,107 @@
+"""Tenant workload templates for the cluster layer.
+
+A :class:`TenantTemplate` names one per-tenant load shape the sharded
+datacenter simulation knows how to generate; :data:`TENANT_TEMPLATES` is
+the registry the `repro cluster` CLI and :mod:`repro.cluster.topology`
+validate against.  Three templates ship, matching the paper's evaluation
+surfaces:
+
+- ``rocksdb`` — open RocksDB connections with the Figure 7 bimodal service
+  mix (99.5% GETs at 1.2 us, 0.5% SCANs at 580 us), open-loop Poisson
+  arrivals.  Delivery cost enters only through the runtime's preemption
+  ticks, exactly as in :mod:`repro.experiments.fig7_rocksdb`.
+- ``timers`` — per-tenant kernel-bypass timers: each tenant fires a short
+  handler at a fixed period (random phase), and every firing pays the
+  notification *receive* cost of the strategy under test — the
+  oversubscription case from §4.3.
+- ``fanout`` — interrupt-forwarding fan-out under load spikes: open-loop
+  Poisson events whose rate multiplies by ``burst_factor`` inside periodic
+  burst windows, each event paying the per-strategy receive cost.
+
+Templates are frozen and validated on construction, following the
+scenario-DSL idiom (:mod:`repro.scenario.dsl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+
+#: Template kinds the shard runner can generate arrivals for.
+TEMPLATE_KINDS: Tuple[str, ...] = ("bimodal_poisson", "periodic_timer", "burst_poisson")
+
+
+@dataclass(frozen=True, slots=True)
+class TenantTemplate:
+    """One per-tenant load shape (validated, immutable).
+
+    ``delivery_cost`` controls whether each generated event's service time
+    includes the notification-receive cost of the strategy under test
+    (timers and fan-out events *are* notifications; RocksDB requests pay
+    delivery cost only via the runtime's preemption path).
+    """
+
+    name: str
+    kind: str
+    get_us: float = 1.2  # bimodal_poisson: GET service mean
+    scan_us: float = 580.0  # bimodal_poisson: SCAN service mean
+    scan_fraction: float = 0.005  # bimodal_poisson: SCAN share of requests
+    handler_us: float = 0.5  # periodic_timer / burst_poisson: handler service
+    burst_factor: float = 8.0  # burst_poisson: rate multiplier inside bursts
+    burst_period_ms: float = 5.0  # burst_poisson: burst window spacing
+    burst_len_ms: float = 0.5  # burst_poisson: burst window length
+    delivery_cost: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(f"template name must be a non-empty string, got {self.name!r}")
+        if self.kind not in TEMPLATE_KINDS:
+            raise ConfigError(
+                f"template kind must be one of {TEMPLATE_KINDS}, got {self.kind!r}"
+            )
+        for field_name in ("get_us", "scan_us", "handler_us"):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise ConfigError(f"template {field_name} must be > 0, got {value!r}")
+        if not 0.0 <= self.scan_fraction <= 1.0:
+            raise ConfigError(
+                f"template scan_fraction must be in [0, 1], got {self.scan_fraction!r}"
+            )
+        if not self.burst_factor >= 1.0:
+            raise ConfigError(
+                f"template burst_factor must be >= 1, got {self.burst_factor!r}"
+            )
+        if not 0 < self.burst_len_ms <= self.burst_period_ms:
+            raise ConfigError(
+                "template burst_len_ms must be in (0, burst_period_ms], got "
+                f"{self.burst_len_ms!r} vs {self.burst_period_ms!r}"
+            )
+
+
+#: Registry of shipped templates, keyed by scenario name.
+TENANT_TEMPLATES = {
+    "rocksdb": TenantTemplate(name="rocksdb", kind="bimodal_poisson"),
+    "timers": TenantTemplate(
+        name="timers", kind="periodic_timer", handler_us=0.5, delivery_cost=True
+    ),
+    "fanout": TenantTemplate(
+        name="fanout",
+        kind="burst_poisson",
+        handler_us=2.0,
+        burst_factor=8.0,
+        burst_period_ms=5.0,
+        burst_len_ms=0.5,
+        delivery_cost=True,
+    ),
+}
+
+
+def tenant_template(name: str) -> TenantTemplate:
+    """Look up a template by scenario name (raises ``ConfigError``)."""
+    try:
+        return TENANT_TEMPLATES[name]
+    except KeyError:
+        known = ", ".join(sorted(TENANT_TEMPLATES))
+        raise ConfigError(f"unknown tenant template {name!r} (known: {known})") from None

@@ -1,0 +1,88 @@
+"""Driver determinism: serial == parallel == checkpoint-resumed, to the byte."""
+
+from repro.common.counters import GLOBAL_COUNTERS
+from repro.cluster import ClusterDriver, ClusterTopology
+from repro.cluster.driver import report_to_metrics
+from repro.cluster.shard import run_shard_job
+from repro.obs.registry import MetricsRegistry
+from repro.perf.engine import _checkpoint_for
+
+#: Small but non-trivial: 2 shards x 3 strategies, enough load that every
+#: strategy records thousands of samples in a fraction of a second.
+TOPOLOGY = ClusterTopology(
+    name="unit", tenants=32, shards=2, hosts=2, tenant_rps=2000.0,
+    duration_ms=10.0, seed=5,
+)
+
+
+class TestDriver:
+    def test_job_grid_shape_and_order(self):
+        jobs = ClusterDriver(TOPOLOGY).shard_jobs()
+        assert len(jobs) == 2 * 3
+        assert [(j.strategy, j.shard_index) for j in jobs] == [
+            ("flush", 0), ("flush", 1),
+            ("tracked", 0), ("tracked", 1),
+            ("timer", 0), ("timer", 1),
+        ]
+        # Same shard seed across strategies (common random numbers).
+        assert jobs[0].seed == jobs[2].seed == jobs[4].seed
+
+    def test_report_aggregates_match_shards(self):
+        driver = ClusterDriver(TOPOLOGY)
+        report = driver.run()
+        by_strategy = {agg.strategy: agg for agg in report.aggregates}
+        assert set(by_strategy) == {"flush", "tracked", "timer"}
+        for job in driver.shard_jobs():
+            agg = by_strategy[job.strategy]
+            assert agg.shards == 2
+            assert agg.tenants == TOPOLOGY.tenants
+        # Merged histogram count equals the sum over that strategy's shards.
+        flush_results = [run_shard_job(j) for j in driver.shard_jobs() if j.strategy == "flush"]
+        assert by_strategy["flush"].count == sum(
+            r.histogram().count for r in flush_results
+        )
+
+    def test_metrics_namespace(self):
+        report = ClusterDriver(TOPOLOGY).run()
+        registry = MetricsRegistry()
+        report_to_metrics(report, registry)
+        payload = registry.as_dict()
+        assert payload["counters"]["cluster.tenants"] == 32
+        assert "cluster.flush.latency" in payload["histograms"]
+        assert (
+            payload["histograms"]["cluster.flush.latency"]["count"]
+            == report.aggregates[0].count
+        )
+
+
+class TestSeededDeterminismAtScale:
+    def test_serial_and_parallel_reports_byte_identical(self):
+        serial = ClusterDriver(TOPOLOGY, jobs=1).run()
+        parallel_driver = ClusterDriver(TOPOLOGY, jobs=2)
+        parallel = parallel_driver.run()
+        assert parallel_driver.last_mode in ("parallel", "salvaged", "serial")
+        assert serial.dumps() == parallel.dumps()
+
+    def test_interrupted_checkpoint_resume_byte_identical(self, tmp_path):
+        """Kill-after-four-shards then resume == uninterrupted, byte for byte."""
+        uninterrupted = ClusterDriver(TOPOLOGY).run()
+
+        jobs = ClusterDriver(TOPOLOGY, checkpoint_dir=str(tmp_path)).shard_jobs()
+        ckpt = _checkpoint_for(str(tmp_path), run_shard_job, jobs)
+        for i in (0, 1, 2, 3):  # the work a dying run had completed
+            ckpt.record(i, run_shard_job(jobs[i]))
+
+        before = GLOBAL_COUNTERS.sweep_points_resumed
+        resumed = ClusterDriver(TOPOLOGY, jobs=1, checkpoint_dir=str(tmp_path)).run()
+        assert GLOBAL_COUNTERS.sweep_points_resumed - before == 4
+        assert resumed.dumps() == uninterrupted.dumps()
+        assert not ckpt.path.exists()
+
+    def test_different_seed_changes_report(self):
+        base = ClusterDriver(TOPOLOGY).run()
+        other_topology = ClusterTopology(
+            name="unit", tenants=32, shards=2, hosts=2, tenant_rps=2000.0,
+            duration_ms=10.0, seed=6,
+        )
+        other = ClusterDriver(other_topology).run()
+        assert base.dumps() != other.dumps()

@@ -1,0 +1,144 @@
+"""Report schema, verdict logic, and bench-gate-shaped checks."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.hist import LatencyHistogram
+from repro.cluster.aggregate import (
+    OrderingVerdict,
+    StrategyAggregate,
+    aggregate_strategy,
+    ordering_verdict,
+)
+from repro.cluster.report import PAPER_SCALE_TENANTS, REPORT_SCHEMA, ClusterReport
+from repro.cluster.shard import ShardResult
+from repro.cluster.topology import ClusterTopology
+
+
+def _aggregate(strategy, p999, count=100):
+    hist = LatencyHistogram(sub_bits=8)
+    hist.record_many([100.0] * (count - 1) + [p999])
+    return StrategyAggregate(
+        strategy=strategy, shards=1, tenants=10, offered=count, completed=count,
+        in_window=count, scans=0, preemptions_total=5, count=hist.count,
+        mean=hist.mean, p50=hist.percentile(50.0), p99=hist.percentile(99.0),
+        p999=hist.percentile(99.9), hist_state=hist.to_state(),
+    )
+
+
+def _shard_result(strategy, index, values):
+    hist = LatencyHistogram(sub_bits=8)
+    hist.record_many(values)
+    return ShardResult(
+        shard_index=index, host=0, strategy=strategy, tenants=4, offered=len(values),
+        completed=len(values), in_window=len(values), scans=0, preemptions_total=1,
+        hist_state=hist.to_state(),
+    )
+
+
+class TestAggregation:
+    def test_merged_percentiles_match_pooled_samples(self):
+        """Shard boundaries are invisible: aggregating shard histograms
+        equals one histogram over every sample."""
+        shard_a = _shard_result("flush", 0, [10, 20, 30, 40_000])
+        shard_b = _shard_result("flush", 1, [15, 25, 35])
+        agg = aggregate_strategy("flush", [shard_a, shard_b])
+        pooled = LatencyHistogram(sub_bits=8)
+        pooled.record_many([10, 20, 30, 40_000, 15, 25, 35])
+        assert agg.count == 7
+        assert agg.p999 == pooled.percentile(99.9)
+        assert agg.hist_state == pooled.to_state()
+
+    def test_strategy_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            aggregate_strategy("flush", [_shard_result("timer", 0, [1.0])])
+
+    def test_aggregate_round_trip(self):
+        agg = _aggregate("tracked", 9_000.0)
+        assert StrategyAggregate.from_json(json.loads(json.dumps(agg.to_json()))) == agg
+
+
+class TestVerdict:
+    def test_correct_ordering_passes(self):
+        verdict = ordering_verdict(
+            [_aggregate("flush", 30_000.0), _aggregate("tracked", 20_000.0),
+             _aggregate("timer", 10_000.0)]
+        )
+        assert verdict.applicable and verdict.ok
+
+    def test_inverted_ordering_fails(self):
+        verdict = ordering_verdict(
+            [_aggregate("flush", 10_000.0), _aggregate("tracked", 20_000.0),
+             _aggregate("timer", 30_000.0)]
+        )
+        assert verdict.applicable and not verdict.ok
+
+    def test_ties_fail_strict_ordering(self):
+        verdict = ordering_verdict(
+            [_aggregate("flush", 20_000.0), _aggregate("tracked", 20_000.0),
+             _aggregate("timer", 10_000.0)]
+        )
+        assert verdict.applicable and not verdict.ok
+
+    def test_subset_of_strategies_not_applicable(self):
+        verdict = ordering_verdict([_aggregate("flush", 2.0), _aggregate("timer", 1.0)])
+        assert not verdict.applicable and not verdict.ok
+
+    def test_round_trip(self):
+        verdict = ordering_verdict(
+            [_aggregate("flush", 3.0), _aggregate("tracked", 2.0), _aggregate("timer", 1.0)]
+        )
+        assert OrderingVerdict.from_json(json.loads(json.dumps(verdict.to_json()))) == verdict
+
+
+class TestReport:
+    def _report(self, flush=30_000.0, tracked=20_000.0, timer=10_000.0):
+        topology = ClusterTopology(tenants=2_000_000, shards=4, hosts=2)
+        aggregates = (
+            _aggregate("flush", flush),
+            _aggregate("tracked", tracked),
+            _aggregate("timer", timer),
+        )
+        return ClusterReport(
+            topology=topology, aggregates=aggregates,
+            verdict=ordering_verdict(aggregates),
+        )
+
+    def test_scale_factor(self):
+        report = self._report()
+        assert report.scale_factor == 2_000_000 / PAPER_SCALE_TENANTS == 2000.0
+
+    def test_checks_are_bench_gate_shaped(self):
+        for check in self._report().checks():
+            assert set(check) == {"bench", "check", "ok", "note"}
+        names = [c["check"] for c in self._report().checks()]
+        assert names == ["samples_recorded", "ordering_p999"]
+        assert all(c["ok"] for c in self._report().checks())
+
+    def test_failed_ordering_reflected_in_checks(self):
+        report = self._report(flush=1_000.0)
+        ordering = [c for c in report.checks() if c["check"] == "ordering_p999"]
+        assert ordering and not ordering[0]["ok"]
+
+    def test_round_trip_and_byte_stable_dumps(self):
+        report = self._report()
+        clone = ClusterReport.from_json(json.loads(report.dumps()))
+        assert clone.dumps() == report.dumps()
+        assert json.loads(report.dumps())["schema"] == REPORT_SCHEMA
+
+    def test_wrong_schema_rejected(self):
+        payload = json.loads(self._report().dumps())
+        payload["schema"] = "repro.cluster.report/v999"
+        with pytest.raises(ConfigError):
+            ClusterReport.from_json(payload)
+
+    def test_mismatched_aggregates_rejected(self):
+        topology = ClusterTopology(tenants=16, shards=2, hosts=2)
+        aggregates = (_aggregate("flush", 2.0),)
+        with pytest.raises(ConfigError):
+            ClusterReport(
+                topology=topology, aggregates=aggregates,
+                verdict=ordering_verdict(aggregates),
+            )

@@ -1,0 +1,119 @@
+"""Shard jobs: purity, common random numbers, per-scenario behaviour."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.notify.costs import CostModel
+from repro.cluster.shard import ShardJob, run_shard_job
+from repro.cluster.topology import TenantSpec
+
+
+def _job(strategy="timer", scenario="rocksdb", count=8, rps=2000.0, **overrides):
+    kwargs = dict(
+        shard_index=0,
+        host=0,
+        strategy=strategy,
+        workers=1,
+        groups=(TenantSpec(template=scenario, count=count, rps=rps),),
+        duration_ms=10.0,
+        seed=1234,
+        sub_bits=8,
+        costs=CostModel.paper_defaults(),
+    )
+    kwargs.update(overrides)
+    return ShardJob(**kwargs)
+
+
+class TestShardJob:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _job(strategy="warp")
+        with pytest.raises(ConfigError):
+            _job(groups=())
+        with pytest.raises(ConfigError):
+            _job(duration_ms=0.0)
+        with pytest.raises(ConfigError):
+            _job(sub_bits=0)
+
+    def test_tenants_sums_groups(self):
+        job = _job(groups=(
+            TenantSpec(template="rocksdb", count=3, rps=1.0),
+            TenantSpec(template="timers", count=4, rps=1.0),
+        ))
+        assert job.tenants == 7
+
+    def test_picklable_and_canonical(self):
+        from repro.perf.cache import canonical
+
+        job = _job()
+        assert pickle.loads(pickle.dumps(job)) == job
+        # Equal jobs share one canonical form (stable checkpoint identity).
+        assert canonical(job) == canonical(_job())
+        assert canonical(job) != canonical(_job(seed=999))
+
+    def test_round_trip(self):
+        job = _job(scenario="fanout", strategy="flush")
+        assert ShardJob.from_json(json.loads(json.dumps(job.to_json()))) == job
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardJob.from_json({"bogus": 1})
+
+
+class TestRunShardJob:
+    def test_deterministic(self):
+        a, b = run_shard_job(_job()), run_shard_job(_job())
+        assert a == b
+
+    def test_result_round_trips(self):
+        from repro.cluster.shard import ShardResult
+
+        result = run_shard_job(_job())
+        assert ShardResult.from_json(json.loads(json.dumps(result.to_json()))) == result
+
+    def test_common_random_numbers_across_strategies(self):
+        """Same shard seed => identical arrival processes per strategy: the
+        offered load and scan mix never differ, only the latency does."""
+        results = {s: run_shard_job(_job(strategy=s)) for s in ("flush", "tracked", "timer")}
+        offered = {r.offered for r in results.values()}
+        scans = {r.scans for r in results.values()}
+        assert len(offered) == 1 and len(scans) == 1
+
+    def test_rocksdb_measures_gets_only(self):
+        result = run_shard_job(_job(scenario="rocksdb"))
+        hist = result.histogram()
+        assert result.scans > 0
+        assert hist.count == result.completed - result.scans
+
+    def test_flush_tail_dominates_timer(self):
+        """Per-shard Figure 7: the flush strategy's p999 exceeds timer's."""
+        flush = run_shard_job(_job(strategy="flush")).histogram()
+        timer = run_shard_job(_job(strategy="timer")).histogram()
+        assert flush.percentile(99.9) > timer.percentile(99.9)
+
+    def test_timers_scenario_counts_and_costs(self):
+        """Each tenant fires ~rps*duration times; flush handlers carry the
+        bigger receive cost, so the timer strategy's mean is strictly lower."""
+        job = _job(scenario="timers", count=16, rps=10_000.0)
+        result = run_shard_job(job)
+        expected = 16 * 10_000.0 * (job.duration_ms / 1000.0)
+        assert result.offered == pytest.approx(expected, rel=0.2)
+        flush_hist = run_shard_job(_job(scenario="timers", count=16, rps=10_000.0,
+                                        strategy="flush")).histogram()
+        timer_hist = result.histogram()
+        assert timer_hist.count == flush_hist.count
+        assert timer_hist.mean < flush_hist.mean
+
+    def test_fanout_bursts_raise_offered_load(self):
+        """Burst windows push the offered count above the flat-rate total."""
+        result = run_shard_job(_job(scenario="fanout", count=8, rps=5_000.0))
+        flat = 8 * 5_000.0 * 0.01
+        assert result.offered > flat * 1.2
+
+    def test_preemptions_scale_with_workers(self):
+        one = run_shard_job(_job())
+        two = run_shard_job(_job(workers=2))
+        assert two.preemptions_total > one.preemptions_total

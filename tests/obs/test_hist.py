@@ -153,3 +153,94 @@ class TestExport:
         buckets = payload["buckets"]
         assert [b["lower"] for b in buckets] == sorted(b["lower"] for b in buckets)
         assert sum(b["count"] for b in buckets) == hist.count
+
+
+class TestMergeMany:
+    def test_equals_single_histogram(self):
+        values = [1, 5, 5, 120, 4000, 77, 77, 77, 250_000, 3]
+        shards = []
+        for start in range(0, len(values), 3):
+            hist = LatencyHistogram()
+            hist.record_many(values[start : start + 3])
+            shards.append(hist)
+        merged = LatencyHistogram.merge_many(shards)
+        single = LatencyHistogram()
+        single.record_many(values)
+        assert merged.to_state() == single.to_state()
+
+    def test_empty_iterable_gives_empty_histogram(self):
+        merged = LatencyHistogram.merge_many([])
+        assert merged.count == 0
+        assert merged.sub_bits == DEFAULT_SUB_BITS
+        merged = LatencyHistogram.merge_many([], sub_bits=8)
+        assert merged.sub_bits == 8
+
+    def test_sub_bits_from_first_histogram(self):
+        hist = LatencyHistogram(sub_bits=8)
+        hist.record(9)
+        assert LatencyHistogram.merge_many([hist]).sub_bits == 8
+
+    def test_mismatched_sub_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram.merge_many(
+                [LatencyHistogram(sub_bits=4), LatencyHistogram(sub_bits=6)]
+            )
+
+    def test_inputs_unmodified(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(10)
+        b.record(20)
+        LatencyHistogram.merge_many([a, b])
+        assert (a.count, b.count) == (1, 1)
+
+
+class TestExactState:
+    def test_round_trip(self):
+        hist = LatencyHistogram(sub_bits=8)
+        hist.record_many([0, 1, 17.5, 300.25, 9_999_999])
+        clone = LatencyHistogram.from_state(hist.to_state())
+        assert clone.to_state() == hist.to_state()
+        assert clone.sum == hist.sum
+        for p in (50, 99, 99.9):
+            assert clone.percentile(p) == hist.percentile(p)
+
+    def test_state_is_json_safe(self):
+        import json
+
+        hist = LatencyHistogram()
+        hist.record_many([4, 4_000_000])
+        state = json.loads(json.dumps(hist.to_state()))
+        assert LatencyHistogram.from_state(state).to_state() == hist.to_state()
+
+    def test_empty_round_trip(self):
+        state = LatencyHistogram(sub_bits=6).to_state()
+        clone = LatencyHistogram.from_state(state)
+        assert clone.count == 0 and clone.min is None and clone.max is None
+
+    def test_inconsistent_count_rejected(self):
+        hist = LatencyHistogram()
+        hist.record(5)
+        state = hist.to_state()
+        state["count"] = 7
+        with pytest.raises(ConfigError):
+            LatencyHistogram.from_state(state)
+
+    def test_missing_minmax_rejected(self):
+        hist = LatencyHistogram()
+        hist.record(5)
+        state = hist.to_state()
+        state["min"] = None
+        with pytest.raises(ConfigError):
+            LatencyHistogram.from_state(state)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram.from_state("nope")
+        with pytest.raises(ConfigError):
+            LatencyHistogram.from_state({"sub_bits": 4})
+        hist = LatencyHistogram()
+        hist.record(5)
+        state = hist.to_state()
+        state["counts"] = {"5": True}
+        with pytest.raises(ConfigError):
+            LatencyHistogram.from_state(state)

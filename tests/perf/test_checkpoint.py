@@ -247,3 +247,115 @@ class TestRetries:
         monkeypatch.setenv(RETRIES_ENV, "many")
         with pytest.raises(ConfigError):
             SweepRunner(jobs=1)
+
+
+def _oversized_shard_result():
+    """A cluster shard result whose pickled payload exceeds the JSONL line
+    budget — the dense-histogram case that motivated chunked checkpoints."""
+    from repro.cluster.shard import ShardResult
+
+    buckets = {str(i): 1 for i in range(120_000)}
+    state = {
+        "sub_bits": 12,
+        "count": 120_000,
+        "sum": 1.0,
+        "min": 0.0,
+        "max": 1.0,
+        "counts": buckets,
+    }
+    return ShardResult(
+        shard_index=0,
+        host=0,
+        strategy="flush",
+        tenants=1,
+        offered=1,
+        completed=1,
+        in_window=1,
+        scans=0,
+        preemptions_total=0,
+        hist_state=state,
+    )
+
+
+def _big_point(x):
+    return (x, _oversized_shard_result())
+
+
+class TestOversizedPayloads:
+    """Payloads over the line budget compress, then chunk — and resume."""
+
+    def test_compressible_payload_takes_one_z_line(self, tmp_path):
+        from repro.perf.engine import _Checkpoint
+
+        ckpt = _Checkpoint(tmp_path / "c.jsonl", line_budget=128)
+        value = [0] * 1000  # pickles big, compresses tiny
+        assert len(pickle.dumps(value).hex()) > 128
+        ckpt.record(4, value)
+        lines = ckpt.path.read_text().splitlines()
+        assert len(lines) == 1 and '"z"' in lines[0] and '"of"' not in lines[0]
+        assert ckpt.load(10) == {4: value}
+
+    def test_incompressible_payload_chunks_and_reloads(self, tmp_path):
+        import hashlib
+
+        from repro.perf.engine import _Checkpoint
+
+        ckpt = _Checkpoint(tmp_path / "c.jsonl", line_budget=128)
+        value = b"".join(hashlib.sha256(bytes([i])).digest() for i in range(64))
+        ckpt.record(2, value)
+        lines = ckpt.path.read_text().splitlines()
+        assert len(lines) > 1
+        assert all('"of"' in line for line in lines)
+        # Chunking bounds every line: budget + JSON envelope.
+        assert max(len(line) for line in lines) <= 128 + 100
+        assert ckpt.load(10) == {2: value}
+
+    def test_incomplete_chunk_set_drops_only_that_point(self, tmp_path):
+        import hashlib
+
+        from repro.perf.engine import _Checkpoint
+
+        ckpt = _Checkpoint(tmp_path / "c.jsonl", line_budget=128)
+        ckpt.record(0, 111)
+        big = b"".join(hashlib.sha256(bytes([i])).digest() for i in range(64))
+        ckpt.record(1, big)
+        # Tear the file inside the last chunk line: the chunked point is
+        # incomplete and re-runs; the small point before it survives.
+        raw = ckpt.path.read_bytes()
+        ckpt.path.write_bytes(raw[: len(raw) - 40])
+        assert ckpt.load(10) == {0: 111}
+
+    def test_mixed_formats_in_one_file(self, tmp_path):
+        from repro.perf.engine import _Checkpoint
+
+        ckpt = _Checkpoint(tmp_path / "c.jsonl", line_budget=256)
+        ckpt.record(0, "small")
+        ckpt.record(1, [0] * 2000)
+        assert ckpt.load(10) == {0: "small", 1: [0] * 2000}
+
+    def test_oversized_shard_result_resumes_from_checkpoint(self, tmp_path):
+        """Regression: a shard result bigger than the line budget survives
+        the checkpoint round trip and is *not* re-executed on resume."""
+        from repro.perf.engine import CHECKPOINT_LINE_BUDGET
+
+        points = [0, 1]
+        big = _big_point(0)
+        assert len(pickle.dumps(big).hex()) > CHECKPOINT_LINE_BUDGET
+        ckpt = _checkpoint_for(str(tmp_path), _big_point, points)
+        ckpt.record(0, big)
+
+        executed = []
+
+        def spy(x):
+            executed.append(x)
+            return _big_point(x)
+
+        spy.__module__ = _big_point.__module__
+        spy.__qualname__ = _big_point.__qualname__  # same checkpoint identity
+        before = GLOBAL_COUNTERS.sweep_points_resumed
+        runner = SweepRunner(jobs=1, checkpoint_dir=str(tmp_path))
+        results = runner.map(spy, points)
+        assert executed == [1]
+        assert GLOBAL_COUNTERS.sweep_points_resumed - before == 1
+        assert results[0] == big and results[1] == _big_point(1)
+        assert not ckpt.path.exists()

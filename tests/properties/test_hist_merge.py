@@ -1,0 +1,69 @@
+"""Property tests: merge_many is order-free and partition-invariant."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.hist import LatencyHistogram
+
+#: Latency-like values spanning the linear range and many octaves.
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=1 << 24), min_size=0, max_size=60
+)
+
+
+def _partition(values, cuts):
+    """Split ``values`` into contiguous shards at the given cut points."""
+    bounds = sorted(set(cut % (len(values) + 1) for cut in cuts)) + [len(values)]
+    shards, start = [], 0
+    for end in bounds:
+        shards.append(values[start:end])
+        start = end
+    return shards
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=values_strategy,
+    cuts=st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=6),
+    permutation_seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_merged_percentiles_permutation_and_partition_invariant(
+    values, cuts, permutation_seed
+):
+    """However samples are sharded, and in whatever order the shard
+    histograms merge, the result equals one histogram over all samples."""
+    single = LatencyHistogram()
+    single.record_many(values)
+
+    shards = []
+    for chunk in _partition(values, cuts):
+        hist = LatencyHistogram()
+        hist.record_many(chunk)
+        shards.append(hist)
+
+    # A deterministic permutation of the shard order derived from the seed.
+    permuted = list(shards)
+    for i in range(len(permuted) - 1, 0, -1):
+        j = (permutation_seed + 31 * i) % (i + 1)
+        permuted[i], permuted[j] = permuted[j], permuted[i]
+
+    merged = LatencyHistogram.merge_many(permuted)
+    assert merged.to_state() == single.to_state()
+    for p in (50.0, 90.0, 99.0, 99.9):
+        assert merged.percentile(p) == single.percentile(p)
+    assert merged.count == single.count
+    assert merged.mean == single.mean
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy)
+def test_merge_many_matches_repeated_merge(values):
+    shards = []
+    for value in values:
+        hist = LatencyHistogram()
+        hist.record(value)
+        shards.append(hist)
+    accumulator = LatencyHistogram()
+    for hist in shards:
+        accumulator.merge(hist)
+    assert LatencyHistogram.merge_many(shards).to_state() == accumulator.to_state()

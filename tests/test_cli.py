@@ -292,3 +292,34 @@ class TestFuzz:
         monkeypatch.delenv(self.HOOK)
         assert main(["fuzz", "repro", str(artifact)]) == 1
         assert "NOT reproduced" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_cluster_small_run_with_report(self, capsys, tmp_path):
+        out = tmp_path / "cluster.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "cluster", "--tenants", "32", "--shards", "2", "--hosts", "2",
+            "--tenant-rps", "2000", "--duration-ms", "10", "--seed", "5",
+            "--json-out", str(out), "--metrics-out", str(metrics),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "ordering verdict" in captured
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.cluster.report/v1"
+        assert {a["strategy"] for a in report["aggregates"]} == {"flush", "tracked", "timer"}
+        payload = json.loads(metrics.read_text())
+        assert "cluster.flush.latency" in payload["histograms"]
+
+    def test_cluster_rejects_bad_topology(self, capsys):
+        assert main(["cluster", "--tenants", "2", "--shards", "4"]) == 2
+
+    def test_cluster_subset_of_strategies_not_applicable(self, capsys):
+        assert main([
+            "cluster", "--tenants", "16", "--shards", "2", "--hosts", "1",
+            "--tenant-rps", "1000", "--duration-ms", "5",
+            "--strategies", "tracked,timer",
+        ]) == 0
+        assert "not applicable" in capsys.readouterr().out
